@@ -1,0 +1,59 @@
+//! Baseline MoE training systems (paper §7, "Baselines") and the unified
+//! experiment runner used by the figure harnesses.
+//!
+//! * **DeepSpeed** — no computation-communication overlapping; PyTorch
+//!   compute-op overhead; the highest memory footprint (the paper notes
+//!   its earlier OOM).
+//! * **Tutel** — overlaps all-to-all with *expert computation only*, by
+//!   partitioning along the capacity dimension with overlap degree
+//!   searched over {1, 2, 4, 8} (the paper's methodology); PyTorch
+//!   compute overhead.
+//! * **RAF** — the compiler substrate without Lancet's passes (no
+//!   overlap, but compiler-grade op performance).
+//! * **Lancet** — both passes; ablation variants run each pass alone.
+//!
+//! All systems produce a training graph that runs on the same simulator,
+//! so measured differences isolate exactly the scheduling/partitioning
+//! effects the paper studies.
+
+mod runner;
+mod tutel;
+
+pub use runner::{run_system, RunOutcome, System};
+pub use tutel::{tutel_degree_graphs, tutel_partition};
+
+use lancet_ir::{build_backward, BackwardOptions, Graph, Result};
+
+/// Compute-op latency multiplier applied to PyTorch-based systems
+/// (DeepSpeed, Tutel) relative to the compiler substrate, per the paper's
+/// observation that RAF and PyTorch op performance differ.
+pub const PYTORCH_COMPUTE_OVERHEAD: f64 = 1.08;
+
+/// Activation-memory multiplier for DeepSpeed (reproduces its higher
+/// memory requirement noted in the paper).
+pub const DEEPSPEED_MEMORY_OVERHEAD: f64 = 1.35;
+
+/// Activation-memory multiplier for Tutel/RAF/Lancet.
+pub const DEFAULT_MEMORY_OVERHEAD: f64 = 1.1;
+
+/// Builds the DeepSpeed-style training graph: straightforward autodiff,
+/// no overlap-enabling transformation.
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn deepspeed(forward: Graph, backward: &BackwardOptions) -> Result<Graph> {
+    let mut g = forward;
+    build_backward(&mut g, backward)?;
+    Ok(g)
+}
+
+/// Builds the RAF-baseline training graph (identical structure to
+/// DeepSpeed's; it differs only in simulated compute overheads).
+///
+/// # Errors
+///
+/// Propagates IR construction failures.
+pub fn raf(forward: Graph, backward: &BackwardOptions) -> Result<Graph> {
+    deepspeed(forward, backward)
+}

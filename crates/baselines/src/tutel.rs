@@ -1,0 +1,123 @@
+//! Tutel-style capacity-dimension partitioning of all-to-all + experts.
+
+use lancet_core::{apply_partitions, infer_axes, PartitionSpec};
+use lancet_ir::{Graph, IrError, Op, Result};
+
+/// Applies Tutel's overlap transformation with the given `degree`: every
+/// forward MoE pipeline's all-to-all → experts → all-to-all region is
+/// partitioned along the capacity dimension into `degree` slices, forming
+/// the paper's Fig. 4b pipeline. Degree 1 returns the graph unchanged.
+///
+/// # Errors
+///
+/// Returns [`IrError::InvalidTransform`] when a region is not
+/// capacity-partitionable (should not happen for graphs built by
+/// `lancet-models`).
+pub fn tutel_partition(forward: &Graph, degree: usize) -> Result<Graph> {
+    if degree <= 1 {
+        return Ok(forward.clone());
+    }
+    // Find forward a2a pairs: [first a2a .. matching return a2a].
+    let loss_pos = forward
+        .instrs()
+        .iter()
+        .position(|i| matches!(i.op, Op::CrossEntropy))
+        .unwrap_or(forward.instrs().len());
+    let a2a_positions: Vec<usize> = forward
+        .all_to_all_positions()
+        .into_iter()
+        .filter(|&p| p < loss_pos)
+        .collect();
+    if !a2a_positions.len().is_multiple_of(2) {
+        return Err(IrError::InvalidTransform("unpaired forward all-to-alls".into()));
+    }
+    let mut specs = Vec::new();
+    for pair in a2a_positions.chunks(2) {
+        let range = pair[0]..pair[1] + 1;
+        let axes = infer_axes(forward, range.clone()).ok_or_else(|| {
+            IrError::InvalidTransform(format!("range {range:?} not capacity-partitionable"))
+        })?;
+        specs.push(PartitionSpec { range, parts: degree, axes });
+    }
+    apply_partitions(forward, &specs)
+}
+
+/// The forward graphs for every *feasible* searched overlap degree
+/// (paper: 1, 2, 4, 8 — degrees exceeding the expert capacity are
+/// skipped), paired with the degree. Degree 1 is always included.
+///
+/// # Errors
+///
+/// Propagates [`tutel_partition`] failures other than infeasible degree.
+pub fn tutel_degree_graphs(forward: &Graph) -> Result<Vec<(usize, Graph)>> {
+    let mut out = Vec::new();
+    for d in [1usize, 2, 4, 8] {
+        match tutel_partition(forward, d) {
+            Ok(g) => out.push((d, g)),
+            // Capacity smaller than the degree: that search point simply
+            // does not exist for this model.
+            Err(IrError::InvalidTransform(msg)) if msg.contains("parts >") => continue,
+            Err(e) => return Err(e),
+        }
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_ir::GateKind;
+    use lancet_models::{build_forward, GptMoeConfig};
+
+    fn forward() -> Graph {
+        let cfg = GptMoeConfig::tiny(2, GateKind::Switch).with_layers(4).with_batch(4);
+        build_forward(&cfg).unwrap().graph
+    }
+
+    #[test]
+    fn degree_one_is_identity() {
+        let f = forward();
+        let g = tutel_partition(&f, 1).unwrap();
+        assert_eq!(g.instrs().len(), f.instrs().len());
+    }
+
+    #[test]
+    fn capacity_partition_multiplies_alltoalls() {
+        let f = forward();
+        let n_moe = 2; // layers 1 and 3
+        let g = tutel_partition(&f, 4).unwrap();
+        assert!(g.validate().is_ok());
+        let n_a2a = g.all_to_all_positions().len();
+        assert_eq!(n_a2a, n_moe * 2 * 4);
+        // No irregular ops: Tutel slices the padded buffer.
+        assert!(!g.instrs().iter().any(|i| matches!(i.op, Op::AllToAllIrr)));
+        assert!(g.instrs().iter().any(|i| matches!(i.op, Op::Slice { axis: 1, .. })));
+    }
+
+    #[test]
+    fn works_with_bpr_gate() {
+        // Capacity partitioning does not touch the gate, so it applies to
+        // batch-prioritized models too.
+        let cfg = GptMoeConfig::tiny(2, GateKind::BatchPrioritized).with_layers(2).with_batch(4);
+        let f = build_forward(&cfg).unwrap().graph;
+        let g = tutel_partition(&f, 2).unwrap();
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn degree_graphs_cover_feasible_search_space() {
+        let f = forward(); // capacity 6: degree 8 is infeasible
+        let graphs = tutel_degree_graphs(&f).unwrap();
+        let degrees: Vec<usize> = graphs.iter().map(|(d, _)| *d).collect();
+        assert_eq!(degrees, vec![1, 2, 4]);
+    }
+
+    #[test]
+    fn degree_graphs_full_space_with_ample_capacity() {
+        let cfg = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch).with_layers(2).with_batch(4);
+        let f = build_forward(&cfg).unwrap().graph;
+        let graphs = tutel_degree_graphs(&f).unwrap();
+        assert_eq!(graphs.len(), 4);
+        assert_eq!(graphs[3].0, 8);
+    }
+}

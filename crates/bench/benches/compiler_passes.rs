@@ -1,0 +1,82 @@
+//! Criterion benchmarks of the compiler machinery: dependency analysis,
+//! axis inference, the dW pass, and the partition DP.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lancet_core::{
+    infer_axes, partition_pass, schedule_weight_gradients, Lancet, LancetOptions,
+    PartitionOptions,
+};
+use lancet_cost::ClusterSpec;
+use lancet_ir::{build_backward, BackwardOptions, DepGraph, GateKind, Graph, Op};
+use lancet_models::{build_forward, build_training, GptMoeConfig};
+
+fn forward_graph() -> Graph {
+    let cfg = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch).with_layers(6).with_batch(8);
+    build_forward(&cfg).unwrap().graph
+}
+
+fn training_graph() -> Graph {
+    let cfg = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch).with_layers(6).with_batch(8);
+    build_training(&cfg, &BackwardOptions::default()).unwrap().graph
+}
+
+fn lancet() -> Lancet {
+    Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default())
+}
+
+fn bench_autodiff(c: &mut Criterion) {
+    let fwd = forward_graph();
+    c.bench_function("autodiff_gpt2s_6l", |b| {
+        b.iter(|| {
+            let mut g = fwd.clone();
+            build_backward(&mut g, &BackwardOptions::default()).unwrap()
+        })
+    });
+}
+
+fn bench_depgraph(c: &mut Criterion) {
+    let g = training_graph();
+    c.bench_function("depgraph_closure", |b| b.iter(|| DepGraph::build(&g)));
+}
+
+fn bench_axis_inference(c: &mut Criterion) {
+    let g = forward_graph();
+    let gate = g.instrs().iter().position(|i| matches!(i.op, Op::Gate { .. })).unwrap();
+    let gather = g.instrs().iter().position(|i| matches!(i.op, Op::MoeGather { .. })).unwrap() + 1;
+    c.bench_function("infer_axes_moe_pipeline", |b| {
+        b.iter(|| infer_axes(&g, gate..gather).unwrap())
+    });
+}
+
+fn bench_dw_pass(c: &mut Criterion) {
+    let g = training_graph();
+    let l = lancet();
+    c.bench_function("dw_schedule_pass", |b| {
+        b.iter(|| {
+            let mut graph = g.clone();
+            schedule_weight_gradients(&mut graph, l.estimator()).unwrap()
+        })
+    });
+}
+
+fn bench_partition_dp(c: &mut Criterion) {
+    let g = forward_graph();
+    let l = lancet();
+    let opts = PartitionOptions::default();
+    let mut group = c.benchmark_group("partition");
+    group.sample_size(10);
+    group.bench_function("partition_dp_gpt2s_6l", |b| {
+        b.iter(|| partition_pass(&g, l.estimator(), &opts).unwrap())
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_autodiff,
+    bench_depgraph,
+    bench_axis_inference,
+    bench_dw_pass,
+    bench_partition_dp
+);
+criterion_main!(benches);

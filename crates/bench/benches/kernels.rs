@@ -1,0 +1,42 @@
+//! Criterion micro-benchmarks of the tensor substrate kernels.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lancet_tensor::{Tensor, TensorRng};
+
+fn bench_matmul(c: &mut Criterion) {
+    let mut group = c.benchmark_group("matmul");
+    for n in [32usize, 64, 128] {
+        let mut rng = TensorRng::seed(1);
+        let a = rng.uniform(vec![n, n], -1.0, 1.0);
+        let b = rng.uniform(vec![n, n], -1.0, 1.0);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, _| {
+            bench.iter(|| a.matmul(&b).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_softmax(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(2);
+    let x = rng.uniform(vec![256, 256], -4.0, 4.0);
+    c.bench_function("softmax_256x256", |b| b.iter(|| x.softmax_last()));
+}
+
+fn bench_layer_norm(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(3);
+    let x = rng.uniform(vec![512, 256], -1.0, 1.0);
+    let gamma = Tensor::full(vec![256], 1.0);
+    let beta = Tensor::zeros(vec![256]);
+    c.bench_function("layer_norm_512x256", |b| {
+        b.iter(|| x.layer_norm(&gamma, &beta, 1e-5).unwrap())
+    });
+}
+
+fn bench_permute(c: &mut Criterion) {
+    let mut rng = TensorRng::seed(4);
+    let x = rng.uniform(vec![8, 32, 64], -1.0, 1.0);
+    c.bench_function("permute_8x32x64", |b| b.iter(|| x.permute(&[1, 0, 2]).unwrap()));
+}
+
+criterion_group!(benches, bench_matmul, bench_softmax, bench_layer_norm, bench_permute);
+criterion_main!(benches);

@@ -1,0 +1,65 @@
+//! Criterion benchmarks of the MoE data plane: routing, dispatch, and the
+//! two-phase irregular all-to-all.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use lancet_ir::GateKind;
+use lancet_moe::{
+    all_to_all_irregular, all_to_all_uniform, dispatch_irregular, expert_capacity, route,
+    CapacityState,
+};
+use lancet_tensor::TensorRng;
+
+fn bench_routing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("route");
+    for tokens in [512usize, 2048, 8192] {
+        let experts = 32;
+        let cap = expert_capacity(tokens, experts, 1.25);
+        let logits = TensorRng::seed(1).uniform(vec![tokens, experts], -2.0, 2.0);
+        group.bench_with_input(BenchmarkId::new("switch", tokens), &tokens, |b, _| {
+            b.iter(|| route(GateKind::Switch, &logits, cap, None).unwrap());
+        });
+        group.bench_with_input(BenchmarkId::new("bpr", tokens), &tokens, |b, _| {
+            b.iter(|| route(GateKind::BatchPrioritized, &logits, cap, None).unwrap());
+        });
+    }
+    group.finish();
+}
+
+fn bench_capacity_passing(c: &mut Criterion) {
+    let (tokens, experts, parts) = (4096usize, 32usize, 4usize);
+    let cap = expert_capacity(tokens, experts, 1.25);
+    let logits = TensorRng::seed(2).uniform(vec![tokens, experts], -2.0, 2.0);
+    c.bench_function("route_chunked_4x1024", |b| {
+        b.iter(|| {
+            let mut state = CapacityState::new(experts);
+            for chunk in logits.split_axis(0, parts).unwrap() {
+                route(GateKind::Switch, &chunk, cap, Some(&mut state)).unwrap();
+            }
+        })
+    });
+}
+
+fn bench_irregular_alltoall(c: &mut Criterion) {
+    let (devs, el, capacity, width) = (8usize, 2usize, 64usize, 64usize);
+    let experts = devs * el;
+    let mut rng = TensorRng::seed(3);
+    let cap = expert_capacity(1024, experts, 1.25).min(capacity);
+    let chunks: Vec<_> = (0..devs)
+        .map(|_| {
+            let tokens = rng.uniform(vec![1024, width], -1.0, 1.0);
+            let logits = rng.uniform(vec![1024, experts], -2.0, 2.0);
+            let routing = route(GateKind::Switch, &logits, cap, None).unwrap();
+            dispatch_irregular(&tokens, &routing, experts, capacity).unwrap()
+        })
+        .collect();
+    c.bench_function("irregular_alltoall_8dev", |b| {
+        b.iter(|| all_to_all_irregular(&chunks).unwrap())
+    });
+    let bufs: Vec<_> = chunks.iter().map(|ch| ch.buf.clone()).collect();
+    c.bench_function("uniform_alltoall_8dev", |b| {
+        b.iter(|| all_to_all_uniform(&bufs).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_routing, bench_capacity_passing, bench_irregular_alltoall);
+criterion_main!(benches);

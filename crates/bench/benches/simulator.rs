@@ -1,0 +1,33 @@
+//! Criterion benchmarks of the discrete-event simulator and the
+//! compiler-side time estimator.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use lancet_core::{Lancet, LancetOptions};
+use lancet_cost::{ClusterSpec, CommModel, ComputeModel};
+use lancet_ir::{BackwardOptions, GateKind};
+use lancet_models::{build_training, GptMoeConfig};
+use lancet_sim::{SimConfig, Simulator};
+
+fn bench_simulate(c: &mut Criterion) {
+    let cfg = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch).with_batch(16);
+    let graph = build_training(&cfg, &BackwardOptions::default()).unwrap().graph;
+    let spec = ClusterSpec::v100(2);
+    let sim = Simulator::new(
+        ComputeModel::new(spec.device.clone()),
+        CommModel::new(spec),
+        SimConfig::new(16),
+    );
+    c.bench_function("simulate_gpt2s_training_iter", |b| b.iter(|| sim.simulate(&graph)));
+}
+
+fn bench_estimator(c: &mut Criterion) {
+    let cfg = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch).with_batch(16);
+    let graph = build_training(&cfg, &BackwardOptions::default()).unwrap().graph;
+    let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+    c.bench_function("estimate_gpt2s_training_iter", |b| {
+        b.iter(|| lancet.estimator().estimate(&graph).unwrap())
+    });
+}
+
+criterion_group!(benches, bench_simulate, bench_estimator);
+criterion_main!(benches);

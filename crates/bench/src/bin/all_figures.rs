@@ -1,0 +1,21 @@
+//! Regenerates every figure of the paper's evaluation in one run and
+//! writes machine-readable results under `results/`.
+use lancet_bench::figs;
+
+fn main() {
+    let quick = figs::quick_flag();
+    let started = std::time::Instant::now();
+    let mut all = Vec::new();
+    println!("# Lancet reproduction — full evaluation ({} mode)", if quick { "quick" } else { "paper" });
+    all.extend(figs::fig02::run(quick));
+    all.extend(figs::fig05::run(quick));
+    all.extend(figs::fig06::run(quick));
+    all.extend(figs::fig11::run(lancet_ir::GateKind::Switch, quick));
+    all.extend(figs::fig11::run(lancet_ir::GateKind::BatchPrioritized, quick));
+    all.extend(figs::fig13::run(quick));
+    all.extend(figs::fig14::run(quick));
+    all.extend(figs::fig15::run(quick));
+    all.extend(figs::fig16::run(quick));
+    lancet_bench::save_json("results/all_figures.json", &all).expect("write results");
+    println!("\n{} records written to results/all_figures.json in {:.1?}", all.len(), started.elapsed());
+}

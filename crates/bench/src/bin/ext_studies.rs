@@ -1,0 +1,17 @@
+//! Extension studies beyond the paper's figures (shared experts, capacity
+//! factor, hyper-parameters, all-reduce interference — paper §8 themes).
+use lancet_bench::figs;
+
+fn main() {
+    let quick = figs::quick_flag();
+    let mut all = Vec::new();
+    all.extend(figs::extensions::shared_expert(quick));
+    all.extend(figs::extensions::capacity_factor(quick));
+    all.extend(figs::extensions::hyperparams(quick));
+    all.extend(figs::extensions::allreduce_interference(quick));
+    all.extend(figs::extensions::fsdp(quick));
+    all.extend(figs::extensions::hierarchical_a2a(quick));
+    all.extend(figs::extensions::recompute(quick));
+    all.extend(figs::extensions::mixtral(quick));
+    lancet_bench::save_json("results/extensions.json", &all).expect("write results");
+}

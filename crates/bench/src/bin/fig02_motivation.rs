@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 2 (motivation breakdown).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig02::run(quick);
+    lancet_bench::save_json("results/fig02.json", &records).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 5 (token-dropping equivalence demonstration).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig05::run(quick);
+    lancet_bench::save_json("results/fig05.json", &records).expect("write results");
+}

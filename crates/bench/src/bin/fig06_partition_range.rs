@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 6 (partition-range sweep).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig06::run(quick);
+    lancet_bench::save_json("results/fig06.json", &records).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 11 (weak-scaling throughput, Switch gate).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig11::run(lancet_ir::GateKind::Switch, quick);
+    lancet_bench::save_json("results/fig11.json", &records).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 12 (weak-scaling throughput, batch-prioritized gate).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig11::run(lancet_ir::GateKind::BatchPrioritized, quick);
+    lancet_bench::save_json("results/fig12.json", &records).expect("write results");
+}

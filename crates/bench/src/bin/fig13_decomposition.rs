@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 13 (iteration-time decomposition).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig13::run(quick);
+    lancet_bench::save_json("results/fig13.json", &records).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 14 (cost-model prediction accuracy).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig14::run(quick);
+    lancet_bench::save_json("results/fig14.json", &records).expect("write results");
+}

@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 15 (optimization time).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig15::run(quick);
+    lancet_bench::save_json("results/fig15.json", &records).expect("write results");
+}

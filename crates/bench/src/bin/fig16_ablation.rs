@@ -1,0 +1,6 @@
+//! Regenerates paper Fig. 16 (ablation study).
+fn main() {
+    let quick = lancet_bench::figs::quick_flag();
+    let records = lancet_bench::figs::fig16::run(quick);
+    lancet_bench::save_json("results/fig16.json", &records).expect("write results");
+}

@@ -1,0 +1,79 @@
+//! Paper Fig. 5 — operator partitioning schemes in an MoE layer,
+//! demonstrated numerically: direct micro-batching (Fig. 5b) drops extra
+//! tokens, while Lancet's capacity-passing partitioned gating (Fig. 5c)
+//! reproduces the unpartitioned drop set exactly.
+
+use crate::{print_table, Record};
+use lancet_ir::GateKind;
+use lancet_moe::{expert_capacity, route, route_direct_microbatch, CapacityState, Routing};
+use lancet_tensor::TensorRng;
+
+/// Runs the token-dropping comparison over several workloads.
+pub fn run(quick: bool) -> Vec<Record> {
+    let seeds: Vec<u64> = if quick { vec![1, 2] } else { (1..=10).collect() };
+    let (tokens, experts) = (512usize, 8usize);
+    let cap = expert_capacity(tokens, experts, 1.25);
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    for parts in [2usize, 4, 8] {
+        let mut unpart_drops = 0usize;
+        let mut direct_drops = 0usize;
+        let mut lancet_drops = 0usize;
+        let mut exact = true;
+        for &seed in &seeds {
+            // Temporally clustered preferences: consecutive tokens favour
+            // the same expert (e.g. repeated phrases in a document). The
+            // full batch fits within capacity, but a micro-batch with
+            // proportionally reduced capacity (paper Fig. 5b) overflows.
+            let mut rng = TensorRng::seed(seed);
+            let mut logits = rng.uniform(vec![tokens, experts], -1.0, 1.0);
+            for t in 0..tokens {
+                let preferred = t * experts / tokens;
+                logits.data_mut()[t * experts + preferred] += 2.0;
+            }
+            let full = route(GateKind::Switch, &logits, cap, None).expect("route");
+            let direct =
+                route_direct_microbatch(GateKind::Switch, &logits, cap, parts).expect("route");
+            let mut state = CapacityState::new(experts);
+            let chunks: Vec<Routing> = logits
+                .split_axis(0, parts)
+                .expect("split")
+                .iter()
+                .map(|c| route(GateKind::Switch, c, cap, Some(&mut state)).expect("route"))
+                .collect();
+            let lancet = Routing::concat(&chunks);
+            unpart_drops += full.num_dropped();
+            direct_drops += direct.num_dropped();
+            lancet_drops += lancet.num_dropped();
+            exact &= lancet == full;
+        }
+        let n = seeds.len();
+        rows.push(vec![
+            parts.to_string(),
+            format!("{:.1}", unpart_drops as f64 / n as f64),
+            format!("{:.1}", direct_drops as f64 / n as f64),
+            format!("{:.1}", lancet_drops as f64 / n as f64),
+            if exact { "yes".into() } else { "NO".into() },
+        ]);
+        let mut r = Record::new("fig05");
+        r.system = "capacity-passing".into();
+        r.gate = "switch".into();
+        r.extra = Some(parts as f64);
+        r.iteration_ms = Some(lancet_drops as f64 / n as f64);
+        records.push(r);
+        let mut r = Record::new("fig05");
+        r.system = "direct-microbatch".into();
+        r.gate = "switch".into();
+        r.extra = Some(parts as f64);
+        r.iteration_ms = Some(direct_drops as f64 / n as f64);
+        records.push(r);
+    }
+    print_table(
+        &format!(
+            "Fig. 5 — average dropped tokens ({tokens} tokens, {experts} experts, C={cap}, skewed routing)"
+        ),
+        &["Micro-batches", "Unpartitioned", "Direct micro-batching (5b)", "Capacity-passing (5c)", "5c ≡ unpartitioned?"],
+        &rows,
+    );
+    records
+}

@@ -1,0 +1,111 @@
+//! Paper Fig. 6 — effect of the partition range on forward time.
+//!
+//! Sweeps how much non-MoE computation around one MoE layer is included
+//! in the partition-pipeline range, reproducing the U-shape: too little
+//! range leaves all-to-all exposed, too much loses to partition overhead
+//! (kernel launches, under-utilized kernels). Two regimes as in the
+//! paper: (a) fewer layers / large batch, (b) more layers / small batch.
+
+use crate::{ms, print_table, Record};
+use lancet_core::{apply_partitions, infer_axes, Lancet, LancetOptions, PartitionSpec};
+use lancet_cost::ClusterSpec;
+use lancet_ir::{GateKind, Graph, Op};
+use lancet_models::{build_forward, GptMoeConfig};
+
+/// Positions of the middle MoE pipeline: (gate position, gather position).
+fn middle_pipeline(graph: &Graph) -> (usize, usize) {
+    let gates: Vec<usize> = graph
+        .instrs()
+        .iter()
+        .enumerate()
+        .filter(|(_, i)| matches!(i.op, Op::Gate { .. }))
+        .map(|(p, _)| p)
+        .collect();
+    let gate = gates[gates.len() / 2];
+    let gather = graph.instrs()[gate..]
+        .iter()
+        .position(|i| matches!(i.op, Op::MoeGather { .. }))
+        .expect("gather after gate")
+        + gate;
+    (gate, gather)
+}
+
+fn sweep(graph: &Graph, lancet: &Lancet, max_ext: usize, records: &mut Vec<Record>, label: &str) -> Vec<Vec<String>> {
+    let (gate, gather) = middle_pipeline(graph);
+    let estimator = lancet.estimator();
+    let orig = estimator.estimate(graph).expect("estimate").total;
+    let mut rows = vec![vec![label.to_string(), "orig".into(), "-".into(), ms(orig), "1.000".into()]];
+    // "0" point: Tutel-style, only all-to-all + experts (capacity axis).
+    let mut points: Vec<(String, usize, usize)> = vec![("0".into(), gate + 2, gather - 1)];
+    for ext in (2..=max_ext).step_by(2) {
+        points.push((format!("±{ext}"), gate.saturating_sub(ext), (gather + 1 + ext).min(graph.instrs().len())));
+    }
+    for (name, start, end) in points {
+        let Some(axes) = infer_axes(graph, start..end) else {
+            rows.push(vec![label.to_string(), name, "-".into(), "invalid".into(), "-".into()]);
+            continue;
+        };
+        let mut best: Option<(usize, f64)> = None;
+        for k in [2usize, 4, 8] {
+            let spec = PartitionSpec { range: start..end, parts: k, axes: axes.clone() };
+            let Ok(part) = apply_partitions(graph, &[spec]) else { continue };
+            let t = estimator.estimate(&part).expect("estimate").total;
+            if best.map(|(_, b)| t < b).unwrap_or(true) {
+                best = Some((k, t));
+            }
+        }
+        let Some((k, t)) = best else { continue };
+        // X axis: execution time of the non-MoE ops included in the range.
+        let ext_time: f64 = (start..gate)
+            .chain(gather + 1..end)
+            .map(|p| estimator.instr_time(graph, p).expect("time"))
+            .sum();
+        rows.push(vec![
+            label.to_string(),
+            name.clone(),
+            format!("{:.2}", ext_time * 1e3),
+            ms(t),
+            format!("{:.3}", orig / t),
+        ]);
+        let mut r = Record::new("fig06");
+        r.model = label.into();
+        r.system = format!("k={k}");
+        r.extra = Some(ext_time * 1e3);
+        r.iteration_ms = Some(t * 1e3);
+        records.push(r);
+    }
+    rows
+}
+
+/// Runs the partition-range sweep on 16 A100 GPUs / 32 experts (paper
+/// setup for Fig. 6).
+pub fn run(quick: bool) -> Vec<Record> {
+    let gpus = 16;
+    let spec = ClusterSpec::a100(2);
+    let lancet = Lancet::new(spec, gpus, LancetOptions::default());
+    let max_ext = if quick { 4 } else { 12 };
+    let mut records = Vec::new();
+    let mut rows = Vec::new();
+
+    // (a) fewer layers, large batch.
+    let cfg_a = GptMoeConfig::gpt2_s_moe(gpus, GateKind::Switch).with_layers(4).with_batch(32);
+    let fwd_a = build_forward(&cfg_a).expect("build").graph;
+    rows.extend(sweep(&fwd_a, &lancet, max_ext, &mut records, "(a) 4 layers, batch 32"));
+
+    // (b) more layers, small batch.
+    let cfg_b = GptMoeConfig::gpt2_s_moe(gpus, GateKind::Switch).with_layers(12).with_batch(8);
+    let fwd_b = build_forward(&cfg_b).expect("build").graph;
+    rows.extend(sweep(&fwd_b, &lancet, max_ext, &mut records, "(b) 12 layers, batch 8"));
+
+    print_table(
+        "Fig. 6 — forward time vs partition range (middle MoE layer, 16 A100 GPUs, 32 experts)",
+        &["Model", "Range", "Extra ops included (ms)", "Forward time (ms)", "Speedup vs orig"],
+        &rows,
+    );
+    println!(
+        "\nReading: speedup should rise from `0` (all-to-all+experts only, Tutel's \
+         range) as non-MoE ops join the pipeline, then fall once partition \
+         overhead dominates — the U-shape of paper Fig. 6."
+    );
+    records
+}

@@ -1,0 +1,76 @@
+//! Paper Figs. 11 & 12 — weak-scaling training iteration time across
+//! systems, models, clusters, and GPU counts; Fig. 11 uses the Switch
+//! gate, Fig. 12 batch-prioritized routing.
+
+use crate::{gpu_sweep, paper_config, print_table, Model, Record};
+use lancet_baselines::{run_system, System};
+use lancet_cost::ClusterKind;
+use lancet_ir::GateKind;
+
+/// Runs the throughput comparison for one gate.
+pub fn run(gate: GateKind, quick: bool) -> Vec<Record> {
+    let figure = match gate {
+        GateKind::Switch => "fig11",
+        _ => "fig12",
+    };
+    let mut records = Vec::new();
+    for cluster in [ClusterKind::A100, ClusterKind::V100] {
+        let mut rows = Vec::new();
+        for model in Model::all() {
+            for gpus in gpu_sweep(quick) {
+                let cfg = paper_config(model, cluster, gpus, gate);
+                let mut row = vec![model.name().to_string(), gpus.to_string()];
+                let mut lancet_ms = None;
+                let mut best_baseline_ms: Option<f64> = None;
+                for system in System::headline() {
+                    let out = run_system(system, &cfg, cluster).expect("run");
+                    let cell = if out.report.oom {
+                        "OOM".to_string()
+                    } else {
+                        format!("{:.1}", out.report.iteration_time * 1e3)
+                    };
+                    row.push(match out.tutel_degree {
+                        Some(d) => format!("{cell} (d={d})"),
+                        None => cell,
+                    });
+                    if !out.report.oom {
+                        let t = out.report.iteration_time * 1e3;
+                        if system == System::Lancet {
+                            lancet_ms = Some(t);
+                        } else {
+                            best_baseline_ms =
+                                Some(best_baseline_ms.map_or(t, |b: f64| b.min(t)));
+                        }
+                    }
+                    let mut r = Record::new(figure).with_report(&out.report);
+                    r.model = model.name().into();
+                    r.cluster = cluster.name().into();
+                    r.gpus = gpus;
+                    r.system = system.name().into();
+                    r.gate = gate.name().into();
+                    r.predicted_ms = out.predicted.map(|p| p * 1e3);
+                    r.opt_time_s = out.opt_time.map(|d| d.as_secs_f64());
+                    r.tutel_degree = out.tutel_degree;
+                    records.push(r);
+                }
+                let speedup = match (lancet_ms, best_baseline_ms) {
+                    (Some(l), Some(b)) => format!("{:.2}x", b / l),
+                    _ => "-".to_string(),
+                };
+                row.push(speedup);
+                rows.push(row);
+            }
+        }
+        print_table(
+            &format!(
+                "{} — iteration time (ms) on {} cluster, {} gate (weak scaling)",
+                if figure == "fig11" { "Fig. 11" } else { "Fig. 12" },
+                cluster.name(),
+                gate.name(),
+            ),
+            &["Model", "GPUs", "DeepSpeed", "Tutel", "RAF", "Lancet", "Speedup vs best baseline"],
+            &rows,
+        );
+    }
+    records
+}

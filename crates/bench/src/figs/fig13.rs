@@ -1,0 +1,68 @@
+//! Paper Fig. 13 — iteration-time decomposition (non-overlapped
+//! computation / non-overlapped communication / overlapped) on 4 nodes.
+
+use crate::{ms, paper_config, print_table, Model, Record};
+use lancet_baselines::{run_system, System};
+use lancet_cost::ClusterKind;
+use lancet_ir::GateKind;
+
+/// Runs the decomposition on 4 nodes (32 GPUs) of both clusters.
+pub fn run(quick: bool) -> Vec<Record> {
+    let gpus = if quick { 16 } else { 32 };
+    let mut records = Vec::new();
+    for cluster in [ClusterKind::V100, ClusterKind::A100] {
+        let mut rows = Vec::new();
+        let mut raf_exposed: Option<f64> = None;
+        let mut tutel_exposed: Option<f64> = None;
+        for model in Model::all() {
+            for system in System::headline() {
+                let cfg = paper_config(model, cluster, gpus, GateKind::Switch);
+                let out = run_system(system, &cfg, cluster).expect("run");
+                let rpt = &out.report;
+                if model == Model::S {
+                    match system {
+                        System::Raf => raf_exposed = Some(rpt.exposed_comm()),
+                        System::Tutel => tutel_exposed = Some(rpt.exposed_comm()),
+                        _ => {}
+                    }
+                }
+                rows.push(vec![
+                    model.name().to_string(),
+                    system.name().to_string(),
+                    if rpt.oom { "OOM".into() } else { ms(rpt.iteration_time) },
+                    ms(rpt.exposed_compute()),
+                    ms(rpt.exposed_comm()),
+                    ms(rpt.overlapped),
+                    format!("{:.0}%", rpt.overlap_ratio() * 100.0),
+                ]);
+                let mut r = Record::new("fig13").with_report(rpt);
+                r.model = model.name().into();
+                r.cluster = cluster.name().into();
+                r.gpus = gpus;
+                r.system = system.name().into();
+                r.gate = "switch".into();
+                records.push(r);
+            }
+        }
+        print_table(
+            &format!("Fig. 13 — iteration decomposition on {} nodes of {} (ms)", gpus / 8, cluster.name()),
+            &["Model", "System", "Iteration", "Non-ovl. compute", "Non-ovl. comm", "Overlapped", "Comm hidden"],
+            &rows,
+        );
+        // Headline metric: non-overlapped communication reduction.
+        let lancet = rows
+            .iter()
+            .find(|r| r[0] == Model::S.name() && r[1] == "Lancet")
+            .and_then(|r| r[4].parse::<f64>().ok());
+        if let (Some(l), Some(raf), Some(tutel)) = (lancet, raf_exposed, tutel_exposed) {
+            println!(
+                "\nGPT2-S on {}: Lancet reduces non-overlapped communication by {:.0}% vs RAF, {:.0}% vs Tutel \
+                 (paper reports up to 83% / 77% on V100).",
+                cluster.name(),
+                (1.0 - l / (raf * 1e3)) * 100.0,
+                (1.0 - l / (tutel * 1e3)) * 100.0,
+            );
+        }
+    }
+    records
+}

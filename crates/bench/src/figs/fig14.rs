@@ -1,0 +1,62 @@
+//! Paper Fig. 14 — accuracy of Lancet's cost model: predicted vs measured
+//! iteration time across every benchmarked configuration (paper reports a
+//! 3.83% mean error).
+
+use crate::{gpu_sweep, paper_config, print_table, Model, Record};
+use lancet_baselines::{run_system, System};
+use lancet_cost::ClusterKind;
+use lancet_ir::GateKind;
+
+/// Runs every Lancet variant across the benchmark grid and compares the
+/// compiler's prediction with the simulator's measurement.
+pub fn run(quick: bool) -> Vec<Record> {
+    let mut rows = Vec::new();
+    let mut records = Vec::new();
+    let mut errors = Vec::new();
+    let systems = [System::Lancet, System::LancetDwOnly, System::LancetPartitionOnly];
+    for cluster in [ClusterKind::A100, ClusterKind::V100] {
+        for model in Model::all() {
+            for gpus in gpu_sweep(quick) {
+                for system in systems {
+                    let cfg = paper_config(model, cluster, gpus, GateKind::Switch);
+                    let out = run_system(system, &cfg, cluster).expect("run");
+                    let measured = out.report.iteration_time;
+                    let predicted = out.predicted.expect("lancet variants predict");
+                    let err = (predicted - measured).abs() / measured;
+                    errors.push(err);
+                    rows.push(vec![
+                        model.name().into(),
+                        cluster.name().into(),
+                        gpus.to_string(),
+                        system.name().into(),
+                        format!("{:.1}", predicted * 1e3),
+                        format!("{:.1}", measured * 1e3),
+                        format!("{:.2}%", err * 100.0),
+                    ]);
+                    let mut r = Record::new("fig14").with_report(&out.report);
+                    r.model = model.name().into();
+                    r.cluster = cluster.name().into();
+                    r.gpus = gpus;
+                    r.system = system.name().into();
+                    r.gate = "switch".into();
+                    r.predicted_ms = Some(predicted * 1e3);
+                    records.push(r);
+                }
+            }
+        }
+    }
+    print_table(
+        "Fig. 14 — cost-model prediction accuracy",
+        &["Model", "Cluster", "GPUs", "Variant", "Predicted (ms)", "Measured (ms)", "Error"],
+        &rows,
+    );
+    let mean = errors.iter().sum::<f64>() / errors.len() as f64;
+    let max = errors.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "\nMean prediction error {:.2}% (max {:.2}%) over {} configurations — paper reports 3.83%.",
+        mean * 100.0,
+        max * 100.0,
+        errors.len()
+    );
+    records
+}

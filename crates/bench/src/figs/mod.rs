@@ -1,0 +1,16 @@
+//! One module per paper figure.
+
+pub mod extensions;
+pub mod fig02;
+pub mod fig05;
+pub mod fig06;
+pub mod fig11;
+pub mod fig13;
+pub mod fig14;
+pub mod fig15;
+pub mod fig16;
+
+/// Parses the common `--quick` flag.
+pub fn quick_flag() -> bool {
+    std::env::args().any(|a| a == "--quick")
+}

@@ -1,0 +1,127 @@
+//! Machine-readable experiment records.
+
+use serde::{Deserialize, Serialize};
+use std::path::Path;
+
+/// One measured data point, serialized for EXPERIMENTS.md bookkeeping.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Record {
+    /// Which paper figure this point belongs to ("fig11", …).
+    pub figure: String,
+    /// Model name ("GPT2-S-MoE").
+    pub model: String,
+    /// Cluster ("A100"/"V100").
+    pub cluster: String,
+    /// GPU count.
+    pub gpus: usize,
+    /// System ("Lancet", "Tutel", …).
+    pub system: String,
+    /// Gate ("switch"/"bpr").
+    pub gate: String,
+    /// Measured iteration time, ms. `None` when the run OOMs.
+    pub iteration_ms: Option<f64>,
+    /// Non-overlapped communication, ms.
+    pub exposed_comm_ms: Option<f64>,
+    /// Non-overlapped computation, ms.
+    pub exposed_compute_ms: Option<f64>,
+    /// Overlapped time, ms.
+    pub overlapped_ms: Option<f64>,
+    /// Compiler-predicted iteration time, ms (Lancet only).
+    pub predicted_ms: Option<f64>,
+    /// Optimization wall-clock, seconds (Lancet only).
+    pub opt_time_s: Option<f64>,
+    /// Tutel's selected overlap degree.
+    pub tutel_degree: Option<usize>,
+    /// Free-form extra dimension (e.g. partition-range sweep position).
+    pub extra: Option<f64>,
+}
+
+impl Record {
+    /// A mostly-empty record for `figure`; fill in what the experiment
+    /// measures.
+    pub fn new(figure: &str) -> Self {
+        Record {
+            figure: figure.to_string(),
+            model: String::new(),
+            cluster: String::new(),
+            gpus: 0,
+            system: String::new(),
+            gate: String::new(),
+            iteration_ms: None,
+            exposed_comm_ms: None,
+            exposed_compute_ms: None,
+            overlapped_ms: None,
+            predicted_ms: None,
+            opt_time_s: None,
+            tutel_degree: None,
+            extra: None,
+        }
+    }
+
+    /// Populates the measurement fields from a simulator report.
+    pub fn with_report(mut self, report: &lancet_sim::SimReport) -> Self {
+        if report.oom {
+            self.iteration_ms = None;
+        } else {
+            self.iteration_ms = Some(report.iteration_time * 1e3);
+            self.exposed_comm_ms = Some(report.exposed_comm() * 1e3);
+            self.exposed_compute_ms = Some(report.exposed_compute() * 1e3);
+            self.overlapped_ms = Some(report.overlapped * 1e3);
+        }
+        self
+    }
+}
+
+/// Writes records as pretty JSON, creating parent directories.
+///
+/// # Errors
+///
+/// Returns I/O or serialization errors.
+pub fn save_json(path: impl AsRef<Path>, records: &[Record]) -> std::io::Result<()> {
+    let path = path.as_ref();
+    if let Some(parent) = path.parent() {
+        std::fs::create_dir_all(parent)?;
+    }
+    let json = serde_json::to_string_pretty(records)?;
+    std::fs::write(path, json)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_roundtrips_through_json() {
+        let mut r = Record::new("fig11");
+        r.model = "GPT2-S-MoE".into();
+        r.iteration_ms = Some(123.4);
+        let json = serde_json::to_string(&r).unwrap();
+        let back: Record = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn save_json_writes_file() {
+        let dir = std::env::temp_dir().join("lancet-bench-test");
+        let path = dir.join("records.json");
+        save_json(&path, &[Record::new("fig02")]).unwrap();
+        let content = std::fs::read_to_string(&path).unwrap();
+        assert!(content.contains("fig02"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+
+    #[test]
+    fn oom_report_clears_iteration() {
+        let report = lancet_sim::SimReport {
+            iteration_time: 1.0,
+            compute_busy: 0.5,
+            comm_busy: 0.5,
+            overlapped: 0.1,
+            peak_memory: u64::MAX,
+            oom: true,
+            timeline: Vec::new(),
+        };
+        let r = Record::new("fig11").with_report(&report);
+        assert_eq!(r.iteration_ms, None);
+    }
+}

@@ -1,0 +1,188 @@
+//! The `Lancet` facade: full optimization flow and iteration-time
+//! prediction.
+
+use crate::{
+    partition_pass, prefetch_allgathers, schedule_weight_gradients, DwScheduleReport,
+    PartitionOptions, PartitionReport, PrefetchReport, TimeEstimator,
+};
+use lancet_cost::{CachingOpProfiler, ClusterSpec, CommCostModel, CommModel, ComputeModel};
+use lancet_ir::{build_backward, BackwardOptions, Graph, Result};
+use std::time::{Duration, Instant};
+
+/// Options controlling the Lancet optimization flow.
+#[derive(Debug, Clone)]
+pub struct LancetOptions {
+    /// Disable the dW scheduling pass (ablation).
+    pub disable_dw_schedule: bool,
+    /// Disable the operator partition pass (ablation).
+    pub disable_partition: bool,
+    /// Partition-pass hyper-parameters (ρ, γ, ι).
+    pub partition: PartitionOptions,
+    /// Backward-graph construction options.
+    pub backward: BackwardOptions,
+    /// FSDP all-gather prefetch lookahead (0 disables; only affects
+    /// graphs containing all-gathers).
+    pub prefetch_lookahead: usize,
+}
+
+impl Default for LancetOptions {
+    fn default() -> Self {
+        LancetOptions {
+            disable_dw_schedule: false,
+            disable_partition: false,
+            partition: PartitionOptions::default(),
+            backward: BackwardOptions::default(),
+            prefetch_lookahead: 1,
+        }
+    }
+}
+
+/// Result of optimizing one model.
+#[derive(Debug)]
+pub struct OptimizeOutcome {
+    /// The optimized training graph (forward partitioned, backward
+    /// generated, dW instructions scheduled).
+    pub graph: Graph,
+    /// Cost-model-predicted iteration time, seconds (paper Fig. 14
+    /// compares this against measured time).
+    pub predicted_time: f64,
+    /// Partition-pass report (empty ranges when disabled).
+    pub partition: Option<PartitionReport>,
+    /// dW-pass report (`None` when disabled).
+    pub dw: Option<DwScheduleReport>,
+    /// FSDP prefetch report (zero moves for non-FSDP graphs).
+    pub prefetch: PrefetchReport,
+    /// Wall-clock time the optimization took (paper Fig. 15).
+    pub optimization_time: Duration,
+}
+
+/// The Lancet optimizer: compiler passes wired to a cluster's cost
+/// models. See the crate docs for an end-to-end example.
+#[derive(Debug)]
+pub struct Lancet {
+    estimator: TimeEstimator,
+    options: LancetOptions,
+}
+
+impl Lancet {
+    /// Builds an optimizer for a cluster of `gpus` devices described by
+    /// `spec`. Profiles the communication cost model up to 1 GiB
+    /// transfers (paper §3).
+    pub fn new(spec: ClusterSpec, gpus: usize, options: LancetOptions) -> Self {
+        let truth = CommModel::new(spec.clone());
+        let a2a = CommCostModel::build(&truth, 1 << 30, gpus);
+        let profiler = CachingOpProfiler::new(ComputeModel::new(spec.device.clone()));
+        Lancet { estimator: TimeEstimator::new(profiler, a2a, truth, gpus), options }
+    }
+
+    /// The compiler-side time estimator.
+    pub fn estimator(&self) -> &TimeEstimator {
+        &self.estimator
+    }
+
+    /// Optimizes a *forward* graph into a full training iteration:
+    /// operator partitioning (paper §5), autodiff, then dW scheduling
+    /// (paper §4).
+    ///
+    /// # Errors
+    ///
+    /// Propagates IR/estimation failures from the passes.
+    pub fn optimize(&self, forward: Graph) -> Result<OptimizeOutcome> {
+        let started = Instant::now();
+        let (mut graph, partition) = if self.options.disable_partition {
+            (forward, None)
+        } else {
+            let (g, report) = partition_pass(&forward, &self.estimator, &self.options.partition)?;
+            (g, Some(report))
+        };
+        build_backward(&mut graph, &self.options.backward)?;
+        let prefetch = prefetch_allgathers(&mut graph, self.options.prefetch_lookahead)?;
+        let dw = if self.options.disable_dw_schedule {
+            None
+        } else {
+            Some(schedule_weight_gradients(&mut graph, &self.estimator)?)
+        };
+        let predicted_time = self.estimator.estimate(&graph)?.total;
+        Ok(OptimizeOutcome {
+            graph,
+            predicted_time,
+            partition,
+            dw,
+            prefetch,
+            optimization_time: started.elapsed(),
+        })
+    }
+
+    /// Builds the unoptimized training graph (autodiff only) and predicts
+    /// its iteration time — the RAF baseline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates IR/estimation failures.
+    pub fn baseline(&self, forward: Graph) -> Result<OptimizeOutcome> {
+        let started = Instant::now();
+        let mut graph = forward;
+        build_backward(&mut graph, &self.options.backward)?;
+        let predicted_time = self.estimator.estimate(&graph)?.total;
+        Ok(OptimizeOutcome {
+            graph,
+            predicted_time,
+            partition: None,
+            dw: None,
+            prefetch: PrefetchReport { moved: 0 },
+            optimization_time: started.elapsed(),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_ir::GateKind;
+    use lancet_models::{build_forward, GptMoeConfig};
+
+    fn forward(gate: GateKind) -> Graph {
+        let cfg = GptMoeConfig::gpt2_s_moe(16, gate).with_layers(4).with_batch(8);
+        build_forward(&cfg).unwrap().graph
+    }
+
+    #[test]
+    fn optimize_beats_baseline_prediction() {
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+        let base = lancet.baseline(forward(GateKind::Switch)).unwrap();
+        let opt = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        assert!(opt.graph.validate().is_ok());
+        assert!(
+            opt.predicted_time < base.predicted_time,
+            "optimized {} !< baseline {}",
+            opt.predicted_time,
+            base.predicted_time
+        );
+        assert!(opt.partition.as_ref().is_some_and(|p| !p.ranges.is_empty()));
+        assert!(opt.dw.as_ref().is_some_and(|d| d.assigned > 0));
+    }
+
+    #[test]
+    fn ablation_toggles_apply() {
+        let mut only_dw = LancetOptions::default();
+        only_dw.disable_partition = true;
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, only_dw);
+        let out = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        assert!(out.partition.is_none());
+        assert!(out.dw.is_some());
+
+        let mut only_part = LancetOptions::default();
+        only_part.disable_dw_schedule = true;
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, only_part);
+        let out = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        assert!(out.partition.is_some());
+        assert!(out.dw.is_none());
+    }
+
+    #[test]
+    fn optimization_time_recorded() {
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+        let out = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        assert!(out.optimization_time.as_nanos() > 0);
+    }
+}

@@ -1,0 +1,472 @@
+//! Partitioned-pipeline code generation (paper Figs. 8b and 9).
+//!
+//! Given a range, a partition count, and an axis solution, rewrites the
+//! range into `k` pipelined chunks: boundary tensors are sliced on entry
+//! and concatenated on exit, gates become capacity-passing chunk gates,
+//! dispatch/all-to-all/gather become their irregular variants, and the
+//! chunk instructions are emitted in *stage-major* order (all partitions
+//! of stage 0, then stage 1, …) so the two-stream execution naturally
+//! forms the computation-communication pipeline of paper Fig. 9.
+
+use crate::{AxisSolution, PartAxis};
+use lancet_ir::{Graph, Instr, IrError, Op, Result, TensorId, TensorKind};
+use std::collections::{HashMap, HashSet};
+use std::ops::Range;
+
+/// One range to partition.
+#[derive(Debug, Clone)]
+pub struct PartitionSpec {
+    /// Instruction positions to pipeline (in the source graph).
+    pub range: Range<usize>,
+    /// Number of chunks `k`.
+    pub parts: usize,
+    /// The axis assignment from [`infer_axes`](crate::infer_axes).
+    pub axes: AxisSolution,
+}
+
+/// Rewrites `src`, replacing each spec'd range with its partitioned
+/// pipeline. Specs must be sorted by position and disjoint.
+///
+/// Tensor ids are reassigned; look tensors up by name in the result.
+///
+/// # Errors
+///
+/// Returns [`IrError::InvalidTransform`] for overlapping/unsorted specs or
+/// infeasible partition counts, and propagates shape-inference errors.
+pub fn apply_partitions(src: &Graph, specs: &[PartitionSpec]) -> Result<Graph> {
+    for w in specs.windows(2) {
+        if w[1].range.start < w[0].range.end {
+            return Err(IrError::InvalidTransform("partition specs must be sorted and disjoint".into()));
+        }
+    }
+    let mut dst = Graph::new();
+    let mut remap: HashMap<TensorId, TensorId> = HashMap::new();
+    // Re-declare inputs and weights up front.
+    for t in src.tensors() {
+        if matches!(t.kind, TensorKind::Input | TensorKind::Weight) {
+            let id = dst.add_tensor(t.name.clone(), t.shape.clone(), t.kind);
+            remap.insert(t.id, id);
+        }
+    }
+    let users = src.user_positions();
+    let mut pos = 0usize;
+    for spec in specs {
+        replay_plain(src, &mut dst, &mut remap, pos..spec.range.start)?;
+        emit_range(src, &mut dst, &mut remap, spec, &users)?;
+        pos = spec.range.end;
+    }
+    replay_plain(src, &mut dst, &mut remap, pos..src.instrs().len())?;
+    dst.validate()?;
+    Ok(dst)
+}
+
+fn replay_plain(src: &Graph, dst: &mut Graph, remap: &mut HashMap<TensorId, TensorId>, range: Range<usize>) -> Result<()> {
+    for instr in &src.instrs()[range] {
+        let inputs: Vec<TensorId> = instr.inputs.iter().map(|t| remap[t]).collect();
+        let outs = dst.emit_multi(instr.op.clone(), &inputs, instr.role)?;
+        for (&o, n) in instr.outputs.iter().zip(outs) {
+            remap.insert(o, n);
+        }
+    }
+    Ok(())
+}
+
+/// Even-ish split of `extent` into `parts` (earlier chunks take the
+/// remainder), returned as (start, len) pairs.
+fn chunk_bounds(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+fn emit_range(
+    src: &Graph,
+    dst: &mut Graph,
+    remap: &mut HashMap<TensorId, TensorId>,
+    spec: &PartitionSpec,
+    users: &HashMap<TensorId, Vec<usize>>,
+) -> Result<()> {
+    let range = spec.range.clone();
+    let parts = spec.parts;
+    let axes = &spec.axes;
+    let instrs: Vec<Instr> = src.instrs()[range.clone()].to_vec();
+    let produced: HashSet<TensorId> = instrs.iter().flat_map(|i| i.outputs.iter().copied()).collect();
+
+    // Classify boundary tensors.
+    let mut boundary_in: Vec<TensorId> = Vec::new();
+    let mut seen = HashSet::new();
+    for instr in &instrs {
+        for &t in &instr.inputs {
+            if !produced.contains(&t) && seen.insert(t) {
+                boundary_in.push(t);
+            }
+        }
+    }
+    let mut boundary_out: Vec<TensorId> = Vec::new();
+    for instr in &instrs {
+        for &t in &instr.outputs {
+            let outside = users.get(&t).map(|ps| ps.iter().any(|&p| p >= range.end)).unwrap_or(false);
+            if outside {
+                boundary_out.push(t);
+            }
+        }
+    }
+
+    // Reference extents for the batch and capacity axes.
+    let batch_ref = boundary_in
+        .iter()
+        .filter(|&&t| axes.axis(t) == PartAxis::Batch)
+        .map(|&t| src.tensor(t).shape.dim(0))
+        .min();
+    let cap_ref = boundary_in
+        .iter()
+        .filter(|&&t| axes.axis(t) == PartAxis::Capacity)
+        .map(|&t| src.tensor(t).shape.dim(1))
+        .min();
+    let any_batch = axes.axes.values().any(|&a| a == PartAxis::Batch);
+    if any_batch && batch_ref.is_none() {
+        return Err(IrError::InvalidTransform("batch-partitioned range without batch boundary input".into()));
+    }
+    if let Some(b) = batch_ref {
+        if parts > b {
+            return Err(IrError::InvalidTransform(format!("{parts} parts > batch extent {b}")));
+        }
+    }
+    if let Some(c) = cap_ref {
+        if parts > c {
+            return Err(IrError::InvalidTransform(format!("{parts} parts > capacity extent {c}")));
+        }
+    }
+    // All capacity boundary tensors must be raw (E, C, M) buffers.
+    for &t in boundary_in.iter().chain(&boundary_out) {
+        if axes.axis(t) == PartAxis::Capacity && Some(src.tensor(t).shape.dim(1)) != cap_ref {
+            return Err(IrError::InvalidTransform("capacity boundary tensor is not a raw expert buffer".into()));
+        }
+    }
+    let batch_chunks = batch_ref.map(|b| chunk_bounds(b, parts));
+    let cap_chunks = cap_ref.map(|c| chunk_bounds(c, parts));
+
+    // Slice bounds for a boundary tensor on chunk p.
+    let slice_of = |t: TensorId, p: usize| -> Result<(usize, usize, usize)> {
+        let shape = &src.tensor(t).shape;
+        match axes.axis(t) {
+            PartAxis::Batch => {
+                let b = batch_ref.expect("checked above");
+                let d0 = shape.dim(0);
+                if !d0.is_multiple_of(b) {
+                    return Err(IrError::InvalidTransform(format!(
+                        "batch tensor extent {d0} not a multiple of batch {b}"
+                    )));
+                }
+                let scale = d0 / b;
+                let (s, l) = batch_chunks.as_ref().expect("batch ref present")[p];
+                Ok((0, s * scale, l * scale))
+            }
+            PartAxis::Capacity => {
+                let (s, l) = cap_chunks.as_ref().expect("cap ref present")[p];
+                Ok((1, s, l))
+            }
+            _ => Err(IrError::InvalidTransform("unsliceable boundary tensor".into())),
+        }
+    };
+
+    // Pre-slice boundary inputs.
+    let mut chunk_map: HashMap<(TensorId, usize), TensorId> = HashMap::new();
+    for &t in &boundary_in {
+        match axes.axis(t) {
+            PartAxis::None => {} // weights: resolved through remap directly
+            _ => {
+                for p in 0..parts {
+                    let (axis, start, len) = slice_of(t, p)?;
+                    let sliced = dst.emit(
+                        Op::Slice { axis, start, end: start + len },
+                        &[remap[&t]],
+                        src.instrs()[range.start].role,
+                    )?;
+                    chunk_map.insert((t, p), sliced);
+                }
+            }
+        }
+    }
+
+    // Capacity-state chains, one per gate instruction in the range.
+    let mut cap_state: HashMap<usize, TensorId> = HashMap::new();
+    for (local, instr) in instrs.iter().enumerate() {
+        if let Op::Gate { experts, .. } = instr.op {
+            let zeros = dst.emit(Op::Zeros { shape: vec![experts] }, &[], instr.role)?;
+            cap_state.insert(local, zeros);
+        }
+    }
+
+    // Stage decomposition: maximal runs of same-stream instructions.
+    let mut stages: Vec<Vec<usize>> = Vec::new();
+    for (local, instr) in instrs.iter().enumerate() {
+        let is_comm = instr.op.is_comm();
+        match stages.last() {
+            Some(stage) if instrs[stage[0]].op.is_comm() == is_comm => {
+                stages.last_mut().expect("non-empty").push(local);
+            }
+            _ => stages.push(vec![local]),
+        }
+    }
+
+    // Counts-tensor threading for the irregular pipeline.
+    let mut counts_map: HashMap<(TensorId, usize), TensorId> = HashMap::new();
+
+    for stage in &stages {
+        for p in 0..parts {
+            for &local in stage {
+                let instr = &instrs[local];
+                let chunk_in = |t: TensorId, cm: &HashMap<(TensorId, usize), TensorId>| -> TensorId {
+                    if let Some(&c) = cm.get(&(t, p)) {
+                        c
+                    } else {
+                        remap[&t] // weights / unpartitioned
+                    }
+                };
+                match &instr.op {
+                    Op::Gate { kind, experts, capacity } => {
+                        let x = chunk_in(instr.inputs[0], &chunk_map);
+                        let wg = remap[&instr.inputs[1]];
+                        let cap = cap_state[&local];
+                        let outs = dst.emit_multi(
+                            Op::GateChunk { kind: *kind, experts: *experts, capacity: *capacity, parts },
+                            &[x, wg, cap],
+                            instr.role,
+                        )?;
+                        chunk_map.insert((instr.outputs[0], p), outs[0]);
+                        chunk_map.insert((instr.outputs[1], p), outs[1]);
+                        cap_state.insert(local, outs[2]);
+                    }
+                    Op::MoeDispatch { experts, capacity } => {
+                        let ins: Vec<TensorId> =
+                            instr.inputs.iter().map(|&t| chunk_in(t, &chunk_map)).collect();
+                        let outs = dst.emit_multi(
+                            Op::MoeDispatchIrr { experts: *experts, capacity: *capacity, parts },
+                            &ins,
+                            instr.role,
+                        )?;
+                        chunk_map.insert((instr.outputs[0], p), outs[0]);
+                        counts_map.insert((instr.outputs[0], p), outs[1]);
+                    }
+                    Op::AllToAll if axes.axis(instr.inputs[0]) == PartAxis::Irregular => {
+                        let buf = chunk_in(instr.inputs[0], &chunk_map);
+                        let counts = counts_map
+                            .get(&(instr.inputs[0], p))
+                            .copied()
+                            .ok_or_else(|| IrError::InvalidTransform("irregular all-to-all without counts".into()))?;
+                        let outs = dst.emit_multi(Op::AllToAllIrr, &[buf, counts], instr.role)?;
+                        chunk_map.insert((instr.outputs[0], p), outs[0]);
+                        counts_map.insert((instr.outputs[0], p), outs[1]);
+                    }
+                    Op::MoeGather { experts, capacity, seq, .. } => {
+                        let ins: Vec<TensorId> =
+                            instr.inputs.iter().map(|&t| chunk_in(t, &chunk_map)).collect();
+                        let (_, _, blen) = slice_of_chunk_batch(src, axes, &instrs, instr, batch_ref, &batch_chunks, p)?;
+                        let out = dst.emit(
+                            Op::MoeGatherIrr { experts: *experts, capacity: *capacity, batch: blen, seq: *seq },
+                            &ins,
+                            instr.role,
+                        )?;
+                        chunk_map.insert((instr.outputs[0], p), out);
+                    }
+                    op => {
+                        let ins: Vec<TensorId> =
+                            instr.inputs.iter().map(|&t| chunk_in(t, &chunk_map)).collect();
+                        let outs = dst.emit_multi(op.clone(), &ins, instr.role)?;
+                        for (&o, n) in instr.outputs.iter().zip(&outs) {
+                            chunk_map.insert((o, p), *n);
+                        }
+                        // Propagate the counts association through
+                        // shape-preserving ops on irregular buffers.
+                        if instr.outputs.len() == 1
+                            && axes.axis(instr.outputs[0]) == PartAxis::Irregular
+                        {
+                            if let Some(&c) = instr
+                                .inputs
+                                .iter()
+                                .find_map(|t| counts_map.get(&(*t, p)))
+                            {
+                                counts_map.insert((instr.outputs[0], p), c);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    // Reconstruct boundary outputs.
+    for &t in &boundary_out {
+        let axis = match axes.axis(t) {
+            PartAxis::Batch => 0,
+            PartAxis::Capacity => 1,
+            _ => return Err(IrError::InvalidTransform("irregular tensor crosses range boundary".into())),
+        };
+        let chunks: Vec<TensorId> = (0..parts).map(|p| chunk_map[&(t, p)]).collect();
+        let whole = dst.emit(Op::Concat { axis }, &chunks, src.instr_role_of(t, &instrs))?;
+        remap.insert(t, whole);
+    }
+    Ok(())
+}
+
+/// Batch extent of chunk `p` for the gather's output.
+fn slice_of_chunk_batch(
+    _src: &Graph,
+    _axes: &AxisSolution,
+    _instrs: &[Instr],
+    instr: &Instr,
+    batch_ref: Option<usize>,
+    batch_chunks: &Option<Vec<(usize, usize)>>,
+    p: usize,
+) -> Result<(usize, usize, usize)> {
+    let Op::MoeGather { batch, .. } = instr.op else {
+        return Err(IrError::InvalidTransform("not a gather".into()));
+    };
+    let b = batch_ref.ok_or_else(|| IrError::InvalidTransform("gather without batch split".into()))?;
+    if batch != b {
+        return Err(IrError::InvalidTransform(format!("gather batch {batch} != range batch {b}")));
+    }
+    let (s, l) = batch_chunks.as_ref().expect("batch ref present")[p];
+    Ok((0, s, l))
+}
+
+/// Helper: the role to use for reconstruction instructions of tensor `t`.
+trait RoleOf {
+    fn instr_role_of(&self, t: TensorId, instrs: &[Instr]) -> lancet_ir::Role;
+}
+
+impl RoleOf for Graph {
+    fn instr_role_of(&self, t: TensorId, instrs: &[Instr]) -> lancet_ir::Role {
+        instrs
+            .iter()
+            .find(|i| i.outputs.contains(&t))
+            .map(|i| i.role)
+            .unwrap_or(lancet_ir::Role::Forward)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::infer_axes;
+    use lancet_ir::{GateKind, Role};
+
+    fn moe_graph(gate: GateKind, batch: usize) -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![batch, 8, 16]);
+        let wg = g.weight("gate.w", vec![16, 4]);
+        let w1 = g.weight("expert.w1", vec![2, 16, 32]);
+        let w2 = g.weight("expert.w2", vec![2, 32, 16]);
+        let gate_outs = g
+            .emit_multi(Op::Gate { kind: gate, experts: 4, capacity: 16 }, &[x, wg], Role::Forward)
+            .unwrap();
+        let buf = g
+            .emit(Op::MoeDispatch { experts: 4, capacity: 16 }, &[x, gate_outs[0], gate_outs[1]], Role::Forward)
+            .unwrap();
+        let t = g.emit(Op::AllToAll, &[buf], Role::Comm).unwrap();
+        let loc = g.emit(Op::ExpertsLayout { gpus: 2 }, &[t], Role::Forward).unwrap();
+        let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).unwrap();
+        let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+        let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+        let back = g.emit(Op::ExpertsLayoutInv { gpus: 2 }, &[h], Role::Forward).unwrap();
+        let back2 = g.emit(Op::AllToAll, &[back], Role::Comm).unwrap();
+        let y = g
+            .emit(
+                Op::MoeGather { experts: 4, capacity: 16, batch, seq: 8 },
+                &[back2, gate_outs[0], gate_outs[1]],
+                Role::Forward,
+            )
+            .unwrap();
+        let _out = g.emit(Op::Gelu, &[y], Role::Forward).unwrap();
+        g
+    }
+
+    #[test]
+    fn irregular_codegen_produces_valid_pipeline() {
+        let g = moe_graph(GateKind::Switch, 4);
+        let axes = infer_axes(&g, 0..10).unwrap();
+        let spec = PartitionSpec { range: 0..10, parts: 2, axes };
+        let out = apply_partitions(&g, &[spec]).unwrap();
+        assert!(out.validate().is_ok());
+        // Two chunks → 2 GateChunks, 2 dispatches, 4 irregular a2as.
+        let count = |pred: &dyn Fn(&Op) -> bool| out.instrs().iter().filter(|i| pred(&i.op)).count();
+        assert_eq!(count(&|o| matches!(o, Op::GateChunk { .. })), 2);
+        assert_eq!(count(&|o| matches!(o, Op::MoeDispatchIrr { .. })), 2);
+        assert_eq!(count(&|o| matches!(o, Op::AllToAllIrr)), 4);
+        assert_eq!(count(&|o| matches!(o, Op::MoeGatherIrr { .. })), 2);
+        // Gather outputs are concatenated back for the trailing Gelu.
+        assert_eq!(count(&|o| matches!(o, Op::Concat { .. })), 1);
+    }
+
+    #[test]
+    fn capacity_codegen_keeps_uniform_alltoalls() {
+        let g = moe_graph(GateKind::Switch, 4);
+        let axes = infer_axes(&g, 2..9).unwrap();
+        let spec = PartitionSpec { range: 2..9, parts: 4, axes };
+        let out = apply_partitions(&g, &[spec]).unwrap();
+        assert!(out.validate().is_ok());
+        let n_a2a = out.instrs().iter().filter(|i| matches!(i.op, Op::AllToAll)).count();
+        assert_eq!(n_a2a, 8); // 2 per chunk × 4 chunks
+        let n_irr = out.instrs().iter().filter(|i| matches!(i.op, Op::AllToAllIrr)).count();
+        assert_eq!(n_irr, 0);
+        // Buffer slices along the capacity axis.
+        assert!(out
+            .instrs()
+            .iter()
+            .any(|i| matches!(i.op, Op::Slice { axis: 1, .. })));
+    }
+
+    #[test]
+    fn stage_major_order_pipelines_chunks() {
+        let g = moe_graph(GateKind::Switch, 4);
+        let axes = infer_axes(&g, 0..10).unwrap();
+        let spec = PartitionSpec { range: 0..10, parts: 2, axes };
+        let out = apply_partitions(&g, &[spec]).unwrap();
+        // The two first-direction irregular all-to-alls must be adjacent
+        // in issue order (same comm stage), before any expert compute.
+        let a2a_positions: Vec<usize> = out
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.op, Op::AllToAllIrr))
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(a2a_positions[1], a2a_positions[0] + 1, "chunk a2as interleave as one stage");
+    }
+
+    #[test]
+    fn too_many_parts_rejected() {
+        let g = moe_graph(GateKind::Switch, 2);
+        let axes = infer_axes(&g, 0..10).unwrap();
+        let spec = PartitionSpec { range: 0..10, parts: 8, axes };
+        assert!(apply_partitions(&g, &[spec]).is_err());
+    }
+
+    #[test]
+    fn overlapping_specs_rejected() {
+        let g = moe_graph(GateKind::Switch, 4);
+        let axes = infer_axes(&g, 0..10).unwrap();
+        let s1 = PartitionSpec { range: 0..10, parts: 2, axes: axes.clone() };
+        let s2 = PartitionSpec { range: 5..10, parts: 2, axes };
+        assert!(apply_partitions(&g, &[s1, s2]).is_err());
+    }
+
+    #[test]
+    fn plain_replay_preserves_graph() {
+        let g = moe_graph(GateKind::Switch, 4);
+        let out = apply_partitions(&g, &[]).unwrap();
+        assert_eq!(out.instrs().len(), g.instrs().len());
+        for (a, b) in g.instrs().iter().zip(out.instrs()) {
+            assert_eq!(a.op, b.op);
+            assert_eq!(a.role, b.role);
+        }
+    }
+}

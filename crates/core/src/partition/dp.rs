@@ -1,0 +1,422 @@
+//! Dynamic-programming partition-range selection (paper §5.1).
+//!
+//! `T(n) = min_{i,k} { T(i) + P(i, n, k) }` over instruction *groups*:
+//! consecutive non-MoE instructions are coalesced into time-balanced
+//! groups (the paper's group-size knob γ), MoE-related instructions stay
+//! atomic so candidate ranges can align exactly with pipeline boundaries.
+//! `P` is evaluated by materializing the candidate pipeline (axis
+//! inference + codegen) and pricing it with the estimator's two-stream
+//! sweep — the pipeline scheduler of paper §5.3.
+
+use crate::partition::{apply_partitions, infer_axes, PartitionSpec};
+use crate::TimeEstimator;
+use lancet_ir::{Graph, Instr, Op, Result, TensorId, TensorKind};
+use std::collections::HashMap;
+use std::ops::Range;
+
+/// Hyper-parameters of the partition pass (paper §6: ρ, γ, ι).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionOptions {
+    /// ρ — maximum number of partitions per range (paper default 8).
+    pub max_partitions: usize,
+    /// γ-equivalent — number of groups each non-MoE instruction run is
+    /// split into (paper: "5 groups between each MoE layer").
+    pub groups_per_gap: usize,
+    /// ι — maximum partition-range length, in groups.
+    pub max_range_groups: usize,
+}
+
+/// Multiplier on per-chunk compute overhead charged for the (equally
+/// chunked) backward pass when the DP prices a candidate partition.
+const BACKWARD_CHUNK_FACTOR: f64 = 2.0;
+
+impl Default for PartitionOptions {
+    fn default() -> Self {
+        PartitionOptions { max_partitions: 8, groups_per_gap: 5, max_range_groups: 24 }
+    }
+}
+
+/// Outcome of the partition pass.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PartitionReport {
+    /// Chosen ranges (source-graph instruction positions) and partition
+    /// counts.
+    pub ranges: Vec<(Range<usize>, usize)>,
+    /// DP-estimated execution time of the partitioned forward region.
+    pub estimated_forward_time: f64,
+    /// DP-estimated time of the unpartitioned forward region (baseline).
+    pub unpartitioned_forward_time: f64,
+    /// Number of `P(i, n, k)` evaluations performed.
+    pub evaluations: usize,
+}
+
+/// Runs the partition pass on a *forward* graph (apply before autodiff;
+/// see crate docs) and returns the rewritten graph plus a report.
+///
+/// # Errors
+///
+/// Propagates estimator/codegen failures. A graph with no all-to-all in
+/// its forward region is returned unchanged.
+///
+/// # Example
+///
+/// ```no_run
+/// use lancet_core::{partition_pass, Lancet, LancetOptions, PartitionOptions};
+/// use lancet_cost::ClusterSpec;
+/// use lancet_ir::GateKind;
+/// use lancet_models::{build_forward, GptMoeConfig};
+///
+/// let cfg = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch);
+/// let forward = build_forward(&cfg)?.graph;
+/// let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+/// let (pipelined, report) =
+///     partition_pass(&forward, lancet.estimator(), &PartitionOptions::default())?;
+/// println!("{} ranges pipelined", report.ranges.len());
+/// # let _ = pipelined;
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+pub fn partition_pass(
+    graph: &Graph,
+    estimator: &TimeEstimator,
+    opts: &PartitionOptions,
+) -> Result<(Graph, PartitionReport)> {
+    let fwd_end = forward_end(graph);
+    let groups = build_groups(graph, estimator, fwd_end, opts.groups_per_gap)?;
+    let n = groups.len();
+
+    // Candidate partition counts: 1 plus powers of two up to ρ.
+    let mut ks = vec![1usize];
+    let mut k = 2;
+    while k <= opts.max_partitions {
+        ks.push(k);
+        k *= 2;
+    }
+
+    let mut evaluations = 0usize;
+    // Memoized per-(i,j) segment graphs are cheap enough to rebuild; the
+    // op profiler underneath caches per-shape times.
+    let mut t = vec![f64::INFINITY; n + 1];
+    t[0] = 0.0;
+    let mut parent: Vec<Option<(usize, usize)>> = vec![None; n + 1];
+    let mut plain_cost: HashMap<(usize, usize), crate::EstimateReport> = HashMap::new();
+
+    for j in 1..=n {
+        let lo = j.saturating_sub(opts.max_range_groups);
+        for i in lo..j {
+            let prange = groups[i].start..groups[j - 1].end;
+            let plain = *match plain_cost.entry((i, j)) {
+                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+                std::collections::hash_map::Entry::Vacant(e) => {
+                    evaluations += 1;
+                    let (seg, _) = segment_graph(graph, prange.clone())?;
+                    e.insert(estimator.estimate(&seg)?)
+                }
+            };
+            for &k in &ks {
+                let cost = if k == 1 {
+                    plain.total
+                } else {
+                    // Partitioning a segment without an all-to-all can
+                    // only add overhead; skip the evaluation.
+                    if !segment_has_a2a(graph, &prange) {
+                        continue;
+                    }
+                    evaluations += 1;
+                    match evaluate_partitioned(graph, estimator, prange.clone(), k) {
+                        Some(part) => {
+                            // The backward of a partitioned forward is
+                            // chunked the same way (autodiff runs after
+                            // this pass) and pays roughly twice the
+                            // forward's per-chunk overhead (dX and dW),
+                            // without the forward pipeline's overlap
+                            // guarantee. Charge it so the DP does not
+                            // over-partition (paper Fig. 6's tradeoff,
+                            // extended to the whole iteration).
+                            let chunk_overhead =
+                                (part.compute_busy - plain.compute_busy).max(0.0);
+                            part.total + BACKWARD_CHUNK_FACTOR * chunk_overhead
+                        }
+                        None => continue,
+                    }
+                };
+                if t[i] + cost < t[j] {
+                    t[j] = t[i] + cost;
+                    parent[j] = Some((i, k));
+                }
+            }
+        }
+    }
+
+    // Reconstruct chosen ranges.
+    let mut chosen: Vec<(Range<usize>, usize)> = Vec::new();
+    let mut j = n;
+    while j > 0 {
+        let (i, k) = parent[j].expect("dp table is connected");
+        if k > 1 {
+            chosen.push((groups[i].start..groups[j - 1].end, k));
+        }
+        j = i;
+    }
+    chosen.reverse();
+
+    // Baseline: the whole forward region priced unpartitioned.
+    let unpartitioned = if n > 0 {
+        let (seg, _) = segment_graph(graph, groups[0].start..groups[n - 1].end)?;
+        estimator.estimate(&seg)?.total
+    } else {
+        0.0
+    };
+
+    let specs: Vec<PartitionSpec> = chosen
+        .iter()
+        .map(|(range, k)| {
+            let axes = infer_axes(graph, range.clone())
+                .expect("range was validated during DP evaluation");
+            PartitionSpec { range: range.clone(), parts: *k, axes }
+        })
+        .collect();
+    let new_graph = if specs.is_empty() { graph.clone() } else { apply_partitions(graph, &specs)? };
+
+    Ok((
+        new_graph,
+        PartitionReport {
+            ranges: chosen,
+            estimated_forward_time: t[n],
+            unpartitioned_forward_time: unpartitioned,
+            evaluations,
+        },
+    ))
+}
+
+/// Position one past the last partitionable forward instruction (the
+/// loss instruction, or the end of the program for forward-only graphs).
+fn forward_end(graph: &Graph) -> usize {
+    graph
+        .instrs()
+        .iter()
+        .position(|i| matches!(i.op, Op::CrossEntropy))
+        .unwrap_or(graph.instrs().len())
+}
+
+/// Whether an op should stay atomic for grouping purposes (MoE pipeline
+/// members must align with group boundaries).
+fn is_atom(op: &Op) -> bool {
+    matches!(
+        op,
+        Op::Gate { .. }
+            | Op::MoeDispatch { .. }
+            | Op::MoeGather { .. }
+            | Op::AllToAll
+            | Op::ExpertsLayout { .. }
+            | Op::ExpertsLayoutInv { .. }
+            | Op::BatchedMatMul { .. }
+    )
+}
+
+/// Splits `[0, fwd_end)` into contiguous groups: MoE atoms are singleton
+/// groups; runs of other instructions are split into `per_gap`
+/// time-balanced groups.
+#[allow(clippy::needless_range_loop)] // position-indexed time accumulation
+fn build_groups(
+    graph: &Graph,
+    estimator: &TimeEstimator,
+    fwd_end: usize,
+    per_gap: usize,
+) -> Result<Vec<Range<usize>>> {
+    let mut groups = Vec::new();
+    let mut run_start: Option<usize> = None;
+    let flush_run =
+        |groups: &mut Vec<Range<usize>>, start: usize, end: usize, times: &[f64]| {
+            if start >= end {
+                return;
+            }
+            let total: f64 = times[start..end].iter().sum();
+            let target = total / per_gap.max(1) as f64;
+            let mut acc = 0.0;
+            let mut gstart = start;
+            for p in start..end {
+                acc += times[p];
+                if acc >= target && p + 1 < end {
+                    groups.push(gstart..p + 1);
+                    gstart = p + 1;
+                    acc = 0.0;
+                }
+            }
+            groups.push(gstart..end);
+        };
+    let times: Vec<f64> = (0..fwd_end)
+        .map(|p| estimator.instr_time(graph, p))
+        .collect::<Result<_>>()?;
+    for pos in 0..fwd_end {
+        if is_atom(&graph.instrs()[pos].op) {
+            if let Some(s) = run_start.take() {
+                flush_run(&mut groups, s, pos, &times);
+            }
+            groups.push(pos..pos + 1);
+        } else if run_start.is_none() {
+            run_start = Some(pos);
+        }
+    }
+    if let Some(s) = run_start {
+        flush_run(&mut groups, s, fwd_end, &times);
+    }
+    Ok(groups)
+}
+
+/// Builds a standalone graph containing just `range`, with every
+/// externally produced tensor declared as an input (weights keep their
+/// kind so axis inference can treat them as replicated).
+fn segment_graph(graph: &Graph, range: Range<usize>) -> Result<(Graph, HashMap<TensorId, TensorId>)> {
+    let instrs: Vec<Instr> = graph.instrs()[range].to_vec();
+    let mut seg = Graph::new();
+    let mut remap: HashMap<TensorId, TensorId> = HashMap::new();
+    let produced: std::collections::HashSet<TensorId> =
+        instrs.iter().flat_map(|i| i.outputs.iter().copied()).collect();
+    for instr in &instrs {
+        for &t in &instr.inputs {
+            if !produced.contains(&t) && !remap.contains_key(&t) {
+                let def = graph.tensor(t);
+                let kind = if def.kind == TensorKind::Weight { TensorKind::Weight } else { TensorKind::Input };
+                let id = seg.add_tensor(def.name.clone(), def.shape.clone(), kind);
+                remap.insert(t, id);
+            }
+        }
+        let inputs: Vec<TensorId> = instr.inputs.iter().map(|t| remap[t]).collect();
+        let outs = seg.emit_multi(instr.op.clone(), &inputs, instr.role)?;
+        for (&o, n) in instr.outputs.iter().zip(outs) {
+            remap.insert(o, n);
+        }
+    }
+    Ok((seg, remap))
+}
+
+fn segment_has_a2a(graph: &Graph, range: &Range<usize>) -> bool {
+    graph.instrs()[range.clone()].iter().any(|i| i.op.is_all_to_all())
+}
+
+/// Prices `P(i, n, k)`: axis inference, codegen, estimated sweep.
+/// `None` when the range is not partitionable into `k` parts.
+fn evaluate_partitioned(
+    graph: &Graph,
+    estimator: &TimeEstimator,
+    range: Range<usize>,
+    k: usize,
+) -> Option<crate::EstimateReport> {
+    // Infer axes on the *original* graph so boundary constraints include
+    // consumers outside the segment, then map the solution into the
+    // isolated segment for codegen and pricing.
+    let sol = infer_axes(graph, range.clone())?;
+    let (seg, remap) = segment_graph(graph, range).ok()?;
+    let seg_axes = crate::AxisSolution {
+        axes: sol
+            .axes
+            .iter()
+            .filter_map(|(t, &a)| remap.get(t).map(|&n| (n, a)))
+            .collect(),
+    };
+    let len = seg.instrs().len();
+    let spec = PartitionSpec { range: 0..len, parts: k, axes: seg_axes };
+    let part = apply_partitions(&seg, &[spec]).ok()?;
+    estimator.estimate(&part).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_cost::{CachingOpProfiler, ClusterSpec, CommCostModel, CommModel, ComputeModel};
+    use lancet_ir::GateKind;
+    use lancet_models::{build_forward, GptMoeConfig};
+
+    fn estimator(gpus: usize, nodes: usize) -> TimeEstimator {
+        let spec = ClusterSpec::v100(nodes);
+        let truth = CommModel::new(spec.clone());
+        let a2a = CommCostModel::build(&truth, 1 << 30, gpus);
+        TimeEstimator::new(
+            CachingOpProfiler::new(ComputeModel::new(spec.device.clone())),
+            a2a,
+            truth,
+            gpus,
+        )
+    }
+
+    fn small_model(gate: GateKind, gpus: usize) -> Graph {
+        let cfg = GptMoeConfig::gpt2_s_moe(gpus, gate).with_layers(4).with_batch(8);
+        build_forward(&cfg).unwrap().graph
+    }
+
+    #[test]
+    fn groups_align_with_moe_atoms() {
+        let g = small_model(GateKind::Switch, 16);
+        let est = estimator(16, 2);
+        let fwd_end = forward_end(&g);
+        let groups = build_groups(&g, &est, fwd_end, 5).unwrap();
+        // Groups tile the region exactly.
+        assert_eq!(groups[0].start, 0);
+        assert_eq!(groups.last().unwrap().end, fwd_end);
+        for w in groups.windows(2) {
+            assert_eq!(w[0].end, w[1].start);
+        }
+        // Every all-to-all is its own group.
+        for &p in &g.all_to_all_positions() {
+            if p < fwd_end {
+                assert!(groups.contains(&(p..p + 1)), "a2a at {p} not atomic");
+            }
+        }
+    }
+
+    #[test]
+    fn partition_pass_chooses_ranges_and_improves_estimate() {
+        let g = small_model(GateKind::Switch, 16);
+        let est = estimator(16, 2);
+        let (out, report) = partition_pass(&g, &est, &PartitionOptions::default()).unwrap();
+        assert!(out.validate().is_ok());
+        assert!(!report.ranges.is_empty(), "expected at least one partitioned range");
+        assert!(
+            report.estimated_forward_time < report.unpartitioned_forward_time,
+            "{} !< {}",
+            report.estimated_forward_time,
+            report.unpartitioned_forward_time
+        );
+        assert!(report.evaluations > 0);
+        // The result contains a partitioned pipeline: either the
+        // irregular (batch) variant or the capacity variant — both
+        // multiply the all-to-all count.
+        let n_a2a_out = out.instrs().iter().filter(|i| i.op.is_all_to_all()).count();
+        assert!(
+            n_a2a_out > g.all_to_all_positions().len(),
+            "no pipelined all-to-alls ({n_a2a_out})"
+        );
+    }
+
+    #[test]
+    fn bpr_model_partitions_after_moe_only() {
+        let g = small_model(GateKind::BatchPrioritized, 16);
+        let est = estimator(16, 2);
+        let (out, report) = partition_pass(&g, &est, &PartitionOptions::default()).unwrap();
+        assert!(out.validate().is_ok());
+        // Gates must remain unpartitioned.
+        assert!(!out.instrs().iter().any(|i| matches!(i.op, Op::GateChunk { .. })));
+        // But partitioning still happens (dispatch onwards).
+        assert!(!report.ranges.is_empty());
+        for (range, _) in &report.ranges {
+            // No chosen range contains a Gate op.
+            assert!(
+                !g.instrs()[range.clone()].iter().any(|i| matches!(i.op, Op::Gate { .. })),
+                "range {range:?} contains the BPR gate"
+            );
+        }
+    }
+
+    #[test]
+    fn dense_graph_stays_unchanged() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![4, 8, 16]);
+        let w = g.weight("w", vec![16, 16]);
+        let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], lancet_ir::Role::Forward).unwrap();
+        let _y = g.emit(Op::Gelu, &[h], lancet_ir::Role::Forward).unwrap();
+        let est = estimator(8, 1);
+        let (out, report) = partition_pass(&g, &est, &PartitionOptions::default()).unwrap();
+        assert!(report.ranges.is_empty());
+        assert_eq!(out.instrs().len(), g.instrs().len());
+    }
+}

@@ -1,0 +1,9 @@
+//! The operator partition pass (paper §5).
+
+mod axis;
+mod codegen;
+mod dp;
+
+pub use axis::{infer_axes, AxisSolution, PartAxis};
+pub use codegen::{apply_partitions, PartitionSpec};
+pub use dp::{partition_pass, PartitionOptions, PartitionReport};

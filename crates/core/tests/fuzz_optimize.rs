@@ -1,0 +1,62 @@
+//! Robustness fuzz: `Lancet::optimize` must succeed, produce a valid
+//! graph, and never regress the predicted iteration time across random
+//! model configurations, gates, and hyper-parameters.
+
+use lancet_core::{Lancet, LancetOptions, PartitionOptions};
+use lancet_cost::{ClusterKind, ClusterSpec};
+use lancet_ir::GateKind;
+use lancet_models::{build_forward, GptMoeConfig};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn optimize_never_fails_or_regresses(
+        layers in 2usize..6,
+        batch in 2usize..12,
+        gate_sel in 0usize..4,
+        cluster_sel in 0usize..2,
+        nodes_pow in 0u32..3,
+        rho_pow in 1u32..4,
+        iota in 6usize..30,
+        fsdp in any::<bool>(),
+        shared in any::<bool>(),
+    ) {
+        let gate = match gate_sel {
+            0 => GateKind::Switch,
+            1 => GateKind::TopK { k: 2 },
+            2 => GateKind::BatchPrioritized,
+            _ => GateKind::Hash,
+        };
+        let cluster = if cluster_sel == 0 { ClusterKind::V100 } else { ClusterKind::A100 };
+        let nodes = 1usize << nodes_pow;
+        let gpus = nodes * 8;
+        let cfg = GptMoeConfig::gpt2_s_moe(gpus, gate)
+            .with_layers(layers)
+            .with_batch(batch)
+            .with_fsdp(fsdp)
+            .with_shared_expert(shared);
+        let options = LancetOptions {
+            partition: PartitionOptions {
+                max_partitions: 1 << rho_pow,
+                groups_per_gap: 5,
+                max_range_groups: iota,
+            },
+            ..Default::default()
+        };
+        let spec = ClusterSpec::of(cluster, nodes);
+        let lancet = Lancet::new(spec, gpus, options);
+        let fwd = build_forward(&cfg).unwrap().graph;
+
+        let base = lancet.baseline(fwd.clone()).unwrap();
+        let opt = lancet.optimize(fwd).unwrap();
+        prop_assert!(opt.graph.validate().is_ok());
+        prop_assert!(
+            opt.predicted_time <= base.predicted_time + 1e-9,
+            "optimize regressed: {} > {} (gate {gate:?}, layers {layers}, batch {batch}, gpus {gpus})",
+            opt.predicted_time,
+            base.predicted_time
+        );
+    }
+}

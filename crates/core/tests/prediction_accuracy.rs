@@ -1,0 +1,50 @@
+//! Meta-test of the cost model (paper Fig. 14): across random
+//! configurations, the compiler's predicted iteration time stays within a
+//! tight band of the simulator's measurement. The only modelled
+//! divergences are comm-curve interpolation and the static-shape `C/n`
+//! approximation for irregular all-to-alls, so the band is narrow.
+
+use lancet_core::{Lancet, LancetOptions};
+use lancet_cost::{ClusterKind, ClusterSpec, CommModel, ComputeModel};
+use lancet_ir::GateKind;
+use lancet_models::{build_forward, GptMoeConfig};
+use lancet_sim::{SimConfig, Simulator};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    #[test]
+    fn prediction_within_ten_percent(
+        layers in 2usize..6,
+        batch in 4usize..16,
+        nodes_pow in 0u32..3,
+        cluster_sel in 0usize..2,
+        gate_sel in 0usize..3,
+    ) {
+        let gate = match gate_sel {
+            0 => GateKind::Switch,
+            1 => GateKind::TopK { k: 2 },
+            _ => GateKind::BatchPrioritized,
+        };
+        let cluster = if cluster_sel == 0 { ClusterKind::V100 } else { ClusterKind::A100 };
+        let nodes = 1usize << nodes_pow;
+        let gpus = nodes * 8;
+        let cfg = GptMoeConfig::gpt2_s_moe(gpus, gate).with_layers(layers).with_batch(batch);
+        let spec = ClusterSpec::of(cluster, nodes);
+        let lancet = Lancet::new(spec.clone(), gpus, LancetOptions::default());
+        let outcome = lancet.optimize(build_forward(&cfg).unwrap().graph).unwrap();
+        let sim = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(gpus),
+        );
+        let measured = sim.simulate(&outcome.graph).iteration_time;
+        let err = (outcome.predicted_time - measured).abs() / measured;
+        prop_assert!(
+            err < 0.10,
+            "prediction error {:.1}% (gate {gate:?}, layers {layers}, batch {batch}, {gpus} {cluster:?} gpus)",
+            err * 100.0
+        );
+    }
+}

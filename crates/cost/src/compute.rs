@@ -1,0 +1,130 @@
+//! Ground-truth compute latency model (roofline + launch overhead +
+//! small-kernel utilization).
+
+use crate::DeviceSpec;
+use lancet_ir::{Op, Shape};
+
+/// Analytical execution-time model for compute instructions on one device.
+///
+/// Latency is `launch_overhead + max(t_flops, t_mem)` where the FLOP term
+/// is derated by a saturating utilization curve: tiny kernels cannot fill
+/// the streaming multiprocessors, which is what makes over-partitioning
+/// lose (paper Fig. 6).
+///
+/// # Example
+///
+/// ```
+/// use lancet_cost::{ClusterSpec, ComputeModel};
+/// use lancet_ir::{Op, Shape};
+///
+/// let m = ComputeModel::new(ClusterSpec::a100(1).device);
+/// let x = Shape::new(vec![1024, 1024]);
+/// let w = Shape::new(vec![1024, 1024]);
+/// let y = Shape::new(vec![1024, 1024]);
+/// let op = Op::MatMul { transpose_b: false };
+/// let t = m.op_time(&op, &[&x, &w], &[&y]);
+/// assert!(t > 0.0 && t < 1.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct ComputeModel {
+    device: DeviceSpec,
+}
+
+impl ComputeModel {
+    /// Builds a model for the given device.
+    pub fn new(device: DeviceSpec) -> Self {
+        ComputeModel { device }
+    }
+
+    /// The underlying device spec.
+    pub fn device(&self) -> &DeviceSpec {
+        &self.device
+    }
+
+    /// Effective FLOP/s for a kernel of `flops` total work.
+    pub fn effective_flops(&self, flops: f64) -> f64 {
+        let util = flops / (flops + self.device.util_half_flops);
+        self.device.flops * util
+    }
+
+    /// Execution time (seconds) of one compute instruction.
+    ///
+    /// Communication ops return only their launch overhead here — their
+    /// transfer time is the network's business ([`CommModel`]).
+    ///
+    /// [`CommModel`]: crate::CommModel
+    pub fn op_time(&self, op: &Op, ins: &[&Shape], outs: &[&Shape]) -> f64 {
+        if op.is_comm() {
+            return self.device.launch_overhead;
+        }
+        let flops = op.flops(ins, outs) as f64;
+        let bytes = op.mem_bytes(ins, outs) as f64;
+        let t_flops = if flops > 0.0 { flops / self.effective_flops(flops) } else { 0.0 };
+        let t_mem = bytes / self.device.mem_bw;
+        self.device.launch_overhead + t_flops.max(t_mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterSpec;
+
+    fn model() -> ComputeModel {
+        ComputeModel::new(ClusterSpec::a100(1).device)
+    }
+
+    fn s(d: &[usize]) -> Shape {
+        Shape::new(d.to_vec())
+    }
+
+    #[test]
+    fn bigger_matmul_takes_longer() {
+        let m = model();
+        let op = Op::MatMul { transpose_b: false };
+        let small = m.op_time(&op, &[&s(&[64, 64]), &s(&[64, 64])], &[&s(&[64, 64])]);
+        let large = m.op_time(&op, &[&s(&[1024, 1024]), &s(&[1024, 1024])], &[&s(&[1024, 1024])]);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn partitioning_halves_work_but_not_time() {
+        // Sub-linear speedup from partitioning: 2 × time(half) > time(full),
+        // the premise of the partition-overhead tradeoff (paper Fig. 6).
+        let m = model();
+        let op = Op::MatMul { transpose_b: false };
+        let full = m.op_time(&op, &[&s(&[512, 512]), &s(&[512, 512])], &[&s(&[512, 512])]);
+        let half = m.op_time(&op, &[&s(&[256, 512]), &s(&[512, 512])], &[&s(&[256, 512])]);
+        assert!(2.0 * half > full, "2×{half} vs {full}");
+    }
+
+    #[test]
+    fn launch_overhead_floors_tiny_kernels() {
+        let m = model();
+        let t = m.op_time(&Op::Relu, &[&s(&[1])], &[&s(&[1])]);
+        assert!(t >= m.device().launch_overhead);
+    }
+
+    #[test]
+    fn memory_bound_ops_follow_bandwidth() {
+        let m = model();
+        let big = s(&[4096, 4096]);
+        let t = m.op_time(&Op::Relu, &[&big], &[&big]);
+        let expected = m.device().launch_overhead + (2.0 * 4.0 * 4096.0 * 4096.0) / m.device().mem_bw;
+        assert!((t - expected).abs() / expected < 1e-9);
+    }
+
+    #[test]
+    fn utilization_saturates() {
+        let m = model();
+        assert!(m.effective_flops(1e6) < 0.01 * m.device().flops);
+        assert!(m.effective_flops(1e12) > 0.95 * m.device().flops);
+    }
+
+    #[test]
+    fn comm_ops_cost_only_launch() {
+        let m = model();
+        let buf = s(&[32, 320, 768]);
+        assert_eq!(m.op_time(&Op::AllToAll, &[&buf], &[&buf]), m.device().launch_overhead);
+    }
+}

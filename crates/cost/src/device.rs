@@ -1,0 +1,168 @@
+//! Hardware specifications of the simulated clusters.
+//!
+//! Constants follow the paper's testbeds: Amazon EC2 `p4de.24xlarge`
+//! (8× A100-80GB, 4×100 Gb/s EFA per node) and `p3dn.24xlarge`
+//! (8× V100-32GB, 1×100 Gb/s per node). Effective compute rates are
+//! derated from peaks to typical training-kernel efficiency.
+
+/// Compute characteristics of one accelerator.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceSpec {
+    /// Human-readable name ("A100", "V100").
+    pub name: String,
+    /// Sustained tensor-core FLOP/s for large GEMMs (already derated).
+    pub flops: f64,
+    /// Sustained HBM bandwidth in bytes/s.
+    pub mem_bw: f64,
+    /// Fixed kernel-launch overhead per instruction, in seconds.
+    pub launch_overhead: f64,
+    /// FLOP count at which a kernel reaches 50 % of peak utilization —
+    /// models streaming-multiprocessor under-utilization of small
+    /// (partitioned) kernels, the effect behind paper Fig. 6.
+    pub util_half_flops: f64,
+    /// Device memory in bytes (for OOM detection).
+    pub memory: u64,
+}
+
+/// Network characteristics of the cluster interconnect.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NetworkSpec {
+    /// GPUs per node.
+    pub gpus_per_node: usize,
+    /// Per-GPU NVLink bandwidth within a node, bytes/s.
+    pub intra_bw: f64,
+    /// NIC bandwidth per *node*, bytes/s (shared by the node's GPUs).
+    pub inter_bw_per_node: f64,
+    /// Base latency per collective phase, seconds.
+    pub latency: f64,
+    /// Per-peer message size (bytes) at which bandwidth utilization
+    /// reaches 50 % — models small-message inefficiency.
+    pub util_half_bytes: f64,
+}
+
+/// Which of the paper's two testbeds a cluster models.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ClusterKind {
+    /// p4de.24xlarge: 8× A100-80GB per node, 4×100 Gb/s NICs.
+    A100,
+    /// p3dn.24xlarge: 8× V100-32GB per node, 100 Gb/s NIC.
+    V100,
+}
+
+impl ClusterKind {
+    /// Display name used in figures ("A100" / "V100").
+    pub fn name(self) -> &'static str {
+        match self {
+            ClusterKind::A100 => "A100",
+            ClusterKind::V100 => "V100",
+        }
+    }
+}
+
+impl std::fmt::Display for ClusterKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A whole simulated cluster: device type, interconnect, and node count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterSpec {
+    /// Per-accelerator compute spec.
+    pub device: DeviceSpec,
+    /// Interconnect spec.
+    pub net: NetworkSpec,
+    /// Number of nodes.
+    pub nodes: usize,
+}
+
+impl ClusterSpec {
+    /// A `p4de.24xlarge`-like A100 cluster with `nodes` nodes.
+    pub fn a100(nodes: usize) -> Self {
+        ClusterSpec {
+            device: DeviceSpec {
+                name: "A100".into(),
+                // 312 TF/s fp16 peak, derated to ~45 % for training GEMMs.
+                flops: 140e12,
+                mem_bw: 1.6e12,
+                launch_overhead: 6e-6,
+                util_half_flops: 2.0e9,
+                memory: 80 * (1 << 30),
+            },
+            net: NetworkSpec {
+                gpus_per_node: 8,
+                intra_bw: 250e9,
+                // 4×100 Gb/s EFA ≈ 50 GB/s per node.
+                inter_bw_per_node: 50e9,
+                latency: 25e-6,
+                util_half_bytes: 16.0 * 1024.0,
+            },
+            nodes,
+        }
+    }
+
+    /// A `p3dn.24xlarge`-like V100 cluster with `nodes` nodes.
+    pub fn v100(nodes: usize) -> Self {
+        ClusterSpec {
+            device: DeviceSpec {
+                name: "V100".into(),
+                // 125 TF/s fp16 peak, derated to ~40 %.
+                flops: 50e12,
+                mem_bw: 0.9e12,
+                launch_overhead: 8e-6,
+                util_half_flops: 1.2e9,
+                memory: 32 * (1 << 30),
+            },
+            net: NetworkSpec {
+                gpus_per_node: 8,
+                intra_bw: 130e9,
+                // 1×100 Gb/s ≈ 12.5 GB/s per node.
+                inter_bw_per_node: 12.5e9,
+                latency: 30e-6,
+                util_half_bytes: 16.0 * 1024.0,
+            },
+            nodes,
+        }
+    }
+
+    /// Builds a cluster of the given kind.
+    pub fn of(kind: ClusterKind, nodes: usize) -> Self {
+        match kind {
+            ClusterKind::A100 => Self::a100(nodes),
+            ClusterKind::V100 => Self::v100(nodes),
+        }
+    }
+
+    /// Total GPU count.
+    pub fn gpus(&self) -> usize {
+        self.nodes * self.net.gpus_per_node
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_gpu_counts() {
+        assert_eq!(ClusterSpec::a100(4).gpus(), 32);
+        assert_eq!(ClusterSpec::v100(1).gpus(), 8);
+    }
+
+    #[test]
+    fn a100_outclasses_v100() {
+        let a = ClusterSpec::a100(1);
+        let v = ClusterSpec::v100(1);
+        assert!(a.device.flops > v.device.flops);
+        assert!(a.device.mem_bw > v.device.mem_bw);
+        assert!(a.net.inter_bw_per_node > v.net.inter_bw_per_node);
+        assert!(a.device.memory > v.device.memory);
+    }
+
+    #[test]
+    fn of_matches_kind() {
+        assert_eq!(ClusterSpec::of(ClusterKind::A100, 2), ClusterSpec::a100(2));
+        assert_eq!(ClusterKind::V100.name(), "V100");
+        assert_eq!(ClusterKind::A100.to_string(), "A100");
+    }
+}

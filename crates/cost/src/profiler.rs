@@ -1,0 +1,154 @@
+//! The caching op profiler (paper §3).
+//!
+//! "Profiling is done once for each (partitioned) operation with the same
+//! shape; the cached execution time can be subsequently reused." Our
+//! measurements come from the analytical [`ComputeModel`] instead of real
+//! kernel launches, but the cache structure — and the optimization-time
+//! benefit it provides to the partition pass, which evaluates many
+//! overlapping ranges — is the same.
+
+use crate::ComputeModel;
+use lancet_ir::{Op, Shape};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+
+/// Cache statistics, for optimization-time accounting (paper Fig. 15).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ProfilerStats {
+    /// Queries answered from the cache.
+    pub hits: u64,
+    /// Queries that had to run a (simulated) profile.
+    pub misses: u64,
+}
+
+impl ProfilerStats {
+    /// Hit ratio in `[0, 1]`; 1.0 when no queries were made.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            1.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Thread-safe memoizing profiler keyed on (operator, input shapes).
+///
+/// # Example
+///
+/// ```
+/// use lancet_cost::{CachingOpProfiler, ClusterSpec, ComputeModel};
+/// use lancet_ir::{Op, Shape};
+///
+/// let profiler = CachingOpProfiler::new(ComputeModel::new(ClusterSpec::a100(1).device));
+/// let x = Shape::new(vec![128, 128]);
+/// let op = Op::Relu;
+/// let t1 = profiler.profile(&op, &[&x]).unwrap();
+/// let t2 = profiler.profile(&op, &[&x]).unwrap();
+/// assert_eq!(t1, t2);
+/// assert_eq!(profiler.stats().hits, 1);
+/// assert_eq!(profiler.stats().misses, 1);
+/// ```
+#[derive(Debug)]
+pub struct CachingOpProfiler {
+    model: ComputeModel,
+    cache: Mutex<HashMap<String, f64>>,
+    stats: Mutex<ProfilerStats>,
+}
+
+impl CachingOpProfiler {
+    /// Builds a profiler over the given compute model.
+    pub fn new(model: ComputeModel) -> Self {
+        CachingOpProfiler { model, cache: Mutex::new(HashMap::new()), stats: Mutex::new(ProfilerStats::default()) }
+    }
+
+    /// The underlying compute model.
+    pub fn model(&self) -> &ComputeModel {
+        &self.model
+    }
+
+    /// Execution time of `op` on inputs of the given shapes, memoized.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`lancet_ir::IrError`] if the op rejects the shapes.
+    pub fn profile(&self, op: &Op, ins: &[&Shape]) -> lancet_ir::Result<f64> {
+        let key = profile_key(op, ins);
+        if let Some(&t) = self.cache.lock().get(&key) {
+            self.stats.lock().hits += 1;
+            return Ok(t);
+        }
+        let outs = op.infer_shapes(ins)?;
+        let out_refs: Vec<&Shape> = outs.iter().collect();
+        let t = self.model.op_time(op, ins, &out_refs);
+        self.cache.lock().insert(key, t);
+        self.stats.lock().misses += 1;
+        Ok(t)
+    }
+
+    /// Current cache statistics.
+    pub fn stats(&self) -> ProfilerStats {
+        *self.stats.lock()
+    }
+
+    /// Number of distinct (op, shapes) entries profiled.
+    pub fn cache_size(&self) -> usize {
+        self.cache.lock().len()
+    }
+}
+
+fn profile_key(op: &Op, ins: &[&Shape]) -> String {
+    use std::fmt::Write as _;
+    let mut key = format!("{op:?}|");
+    for s in ins {
+        let _ = write!(key, "{s};");
+    }
+    key
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ClusterSpec;
+
+    fn profiler() -> CachingOpProfiler {
+        CachingOpProfiler::new(ComputeModel::new(ClusterSpec::v100(1).device))
+    }
+
+    #[test]
+    fn caches_by_shape() {
+        let p = profiler();
+        let a = Shape::new(vec![64, 64]);
+        let b = Shape::new(vec![128, 64]);
+        let _ = p.profile(&Op::Relu, &[&a]).unwrap();
+        let _ = p.profile(&Op::Relu, &[&a]).unwrap();
+        let _ = p.profile(&Op::Relu, &[&b]).unwrap();
+        assert_eq!(p.stats().hits, 1);
+        assert_eq!(p.stats().misses, 2);
+        assert_eq!(p.cache_size(), 2);
+    }
+
+    #[test]
+    fn distinguishes_op_attributes() {
+        let p = profiler();
+        let x = Shape::new(vec![64, 64]);
+        let w = Shape::new(vec![64, 64]);
+        let _ = p.profile(&Op::MatMul { transpose_b: false }, &[&x, &w]).unwrap();
+        let _ = p.profile(&Op::MatMul { transpose_b: true }, &[&x, &w]).unwrap();
+        assert_eq!(p.stats().misses, 2);
+    }
+
+    #[test]
+    fn propagates_shape_errors() {
+        let p = profiler();
+        let x = Shape::new(vec![64, 32]);
+        let w = Shape::new(vec![64, 64]);
+        assert!(p.profile(&Op::MatMul { transpose_b: false }, &[&x, &w]).is_err());
+    }
+
+    #[test]
+    fn hit_ratio_empty_is_one() {
+        assert_eq!(profiler().stats().hit_ratio(), 1.0);
+    }
+}

@@ -1,0 +1,84 @@
+//! Property-based tests for the cost models.
+
+use lancet_cost::{CachingOpProfiler, ClusterSpec, CommCostModel, CommModel, ComputeModel};
+use lancet_ir::{Op, Shape};
+use proptest::prelude::*;
+
+proptest! {
+    /// All-to-all time is monotone in bytes for any cluster size.
+    #[test]
+    fn alltoall_monotone_in_bytes(nodes in 1usize..9, exp in 10u32..28) {
+        let m = CommModel::new(ClusterSpec::v100(nodes));
+        let gpus = nodes * 8;
+        let a = m.all_to_all_time(1u64 << exp, gpus);
+        let b = m.all_to_all_time(1u64 << (exp + 1), gpus);
+        prop_assert!(b >= a);
+    }
+
+    /// More nodes never make the same transfer faster (NIC bottleneck).
+    #[test]
+    fn alltoall_monotone_in_nodes(exp in 16u32..26) {
+        let bytes = 1u64 << exp;
+        let mut prev = 0.0;
+        for nodes in 1..=8 {
+            let m = CommModel::new(ClusterSpec::v100(nodes));
+            let t = m.all_to_all_time(bytes, nodes * 8);
+            prop_assert!(t >= prev - 1e-12, "nodes {}: {} < {}", nodes, t, prev);
+            prev = t;
+        }
+    }
+
+    /// The interpolated cost model stays within a tight band of the
+    /// ground truth everywhere in its profiled range.
+    #[test]
+    fn interpolation_error_bounded(nodes in 1usize..5, bytes in 2048u64..(1u64 << 27)) {
+        let spec = ClusterSpec::a100(nodes);
+        let gpus = nodes * 8;
+        let truth = CommModel::new(spec);
+        let model = CommCostModel::build(&truth, 1 << 28, gpus);
+        let predicted = model.query(bytes);
+        let actual = truth.all_to_all_time(bytes, gpus);
+        let err = (predicted - actual).abs() / actual;
+        prop_assert!(err < 0.15, "{} bytes: err {:.3}", bytes, err);
+    }
+
+    /// Static-shape partitioned queries are monotone in the part count.
+    #[test]
+    fn partitioned_query_monotone(parts in 1usize..16) {
+        let spec = ClusterSpec::v100(2);
+        let truth = CommModel::new(spec);
+        let model = CommCostModel::build(&truth, 1 << 28, 16);
+        let whole = model.query_partitioned(1 << 25, parts);
+        let finer = model.query_partitioned(1 << 25, parts * 2);
+        prop_assert!(finer <= whole + 1e-12);
+    }
+
+    /// Compute-op latency is monotone in the matmul extent and always at
+    /// least the launch overhead.
+    #[test]
+    fn op_time_monotone(n_pow in 4u32..9) {
+        let m = ComputeModel::new(ClusterSpec::a100(1).device);
+        let op = Op::MatMul { transpose_b: false };
+        let t_of = |n: usize| {
+            let x = Shape::new(vec![n, n]);
+            let y = Shape::new(vec![n, n]);
+            m.op_time(&op, &[&x, &x.clone()], &[&y])
+        };
+        let small = t_of(1 << n_pow);
+        let large = t_of(1 << (n_pow + 1));
+        prop_assert!(large > small);
+        prop_assert!(small >= m.device().launch_overhead);
+    }
+
+    /// The profiler is deterministic and cache-transparent: repeated
+    /// queries return the identical value.
+    #[test]
+    fn profiler_idempotent(rows in 1usize..128, cols in 1usize..128) {
+        let p = CachingOpProfiler::new(ComputeModel::new(ClusterSpec::v100(1).device));
+        let s = Shape::new(vec![rows, cols]);
+        let a = p.profile(&Op::Relu, &[&s]).unwrap();
+        let b = p.profile(&Op::Relu, &[&s]).unwrap();
+        prop_assert_eq!(a, b);
+        prop_assert_eq!(p.stats().misses, 1);
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-device tensor bindings for graph execution.
+
+use crate::{ExecError, Result};
+use lancet_ir::{Graph, TensorId, TensorKind};
+use lancet_tensor::{Tensor, TensorRng};
+use std::collections::HashMap;
+
+/// Tensor values for every device participating in an execution.
+///
+/// Inputs and weights must be bound before [`Executor::run`]; activations
+/// are filled in during execution and can be read afterwards.
+///
+/// [`Executor::run`]: crate::Executor::run
+#[derive(Debug, Clone)]
+pub struct Bindings {
+    per_device: Vec<HashMap<TensorId, Tensor>>,
+}
+
+impl Bindings {
+    /// Empty bindings for `devices` devices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `devices == 0`.
+    pub fn new(devices: usize) -> Self {
+        assert!(devices > 0, "need at least one device");
+        Bindings { per_device: vec![HashMap::new(); devices] }
+    }
+
+    /// Number of devices.
+    pub fn devices(&self) -> usize {
+        self.per_device.len()
+    }
+
+    /// Binds `value` on a single device.
+    pub fn set(&mut self, device: usize, tensor: TensorId, value: Tensor) {
+        self.per_device[device].insert(tensor, value);
+    }
+
+    /// Binds the same value on every device (replicated weights/inputs).
+    pub fn set_all(&mut self, tensor: TensorId, value: Tensor) {
+        for d in &mut self.per_device {
+            d.insert(tensor, value.clone());
+        }
+    }
+
+    /// Reads a tensor value from a device, if present.
+    pub fn get(&self, device: usize, tensor: TensorId) -> Option<&Tensor> {
+        self.per_device[device].get(&tensor)
+    }
+
+    pub(crate) fn get_required(&self, device: usize, tensor: TensorId, name: &str) -> Result<&Tensor> {
+        self.per_device[device]
+            .get(&tensor)
+            .ok_or_else(|| ExecError::Unbound { name: name.to_string() })
+    }
+
+    pub(crate) fn insert(&mut self, device: usize, tensor: TensorId, value: Tensor) {
+        self.per_device[device].insert(tensor, value);
+    }
+}
+
+/// Randomly initializes every weight of `graph` into fresh [`Bindings`].
+///
+/// Weights whose name contains `"expert"` are *expert-local*: they receive
+/// a different initialization per device (expert parallelism shards
+/// experts). All other weights are replicated identically, matching data
+/// parallelism.
+pub fn init_weights(graph: &Graph, devices: usize, seed: u64) -> Bindings {
+    let mut b = Bindings::new(devices);
+    for t in graph.tensors() {
+        if t.kind != TensorKind::Weight {
+            continue;
+        }
+        // Optimizer state starts at zero.
+        if t.name.starts_with("opt.") {
+            b.set_all(t.id, Tensor::zeros(t.shape.clone()));
+            continue;
+        }
+        let fan_in = if t.shape.rank() >= 2 { t.shape.dim(t.shape.rank() - 2) } else { t.shape.volume().max(1) };
+        let std = 1.0 / (fan_in as f32).sqrt();
+        if t.name.contains("expert") {
+            for d in 0..devices {
+                let mut rng = TensorRng::seed(seed ^ (t.id.0 as u64) << 16 ^ d as u64);
+                b.set(d, t.id, rng.normal(t.shape.clone(), std));
+            }
+        } else {
+            let mut rng = TensorRng::seed(seed ^ (t.id.0 as u64) << 16);
+            b.set_all(t.id, rng.normal(t.shape.clone(), std));
+        }
+    }
+    b
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_ir::{Op, Role};
+
+    #[test]
+    fn set_all_replicates() {
+        let mut b = Bindings::new(3);
+        let t = TensorId(0);
+        b.set_all(t, Tensor::scalar(5.0));
+        for d in 0..3 {
+            assert_eq!(b.get(d, t).unwrap().data(), &[5.0]);
+        }
+    }
+
+    #[test]
+    fn init_weights_shards_experts() {
+        let mut g = Graph::new();
+        let shared = g.weight("w", vec![4, 4]);
+        let expert = g.weight("expert.w1", vec![2, 4, 4]);
+        let x = g.input("x", vec![2, 4]);
+        let _ = g.emit(Op::MatMul { transpose_b: false }, &[x, shared], Role::Forward).unwrap();
+        let b = init_weights(&g, 2, 42);
+        assert_eq!(b.get(0, shared), b.get(1, shared));
+        assert_ne!(b.get(0, expert), b.get(1, expert));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one device")]
+    fn zero_devices_panics() {
+        let _ = Bindings::new(0);
+    }
+}

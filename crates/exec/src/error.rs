@@ -1,0 +1,88 @@
+use lancet_ir::InstrId;
+use std::fmt;
+
+/// Errors produced while executing a graph numerically.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExecError {
+    /// A required input/weight tensor was not bound before execution.
+    Unbound {
+        /// The tensor's debug name.
+        name: String,
+    },
+    /// The graph failed validation before execution.
+    Ir(lancet_ir::IrError),
+    /// A tensor kernel failed inside an instruction.
+    Kernel {
+        /// The failing instruction.
+        instr: InstrId,
+        /// Operator name.
+        op: &'static str,
+        /// Underlying tensor error.
+        source: lancet_tensor::TensorError,
+    },
+    /// The MoE data plane failed inside an instruction.
+    Moe {
+        /// The failing instruction.
+        instr: InstrId,
+        /// Operator name.
+        op: &'static str,
+        /// Underlying data-plane error.
+        source: lancet_moe::MoeError,
+    },
+    /// An operator is not executable (appears only as a cost-model
+    /// placeholder) or its attributes are inconsistent with its inputs.
+    Unsupported {
+        /// The failing instruction.
+        instr: InstrId,
+        /// Explanation.
+        detail: String,
+    },
+    /// A bound tensor's shape differs from its IR declaration.
+    ShapeMismatch {
+        /// The tensor's debug name.
+        name: String,
+        /// Declared shape.
+        declared: Vec<usize>,
+        /// Bound shape.
+        bound: Vec<usize>,
+    },
+}
+
+impl fmt::Display for ExecError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExecError::Unbound { name } => write!(f, "tensor `{name}` was not bound"),
+            ExecError::Ir(e) => write!(f, "invalid graph: {e}"),
+            ExecError::Kernel { instr, op, source } => {
+                write!(f, "kernel failure in {instr} ({op}): {source}")
+            }
+            ExecError::Moe { instr, op, source } => {
+                write!(f, "data-plane failure in {instr} ({op}): {source}")
+            }
+            ExecError::Unsupported { instr, detail } => {
+                write!(f, "unsupported instruction {instr}: {detail}")
+            }
+            ExecError::ShapeMismatch { name, declared, bound } => {
+                write!(f, "tensor `{name}` bound with shape {bound:?}, declared {declared:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExecError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExecError::Ir(e) => Some(e),
+            ExecError::Kernel { source, .. } => Some(source),
+            ExecError::Moe { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<lancet_ir::IrError> for ExecError {
+    fn from(e: lancet_ir::IrError) -> Self {
+        ExecError::Ir(e)
+    }
+}

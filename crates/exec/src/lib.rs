@@ -1,0 +1,42 @@
+//! Multi-device SPMD numerical executor for the Lancet IR.
+//!
+//! Runs a [`lancet_ir::Graph`] on `G` simulated devices holding real `f32`
+//! data: compute instructions execute independently per device, collectives
+//! (`AllToAll`, `AllToAllIrr`, `AllReduce`) synchronize across devices
+//! through the `lancet-moe` data plane.
+//!
+//! The executor exists to *verify* the compiler: autodiff is checked
+//! against finite differences, and the Lancet passes are checked to be
+//! semantics-preserving by executing the transformed and original graphs
+//! on identical inputs and comparing outputs bit-for-bit (where exact) or
+//! within floating-point tolerance.
+//!
+//! # Example
+//!
+//! ```
+//! use lancet_exec::{Bindings, Executor};
+//! use lancet_ir::{Graph, Op, Role};
+//! use lancet_tensor::Tensor;
+//!
+//! let mut g = Graph::new();
+//! let x = g.input("x", vec![2, 2]);
+//! let y = g.emit(Op::Relu, &[x], Role::Forward)?;
+//!
+//! let mut b = Bindings::new(1);
+//! b.set_all(x, Tensor::from_vec(vec![2, 2], vec![-1.0, 2.0, -3.0, 4.0])?);
+//! let out = Executor::new(&g, 1)?.run(b)?;
+//! assert_eq!(out.get(0, y).unwrap().data(), &[0.0, 2.0, 0.0, 4.0]);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod bindings;
+mod error;
+mod executor;
+mod kernels;
+
+pub use bindings::{init_weights, Bindings};
+pub use error::ExecError;
+pub use executor::Executor;
+
+/// Result alias for fallible executor operations.
+pub type Result<T> = std::result::Result<T, ExecError>;

@@ -1,0 +1,101 @@
+//! Executor error paths: missing bindings, shape mismatches, and
+//! topology violations must fail loudly with actionable messages.
+
+use lancet_exec::{Bindings, ExecError, Executor};
+use lancet_ir::{Graph, Op, Role};
+use lancet_tensor::Tensor;
+
+#[test]
+fn unbound_input_is_reported_by_name() {
+    let mut g = Graph::new();
+    let x = g.input("tokens", vec![2, 2]);
+    let _ = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+    let err = Executor::new(&g, 1).unwrap().run(Bindings::new(1)).unwrap_err();
+    match err {
+        ExecError::Unbound { name } => assert_eq!(name, "tokens"),
+        other => panic!("expected Unbound, got {other}"),
+    }
+}
+
+#[test]
+fn wrong_shape_binding_is_rejected() {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![2, 2]);
+    let _ = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+    let mut b = Bindings::new(1);
+    b.set_all(x, Tensor::zeros(vec![3, 3]));
+    let err = Executor::new(&g, 1).unwrap().run(b).unwrap_err();
+    match err {
+        ExecError::ShapeMismatch { name, declared, bound } => {
+            assert_eq!(name, "x");
+            assert_eq!(declared, vec![2, 2]);
+            assert_eq!(bound, vec![3, 3]);
+        }
+        other => panic!("expected ShapeMismatch, got {other}"),
+    }
+}
+
+#[test]
+fn invalid_graph_rejected_at_construction() {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![2, 2]);
+    let a = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+    let b = g.emit(Op::Gelu, &[a], Role::Forward).unwrap();
+    let _ = b;
+    // A failed reorder must leave the graph intact (and executable).
+    let ids: Vec<_> = g.instrs().iter().map(|i| i.id).collect();
+    assert!(g.reorder(vec![ids[1], ids[0]]).is_err());
+    assert!(g.validate().is_ok(), "failed reorder corrupted the graph");
+    assert!(Executor::new(&g, 1).is_ok());
+}
+
+#[test]
+fn allgather_wrong_device_count_fails() {
+    let mut g = Graph::new();
+    let shard = g.weight("w.shard", vec![2, 4]);
+    let _full = g.emit(Op::AllGather { gpus: 4 }, &[shard], Role::Comm).unwrap();
+    let mut b = Bindings::new(2); // only two devices participate
+    b.set_all(shard, Tensor::zeros(vec![2, 4]));
+    let err = Executor::new(&g, 2).unwrap().run(b).unwrap_err();
+    assert!(matches!(err, ExecError::Unsupported { .. }), "{err}");
+}
+
+#[test]
+fn alltoall_topology_mismatch_reported() {
+    // 3 experts on 2 devices does not divide → data-plane error wrapped
+    // with the instruction.
+    let mut g = Graph::new();
+    let x = g.input("buf", vec![3, 2, 2]);
+    let _ = g.emit(Op::AllToAll, &[x], Role::Comm).unwrap();
+    let mut b = Bindings::new(2);
+    b.set_all(x, Tensor::zeros(vec![3, 2, 2]));
+    let err = Executor::new(&g, 2).unwrap().run(b).unwrap_err();
+    assert!(matches!(err, ExecError::Moe { .. }), "{err}");
+    // Error display names the failing op.
+    assert!(err.to_string().contains("all_to_all"), "{err}");
+}
+
+#[test]
+fn kernel_error_carries_instruction_context() {
+    // BiasAdd with mismatched bias length fails inside the kernel.
+    let mut g = Graph::new();
+    let x = g.input("x", vec![2, 4]);
+    let b_t = g.input("b", vec![4]);
+    let _ = g.emit(Op::BiasAdd, &[x, b_t], Role::Forward).unwrap();
+    let mut bind = Bindings::new(1);
+    bind.set(0, x, Tensor::zeros(vec![2, 4]));
+    // Deliberately bind a wrong-size bias by bypassing the declared-shape
+    // check… which is impossible through the public API — the executor
+    // validates shapes up front. Verify that protection instead.
+    bind.set(0, b_t, Tensor::zeros(vec![5]));
+    let err = Executor::new(&g, 1).unwrap().run(bind).unwrap_err();
+    assert!(matches!(err, ExecError::ShapeMismatch { .. }));
+}
+
+#[test]
+fn error_display_is_meaningful() {
+    let e = ExecError::Unbound { name: "wte".into() };
+    assert_eq!(e.to_string(), "tensor `wte` was not bound");
+    let e = ExecError::Unsupported { instr: lancet_ir::InstrId(3), detail: "why".into() };
+    assert!(e.to_string().contains("@3"));
+}

@@ -1,0 +1,244 @@
+//! Finite-difference validation of the IR autodiff through the executor.
+//!
+//! These tests are the foundation of every later "the passes preserve
+//! semantics" claim: they establish that executing the autodiff-generated
+//! backward graph computes the true gradient of the executed forward graph.
+
+use lancet_exec::{init_weights, Bindings, Executor};
+use lancet_ir::{build_backward, BackwardOptions, GateKind, Graph, Op, Role, TensorId};
+use lancet_tensor::Tensor;
+
+/// Builds a tiny dense transformer-ish model: embedding → attention →
+/// residual → FFN → loss.
+fn dense_model() -> (Graph, TensorId, TensorId) {
+    let mut g = Graph::new();
+    let ids = g.input("ids", vec![2, 4]);
+    let targets = g.input("targets", vec![2, 4]);
+    let table = g.weight("wte", vec![7, 8]);
+    let wq = g.weight("wq", vec![8, 8]);
+    let wk = g.weight("wk", vec![8, 8]);
+    let wv = g.weight("wv", vec![8, 8]);
+    let wo = g.weight("wo", vec![8, 8]);
+    let w1 = g.weight("w1", vec![8, 16]);
+    let b1 = g.weight("b1", vec![16]);
+    let w2 = g.weight("w2", vec![16, 8]);
+    let gamma = g.weight("ln.g", vec![8]);
+    let beta = g.weight("ln.b", vec![8]);
+    let lm = g.weight("lm", vec![8, 7]);
+
+    let x = g.emit(Op::Embedding, &[table, ids], Role::Forward).unwrap();
+    let xn = g.emit(Op::LayerNorm { eps: 1e-5 }, &[x, gamma, beta], Role::Forward).unwrap();
+    let q = g.emit(Op::MatMul { transpose_b: false }, &[xn, wq], Role::Forward).unwrap();
+    let k = g.emit(Op::MatMul { transpose_b: false }, &[xn, wk], Role::Forward).unwrap();
+    let v = g.emit(Op::MatMul { transpose_b: false }, &[xn, wv], Role::Forward).unwrap();
+    let scores = g.emit(Op::AttnScores { heads: 2, causal: true }, &[q, k], Role::Forward).unwrap();
+    let probs = g.emit(Op::Softmax, &[scores], Role::Forward).unwrap();
+    let ctx = g.emit(Op::AttnContext { heads: 2 }, &[probs, v], Role::Forward).unwrap();
+    let proj = g.emit(Op::MatMul { transpose_b: false }, &[ctx, wo], Role::Forward).unwrap();
+    let res = g.emit(Op::Add, &[x, proj], Role::Forward).unwrap();
+    let h = g.emit(Op::MatMul { transpose_b: false }, &[res, w1], Role::Forward).unwrap();
+    let h = g.emit(Op::BiasAdd, &[h, b1], Role::Forward).unwrap();
+    let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+    let h = g.emit(Op::MatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+    let out = g.emit(Op::Add, &[res, h], Role::Forward).unwrap();
+    let logits = g.emit(Op::MatMul { transpose_b: false }, &[out, lm], Role::Forward).unwrap();
+    let loss_outs = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward).unwrap();
+    (g, ids, loss_outs[0])
+}
+
+fn bind_tokens(g: &Graph, b: &mut Bindings, ids: &[f32], targets: &[f32]) {
+    let inputs = g.inputs();
+    b.set_all(inputs[0], Tensor::from_vec(vec![2, 4], ids.to_vec()).unwrap());
+    b.set_all(inputs[1], Tensor::from_vec(vec![2, 4], targets.to_vec()).unwrap());
+}
+
+fn loss_of(g: &Graph, bindings: Bindings, loss: TensorId) -> f32 {
+    let out = Executor::new(g, bindings.devices()).unwrap().run(bindings).unwrap();
+    out.get(0, loss).unwrap().data()[0]
+}
+
+/// Checks dL/dw numerically for a handful of elements of each weight.
+fn check_weight_grads(
+    g: &Graph,
+    base: &Bindings,
+    loss: TensorId,
+    grads: &std::collections::HashMap<TensorId, TensorId>,
+    tol: f32,
+    skip: &[&str],
+) {
+    let out = Executor::new(g, base.devices()).unwrap().run(base.clone()).unwrap();
+    for (&w, &dw) in grads {
+        let name = &g.tensor(w).name;
+        if skip.iter().any(|s| name.contains(s)) {
+            continue;
+        }
+        let analytic = out.get(0, dw).unwrap().clone();
+        let volume = analytic.volume();
+        // Probe a few indices spread through the tensor.
+        let probes: Vec<usize> = (0..volume).step_by((volume / 5).max(1)).take(5).collect();
+        for &i in &probes {
+            let eps = 1e-2f32;
+            let mut plus = base.clone();
+            let mut minus = base.clone();
+            for d in 0..base.devices() {
+                let mut t = base.get(d, w).unwrap().clone();
+                t.data_mut()[i] += eps;
+                plus.set(d, w, t);
+                let mut t = base.get(d, w).unwrap().clone();
+                t.data_mut()[i] -= eps;
+                minus.set(d, w, t);
+            }
+            let lp = loss_of(g, plus, loss);
+            let lm = loss_of(g, minus, loss);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let a = analytic.data()[i];
+            assert!(
+                (a - numeric).abs() <= tol + tol * numeric.abs().max(a.abs()),
+                "weight `{name}`[{i}]: analytic {a} vs numeric {numeric}"
+            );
+        }
+    }
+}
+
+#[test]
+fn dense_model_gradients_match_finite_differences() {
+    let (mut g, _ids, loss) = dense_model();
+    let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+    let mut b = init_weights(&g, 1, 11);
+    bind_tokens(&g, &mut b, &[0., 1., 2., 3., 4., 5., 6., 0.], &[1., 2., 3., 4., 5., 6., 0., 1.]);
+    check_weight_grads(&g, &b, loss, &grads, 2e-2, &[]);
+}
+
+/// Builds a single-MoE-layer model distributed over `gpus` devices.
+fn moe_model(gpus: usize, gate: GateKind) -> (Graph, TensorId) {
+    let experts = 2 * gpus;
+    let cap = 6;
+    let mut g = Graph::new();
+    let ids = g.input("ids", vec![2, 4]);
+    let targets = g.input("targets", vec![2, 4]);
+    let table = g.weight("wte", vec![7, 8]);
+    let wg = g.weight("gate.w", vec![8, experts]);
+    let w1 = g.weight("expert.w1", vec![2, 8, 16]);
+    let w2 = g.weight("expert.w2", vec![2, 16, 8]);
+    let lm = g.weight("lm", vec![8, 7]);
+
+    let x = g.emit(Op::Embedding, &[table, ids], Role::Forward).unwrap();
+    let gate_outs = g
+        .emit_multi(Op::Gate { kind: gate, experts, capacity: cap }, &[x, wg], Role::Forward)
+        .unwrap();
+    let buf = g
+        .emit(Op::MoeDispatch { experts, capacity: cap }, &[x, gate_outs[0], gate_outs[1]], Role::Forward)
+        .unwrap();
+    let buf = g.emit(Op::AllToAll, &[buf], Role::Comm).unwrap();
+    let loc = g.emit(Op::ExpertsLayout { gpus }, &[buf], Role::Forward).unwrap();
+    let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).unwrap();
+    let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+    let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+    let back = g.emit(Op::ExpertsLayoutInv { gpus }, &[h], Role::Forward).unwrap();
+    let back = g.emit(Op::AllToAll, &[back], Role::Comm).unwrap();
+    let y = g
+        .emit(
+            Op::MoeGather { experts, capacity: cap, batch: 2, seq: 4 },
+            &[back, gate_outs[0], gate_outs[1]],
+            Role::Forward,
+        )
+        .unwrap();
+    let out = g.emit(Op::Add, &[x, y], Role::Forward).unwrap();
+    let logits = g.emit(Op::MatMul { transpose_b: false }, &[out, lm], Role::Forward).unwrap();
+    let loss_outs = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward).unwrap();
+    (g, loss_outs[0])
+}
+
+#[test]
+fn moe_model_gradients_match_finite_differences() {
+    let (mut g, loss) = moe_model(2, GateKind::Switch);
+    let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+    let mut b = init_weights(&g, 2, 5);
+    let inputs = g.inputs();
+    // Different tokens per device (data parallelism).
+    b.set(0, inputs[0], Tensor::from_vec(vec![2, 4], vec![0., 1., 2., 3., 4., 5., 6., 0.]).unwrap());
+    b.set(1, inputs[0], Tensor::from_vec(vec![2, 4], vec![3., 2., 1., 0., 6., 5., 4., 3.]).unwrap());
+    b.set(0, inputs[1], Tensor::from_vec(vec![2, 4], vec![1., 2., 3., 4., 5., 6., 0., 1.]).unwrap());
+    b.set(1, inputs[1], Tensor::from_vec(vec![2, 4], vec![4., 3., 2., 1., 0., 6., 5., 4.]).unwrap());
+
+    // Loss on device 0 depends on device-0 tokens, all expert weights it
+    // touches, and (through all-to-all) other devices' tokens into its
+    // experts. We check the replicated weights downstream of routing
+    // against the device-0 loss. Skipped: expert weights (cross-device
+    // coupling, validated by `moe_cross_device_expert_gradients`), and
+    // gate/embedding weights (perturbing them can flip the discrete
+    // routing decision, making finite differences invalid).
+    check_weight_grads(&g, &b, loss, &grads, 5e-2, &["expert", "gate", "wte"]);
+}
+
+#[test]
+fn moe_cross_device_expert_gradients() {
+    // Expert weights receive gradient contributions from *all* devices'
+    // tokens (through the all-to-all). Perturb expert.w1 on device 1 only
+    // and compare its analytic gradient against the total (summed) loss.
+    let (mut g, loss) = moe_model(2, GateKind::Switch);
+    let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+    let base = {
+        let mut b = init_weights(&g, 2, 5);
+        let inputs = g.inputs();
+        b.set(0, inputs[0], Tensor::from_vec(vec![2, 4], vec![0., 1., 2., 3., 4., 5., 6., 0.]).unwrap());
+        b.set(1, inputs[0], Tensor::from_vec(vec![2, 4], vec![3., 2., 1., 0., 6., 5., 4., 3.]).unwrap());
+        b.set(0, inputs[1], Tensor::from_vec(vec![2, 4], vec![1., 2., 3., 4., 5., 6., 0., 1.]).unwrap());
+        b.set(1, inputs[1], Tensor::from_vec(vec![2, 4], vec![4., 3., 2., 1., 0., 6., 5., 4.]).unwrap());
+        b
+    };
+    let w1 = g
+        .weights()
+        .into_iter()
+        .find(|&w| g.tensor(w).name == "expert.w1")
+        .unwrap();
+    let dw1 = grads[&w1];
+    let total_loss = |b: Bindings| -> f32 {
+        let out = Executor::new(&g, 2).unwrap().run(b).unwrap();
+        out.get(0, loss).unwrap().data()[0] + out.get(1, loss).unwrap().data()[0]
+    };
+    let out = Executor::new(&g, 2).unwrap().run(base.clone()).unwrap();
+    let analytic = out.get(1, dw1).unwrap().clone();
+    let volume = analytic.volume();
+    let eps = 1e-2f32;
+    for i in (0..volume).step_by((volume / 5).max(1)).take(5) {
+        let mut plus = base.clone();
+        let mut t = base.get(1, w1).unwrap().clone();
+        t.data_mut()[i] += eps;
+        plus.set(1, w1, t);
+        let mut minus = base.clone();
+        let mut t = base.get(1, w1).unwrap().clone();
+        t.data_mut()[i] -= eps;
+        minus.set(1, w1, t);
+        let numeric = (total_loss(plus) - total_loss(minus)) / (2.0 * eps);
+        let a = analytic.data()[i];
+        assert!(
+            (a - numeric).abs() <= 5e-2 + 5e-2 * numeric.abs().max(a.abs()),
+            "expert.w1[{i}]: analytic {a} vs numeric {numeric}"
+        );
+    }
+}
+
+#[test]
+fn moe_expert_weight_gradients_single_device() {
+    // On one device the all-to-all is the identity, so finite differences
+    // validate expert weights too.
+    let (mut g, loss) = moe_model(1, GateKind::Switch);
+    let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+    let mut b = init_weights(&g, 1, 3);
+    bind_tokens(&g, &mut b, &[0., 1., 2., 3., 4., 5., 6., 0.], &[1., 2., 3., 4., 5., 6., 0., 1.]);
+    check_weight_grads(&g, &b, loss, &grads, 5e-2, &["gate"]);
+}
+
+#[test]
+fn bpr_gate_executes_and_differentiates() {
+    let (mut g, loss) = moe_model(2, GateKind::BatchPrioritized);
+    let _ = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+    let mut b = init_weights(&g, 2, 9);
+    let inputs = g.inputs();
+    b.set_all(inputs[0], Tensor::from_vec(vec![2, 4], vec![0., 1., 2., 3., 4., 5., 6., 0.]).unwrap());
+    b.set_all(inputs[1], Tensor::from_vec(vec![2, 4], vec![1., 2., 3., 4., 5., 6., 0., 1.]).unwrap());
+    let out = Executor::new(&g, 2).unwrap().run(b).unwrap();
+    let l = out.get(0, loss).unwrap().data()[0];
+    assert!(l.is_finite() && l > 0.0);
+}

@@ -1,0 +1,169 @@
+//! Optimizer-update semantics: SGD with momentum (the paper's training
+//! setup) and Adam, checked against hand-computed math and exercised on a
+//! multi-step training loop.
+
+use lancet_exec::{init_weights, Bindings, Executor};
+use lancet_ir::{
+    build_backward, BackwardOptions, GateKind, Graph, Op, Optimizer, Role, TensorId, TensorKind,
+};
+use lancet_models::{build_forward, GptMoeConfig};
+use lancet_tensor::{Tensor, TensorRng};
+
+#[test]
+fn sgd_momentum_matches_hand_math() {
+    let mut g = Graph::new();
+    let w = g.weight("w", vec![2]);
+    let dw = g.input("dw", vec![2]);
+    let vel = g.weight("opt.vel.w", vec![2]);
+    let outs = g
+        .emit_multi(Op::SgdMomentumUpdate { lr: 0.1, momentum: 0.9 }, &[w, dw, vel], Role::Optimizer)
+        .unwrap();
+    let mut b = Bindings::new(1);
+    b.set_all(w, Tensor::from_vec(vec![2], vec![1.0, -2.0]).unwrap());
+    b.set_all(dw, Tensor::from_vec(vec![2], vec![0.5, 0.25]).unwrap());
+    b.set_all(vel, Tensor::from_vec(vec![2], vec![0.2, -0.4]).unwrap());
+    let out = Executor::new(&g, 1).unwrap().run(b).unwrap();
+    // vel' = 0.9·vel + dw ; w' = w − 0.1·vel'
+    let vel_next = out.get(0, outs[1]).unwrap();
+    assert!(vel_next.allclose(&Tensor::from_vec(vec![2], vec![0.68, -0.11]).unwrap()));
+    let w_next = out.get(0, outs[0]).unwrap();
+    assert!(w_next.allclose(&Tensor::from_vec(vec![2], vec![1.0 - 0.068, -2.0 + 0.011]).unwrap()));
+}
+
+#[test]
+fn adam_matches_hand_math() {
+    let (lr, b1, b2, eps) = (0.01f32, 0.9f32, 0.999f32, 1e-8f32);
+    let mut g = Graph::new();
+    let w = g.weight("w", vec![1]);
+    let dw = g.input("dw", vec![1]);
+    let m = g.weight("opt.m.w", vec![1]);
+    let v = g.weight("opt.v.w", vec![1]);
+    let outs = g
+        .emit_multi(Op::AdamUpdate { lr, beta1: b1, beta2: b2, eps }, &[w, dw, m, v], Role::Optimizer)
+        .unwrap();
+    let mut b = Bindings::new(1);
+    b.set_all(w, Tensor::scalar(2.0).reshape(vec![1]).unwrap());
+    b.set_all(dw, Tensor::scalar(0.5).reshape(vec![1]).unwrap());
+    b.set_all(m, Tensor::scalar(0.1).reshape(vec![1]).unwrap());
+    b.set_all(v, Tensor::scalar(0.04).reshape(vec![1]).unwrap());
+    let out = Executor::new(&g, 1).unwrap().run(b).unwrap();
+    let m_next = b1 * 0.1 + (1.0 - b1) * 0.5;
+    let v_next = b2 * 0.04 + (1.0 - b2) * 0.25;
+    let w_next = 2.0 - lr * m_next / (v_next.sqrt() + eps);
+    assert!((out.get(0, outs[1]).unwrap().data()[0] - m_next).abs() < 1e-7);
+    assert!((out.get(0, outs[2]).unwrap().data()[0] - v_next).abs() < 1e-7);
+    assert!((out.get(0, outs[0]).unwrap().data()[0] - w_next).abs() < 1e-6);
+}
+
+/// Trains the tiny model for a few steps with a given optimizer, threading
+/// both weights and optimizer state between iterations.
+fn train(optimizer: Optimizer, steps: usize) -> Vec<f32> {
+    let devices = 2;
+    let cfg = GptMoeConfig::tiny(devices, GateKind::Switch);
+    let mut g = build_forward(&cfg).unwrap().graph;
+    build_backward(&mut g, &BackwardOptions { sgd_lr: None, optimizer, allreduce_grads: false })
+        .unwrap();
+
+    // State: map weight name → per-device value, fed back each step.
+    let mut state: std::collections::HashMap<(TensorId, usize), Tensor> = Default::default();
+    let seed_bindings = init_weights(&g, devices, 77);
+    for t in g.tensors() {
+        if t.kind == TensorKind::Weight {
+            for d in 0..devices {
+                state.insert((t.id, d), seed_bindings.get(d, t.id).unwrap().clone());
+            }
+        }
+    }
+    let loss_tensor = g
+        .instrs()
+        .iter()
+        .find(|i| matches!(i.op, Op::CrossEntropy))
+        .map(|i| i.outputs[0])
+        .unwrap();
+
+    let mut losses = Vec::new();
+    for _ in 0..steps {
+        let mut b = Bindings::new(devices);
+        for t in g.tensors() {
+            match t.kind {
+                TensorKind::Weight => {
+                    for d in 0..devices {
+                        b.set(d, t.id, state[&(t.id, d)].clone());
+                    }
+                }
+                TensorKind::Input => {
+                    for d in 0..devices {
+                        let mut rng = TensorRng::seed(0xDA7A ^ d as u64 ^ u64::from(t.id.0));
+                        let vals: Vec<f32> =
+                            (0..t.shape.volume()).map(|_| rng.below(7) as f32).collect();
+                        b.set(d, t.id, Tensor::from_vec(t.shape.clone(), vals).unwrap());
+                    }
+                }
+                _ => {}
+            }
+        }
+        let out = Executor::new(&g, devices).unwrap().run(b).unwrap();
+        losses.push(out.get(0, loss_tensor).unwrap().data()[0]);
+        // Thread updated weights and optimizer state back.
+        for instr in g.instrs() {
+            match instr.op {
+                Op::SgdUpdate { .. } => {
+                    for d in 0..devices {
+                        state.insert((instr.inputs[0], d), out.get(d, instr.outputs[0]).unwrap().clone());
+                    }
+                }
+                Op::SgdMomentumUpdate { .. } => {
+                    for d in 0..devices {
+                        state.insert((instr.inputs[0], d), out.get(d, instr.outputs[0]).unwrap().clone());
+                        state.insert((instr.inputs[2], d), out.get(d, instr.outputs[1]).unwrap().clone());
+                    }
+                }
+                Op::AdamUpdate { .. } => {
+                    for d in 0..devices {
+                        state.insert((instr.inputs[0], d), out.get(d, instr.outputs[0]).unwrap().clone());
+                        state.insert((instr.inputs[2], d), out.get(d, instr.outputs[1]).unwrap().clone());
+                        state.insert((instr.inputs[3], d), out.get(d, instr.outputs[2]).unwrap().clone());
+                    }
+                }
+                _ => {}
+            }
+        }
+    }
+    losses
+}
+
+#[test]
+fn momentum_training_converges() {
+    let losses = train(Optimizer::SgdMomentum { lr: 0.1, momentum: 0.9 }, 6);
+    assert!(
+        losses[5] < losses[0],
+        "momentum training did not reduce loss: {losses:?}"
+    );
+}
+
+#[test]
+fn adam_training_converges() {
+    let losses = train(Optimizer::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 }, 6);
+    assert!(losses[5] < losses[0], "adam training did not reduce loss: {losses:?}");
+}
+
+#[test]
+fn optimizer_states_declared_per_weight() {
+    let cfg = GptMoeConfig::tiny(2, GateKind::Switch);
+    let mut g = build_forward(&cfg).unwrap().graph;
+    let opts = BackwardOptions {
+        sgd_lr: None,
+        optimizer: Optimizer::Adam { lr: 0.01, beta1: 0.9, beta2: 0.999, eps: 1e-8 },
+        allreduce_grads: false,
+    };
+    build_backward(&mut g, &opts).unwrap();
+    let n_model_weights = g
+        .tensors()
+        .iter()
+        .filter(|t| t.kind == TensorKind::Weight && !t.name.starts_with("opt."))
+        .count();
+    let n_m = g.tensors().iter().filter(|t| t.name.starts_with("opt.m.")).count();
+    let n_v = g.tensors().iter().filter(|t| t.name.starts_with("opt.v.")).count();
+    assert_eq!(n_m, n_model_weights);
+    assert_eq!(n_v, n_model_weights);
+}

@@ -1,0 +1,103 @@
+//! Cross-checks the executor kernels against the IR's shape inference:
+//! for every instruction of a randomly generated-but-valid training graph,
+//! the executed tensor's shape must equal the declared static shape.
+//! This pins the two independent implementations of each operator's
+//! semantics (analytical and numerical) to each other.
+
+use lancet_exec::{init_weights, Bindings, Executor};
+use lancet_ir::{build_backward, BackwardOptions, GateKind, Graph};
+use lancet_models::{build_forward, GptMoeConfig};
+use lancet_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn bind_inputs(g: &Graph, devices: usize, seed: u64) -> Bindings {
+    let mut b = init_weights(g, devices, seed);
+    for t in g.tensors() {
+        if t.kind == lancet_ir::TensorKind::Input {
+            for d in 0..devices {
+                let mut rng = TensorRng::seed(seed ^ (d as u64) << 8 ^ u64::from(t.id.0));
+                let vals: Vec<f32> = (0..t.shape.volume()).map(|_| rng.below(7) as f32).collect();
+                b.set(d, t.id, Tensor::from_vec(t.shape.clone(), vals).unwrap());
+            }
+        }
+    }
+    b
+}
+
+fn check_all_shapes(g: &Graph, devices: usize, seed: u64) -> Result<(), TestCaseError> {
+    let out = Executor::new(g, devices).unwrap().run(bind_inputs(g, devices, seed)).unwrap();
+    for instr in g.instrs() {
+        for &t in &instr.outputs {
+            let declared = g.tensor(t).shape.dims();
+            for d in 0..devices {
+                let got = out.get(d, t).expect("produced");
+                prop_assert_eq!(
+                    got.shape(),
+                    declared,
+                    "instr {} ({}) output {} on device {}",
+                    instr.id,
+                    instr.op.name(),
+                    t,
+                    d
+                );
+            }
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Every executed tensor matches its declared shape, across gates,
+    /// device counts, FSDP, shared experts, and the full backward pass.
+    #[test]
+    fn executed_shapes_match_declared(
+        gate_sel in 0usize..4,
+        layers in 1usize..4,
+        fsdp in any::<bool>(),
+        shared in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let gate = match gate_sel {
+            0 => GateKind::Switch,
+            1 => GateKind::TopK { k: 2 },
+            2 => GateKind::BatchPrioritized,
+            _ => GateKind::ExpertChoice,
+        };
+        let devices = 2;
+        let cfg = GptMoeConfig::tiny(devices, gate)
+            .with_layers(layers)
+            .with_fsdp(fsdp)
+            .with_shared_expert(shared);
+        let mut g = build_forward(&cfg).unwrap().graph;
+        build_backward(&mut g, &BackwardOptions { sgd_lr: Some(0.1), optimizer: Default::default(), allreduce_grads: true })
+            .unwrap();
+        check_all_shapes(&g, devices, seed)?;
+    }
+
+    /// Same conformance through the partitioned (irregular) pipeline.
+    #[test]
+    fn partitioned_shapes_match_declared(parts in 2usize..3, seed in any::<u64>()) {
+        use lancet_core::{apply_partitions, infer_axes, PartitionSpec};
+        let devices = 2;
+        let cfg = GptMoeConfig::tiny(devices, GateKind::Switch);
+        let fwd = build_forward(&cfg).unwrap().graph;
+        let start = fwd
+            .instrs()
+            .iter()
+            .position(|i| matches!(i.op, lancet_ir::Op::Gate { .. }))
+            .unwrap();
+        let end = fwd
+            .instrs()
+            .iter()
+            .position(|i| matches!(i.op, lancet_ir::Op::MoeGather { .. }))
+            .unwrap()
+            + 1;
+        let axes = infer_axes(&fwd, start..end).unwrap();
+        let mut g =
+            apply_partitions(&fwd, &[PartitionSpec { range: start..end, parts, axes }]).unwrap();
+        build_backward(&mut g, &BackwardOptions::default()).unwrap();
+        check_all_shapes(&g, devices, seed)?;
+    }
+}

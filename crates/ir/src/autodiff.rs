@@ -1,0 +1,633 @@
+//! Reverse-mode differentiation of forward graphs.
+//!
+//! `build_backward` walks the forward instruction sequence in reverse and
+//! emits explicit gradient instructions, tagging activation gradients as
+//! [`Role::ActGrad`], weight gradients as [`Role::WeightGrad`] and
+//! collective gradients as [`Role::Comm`]. The emitted order mirrors what
+//! an eager framework produces (dX and dW interleaved per layer), which is
+//! precisely the *unoptimized* baseline the Lancet dW-scheduling pass then
+//! improves.
+
+use crate::{Graph, Instr, IrError, Op, Result, Role, TensorId, TensorKind};
+use std::collections::HashMap;
+
+/// Which parameter-update rule the backward builder appends.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub enum Optimizer {
+    /// No update instructions (gradients only).
+    #[default]
+    None,
+    /// Plain SGD.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// SGD with heavy-ball momentum — the paper's training setup.
+    SgdMomentum {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient.
+        momentum: f32,
+    },
+    /// Adam without bias correction.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Denominator stabilizer.
+        eps: f32,
+    },
+}
+
+/// Options controlling backward-graph construction.
+#[derive(Debug, Clone, Default)]
+pub struct BackwardOptions {
+    /// When set, emit an SGD update instruction per weight with this
+    /// learning rate. Shorthand for `optimizer = Sgd`; ignored when
+    /// `optimizer` is set explicitly.
+    pub sgd_lr: Option<f32>,
+    /// Parameter-update rule to append (optimizer state tensors are
+    /// declared as weights named `opt.<kind>.<weight>`; bind them to
+    /// zeros on the first iteration).
+    pub optimizer: Optimizer,
+    /// Emit a gradient all-reduce for every *replicated* weight (weights
+    /// whose name does not contain `"expert"`; expert weights are sharded
+    /// and must not be synchronized).
+    pub allreduce_grads: bool,
+}
+
+impl BackwardOptions {
+    fn effective_optimizer(&self) -> Optimizer {
+        match (self.optimizer, self.sgd_lr) {
+            (Optimizer::None, Some(lr)) => Optimizer::Sgd { lr },
+            (opt, _) => opt,
+        }
+    }
+}
+
+/// Emits the backward pass for `g`, which must contain exactly one
+/// [`Op::CrossEntropy`] instruction providing the scalar loss.
+///
+/// Returns the map from weight tensor to its gradient tensor.
+///
+/// # Errors
+///
+/// Returns [`IrError::NonDifferentiable`] if the forward graph contains an
+/// operator without a gradient rule on a differentiable path, or
+/// [`IrError::InvalidTransform`] if no loss instruction is found.
+///
+/// # Example
+///
+/// ```
+/// use lancet_ir::{build_backward, Graph, Op, Role};
+///
+/// let mut g = Graph::new();
+/// let x = g.input("logits", vec![1, 2, 4]);
+/// let t = g.input("targets", vec![1, 2]);
+/// let w = g.weight("w", vec![4, 4]);
+/// let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward)?;
+/// let _ = g.emit_multi(Op::CrossEntropy, &[h, t], Role::Forward)?;
+/// let grads = build_backward(&mut g, &Default::default())?;
+/// assert!(grads.contains_key(&w));
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+pub fn build_backward(g: &mut Graph, opts: &BackwardOptions) -> Result<HashMap<TensorId, TensorId>> {
+    let forward: Vec<Instr> = g.instrs().to_vec();
+    let loss_instr = forward
+        .iter()
+        .rev()
+        .find(|i| matches!(i.op, Op::CrossEntropy))
+        .cloned()
+        .ok_or_else(|| IrError::InvalidTransform("no CrossEntropy loss in graph".into()))?;
+
+    let mut grads: HashMap<TensorId, TensorId> = HashMap::new();
+    // Seed: d(loss)/d(logits) from the stored probabilities.
+    let probs = loss_instr.outputs[1];
+    let targets = loss_instr.inputs[1];
+    let logits = loss_instr.inputs[0];
+    let dlogits = g.emit(Op::CrossEntropyGrad, &[probs, targets], Role::ActGrad)?;
+    grads.insert(logits, dlogits);
+
+    for instr in forward.iter().rev() {
+        if matches!(instr.op, Op::CrossEntropy) {
+            continue;
+        }
+        emit_vjp(g, instr, &mut grads)?;
+    }
+
+    // Collect weight gradients, optionally synchronize and apply updates.
+    // Iterate weights in *reverse* definition order ≈ gradient-completion
+    // order (backward reaches late-defined weights first), so collectives
+    // issued on a communication stream don't head-of-line block behind
+    // the embedding's gradient — the classic DDP bucketing order.
+    let producers = g.producer_positions();
+    let mut weight_grads = HashMap::new();
+    for w in g.weights().into_iter().rev() {
+        if let Some(&dw) = grads.get(&w) {
+            let mut dw = dw;
+            let is_expert = g.tensor(w).name.contains("expert");
+            // FSDP shard gradients arrive via reduce-scatter, which
+            // already sums across devices — all-reducing them again
+            // would double-count.
+            let already_synced = producers
+                .get(&dw)
+                .is_some_and(|&p| matches!(g.instrs()[p].op, Op::ReduceScatter { .. }));
+            if opts.allreduce_grads && !is_expert && !already_synced {
+                dw = g.emit(Op::AllReduce, &[dw], Role::Comm)?;
+            }
+            match opts.effective_optimizer() {
+                Optimizer::None => {}
+                Optimizer::Sgd { lr } => {
+                    let _ = g.emit(Op::SgdUpdate { lr }, &[w, dw], Role::Optimizer)?;
+                }
+                Optimizer::SgdMomentum { lr, momentum } => {
+                    let name = g.tensor(w).name.clone();
+                    let shape = g.tensor(w).shape.clone();
+                    let vel = g.weight(format!("opt.vel.{name}"), shape);
+                    let _ = g.emit_multi(
+                        Op::SgdMomentumUpdate { lr, momentum },
+                        &[w, dw, vel],
+                        Role::Optimizer,
+                    )?;
+                }
+                Optimizer::Adam { lr, beta1, beta2, eps } => {
+                    let name = g.tensor(w).name.clone();
+                    let shape = g.tensor(w).shape.clone();
+                    let m = g.weight(format!("opt.m.{name}"), shape.clone());
+                    let v = g.weight(format!("opt.v.{name}"), shape);
+                    let _ = g.emit_multi(
+                        Op::AdamUpdate { lr, beta1, beta2, eps },
+                        &[w, dw, m, v],
+                        Role::Optimizer,
+                    )?;
+                }
+            }
+            weight_grads.insert(w, dw);
+        }
+    }
+    g.validate()?;
+    Ok(weight_grads)
+}
+
+/// Accumulates `grad` into the gradient slot of `tensor`, emitting an
+/// `Add` when a prior contribution exists (residual connections).
+fn add_grad(g: &mut Graph, grads: &mut HashMap<TensorId, TensorId>, tensor: TensorId, grad: TensorId) -> Result<()> {
+    // Accumulating into a weight keeps the WeightGrad role so the
+    // scheduling pass still sees a schedulable instruction.
+    let role = if g.tensor(tensor).kind == TensorKind::Weight { Role::WeightGrad } else { Role::ActGrad };
+    match grads.get(&tensor) {
+        Some(&existing) => {
+            let sum = g.emit(Op::Add, &[existing, grad], role)?;
+            grads.insert(tensor, sum);
+        }
+        None => {
+            grads.insert(tensor, grad);
+        }
+    }
+    Ok(())
+}
+
+/// Whether a gradient flowing into this tensor is worth emitting
+/// instructions for: weights always, activations only if some earlier
+/// (in reverse order) instruction will consume the gradient.
+fn wants_grad(g: &Graph, t: TensorId) -> bool {
+    !matches!(g.tensor(t).kind, TensorKind::Input)
+}
+
+fn emit_vjp(g: &mut Graph, instr: &Instr, grads: &mut HashMap<TensorId, TensorId>) -> Result<()> {
+    // The upstream gradient of the instruction's (first) output; if no
+    // output has a gradient the instruction is dead for backward purposes.
+    let dy = match instr.outputs.iter().find_map(|o| grads.get(o)).copied() {
+        Some(d) => d,
+        None => return Ok(()),
+    };
+    let ins = &instr.inputs;
+    match &instr.op {
+        Op::MatMul { transpose_b } => {
+            let (x, w) = (ins[0], ins[1]);
+            if wants_grad(g, x) {
+                let dx = g.emit(Op::MatMul { transpose_b: !transpose_b }, &[dy, w], Role::ActGrad)?;
+                add_grad(g, grads, x, dx)?;
+            }
+            if wants_grad(g, w) {
+                let dw = if *transpose_b {
+                    g.emit(Op::MatMulDw, &[dy, x], Role::WeightGrad)?
+                } else {
+                    g.emit(Op::MatMulDw, &[x, dy], Role::WeightGrad)?
+                };
+                add_grad(g, grads, w, dw)?;
+            }
+        }
+        Op::BatchedMatMul { transpose_b } => {
+            let (x, w) = (ins[0], ins[1]);
+            if wants_grad(g, x) {
+                let dx = g.emit(Op::BatchedMatMul { transpose_b: !transpose_b }, &[dy, w], Role::ActGrad)?;
+                add_grad(g, grads, x, dx)?;
+            }
+            if wants_grad(g, w) {
+                let dw = if *transpose_b {
+                    g.emit(Op::BatchedMatMulDw, &[dy, x], Role::WeightGrad)?
+                } else {
+                    g.emit(Op::BatchedMatMulDw, &[x, dy], Role::WeightGrad)?
+                };
+                add_grad(g, grads, w, dw)?;
+            }
+        }
+        Op::Add => {
+            for &x in ins {
+                if wants_grad(g, x) {
+                    add_grad(g, grads, x, dy)?;
+                }
+            }
+        }
+        Op::Mul => {
+            let (a, b) = (ins[0], ins[1]);
+            if wants_grad(g, a) {
+                let da = g.emit(Op::Mul, &[dy, b], Role::ActGrad)?;
+                add_grad(g, grads, a, da)?;
+            }
+            if wants_grad(g, b) {
+                let db = g.emit(Op::Mul, &[dy, a], Role::ActGrad)?;
+                add_grad(g, grads, b, db)?;
+            }
+        }
+        Op::BiasAdd => {
+            let (x, b) = (ins[0], ins[1]);
+            if wants_grad(g, x) {
+                add_grad(g, grads, x, dy)?;
+            }
+            if wants_grad(g, b) {
+                let db = g.emit(Op::SumLeading, &[dy], Role::WeightGrad)?;
+                add_grad(g, grads, b, db)?;
+            }
+        }
+        Op::Scale { factor } => {
+            let dx = g.emit(Op::Scale { factor: *factor }, &[dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::Relu => {
+            let dx = g.emit(Op::ReluGrad, &[ins[0], dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::Gelu => {
+            let dx = g.emit(Op::GeluGrad, &[ins[0], dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::Silu => {
+            let dx = g.emit(Op::SiluGrad, &[ins[0], dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::RmsNorm { eps } => {
+            let (x, gamma) = (ins[0], ins[1]);
+            if wants_grad(g, x) {
+                let dx = g.emit(Op::RmsNormGradX { eps: *eps }, &[x, gamma, dy], Role::ActGrad)?;
+                add_grad(g, grads, x, dx)?;
+            }
+            if wants_grad(g, gamma) {
+                let dgamma = g.emit(Op::RmsNormGradGamma { eps: *eps }, &[x, dy], Role::WeightGrad)?;
+                add_grad(g, grads, gamma, dgamma)?;
+            }
+        }
+        Op::Softmax => {
+            let y = instr.outputs[0];
+            let dx = g.emit(Op::SoftmaxGrad, &[y, dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::LayerNorm { eps } => {
+            let (x, gamma, beta) = (ins[0], ins[1], ins[2]);
+            if wants_grad(g, x) {
+                let dx = g.emit(Op::LayerNormGradX { eps: *eps }, &[x, gamma, dy], Role::ActGrad)?;
+                add_grad(g, grads, x, dx)?;
+            }
+            if wants_grad(g, gamma) {
+                let dgamma = g.emit(Op::LayerNormGradGamma { eps: *eps }, &[x, dy], Role::WeightGrad)?;
+                add_grad(g, grads, gamma, dgamma)?;
+            }
+            if wants_grad(g, beta) {
+                let dbeta = g.emit(Op::LayerNormGradBeta, &[dy], Role::WeightGrad)?;
+                add_grad(g, grads, beta, dbeta)?;
+            }
+        }
+        Op::Dropout { .. } => {
+            // Identity at execution time; gradient passes through.
+            add_grad(g, grads, ins[0], dy)?;
+        }
+        Op::Embedding => {
+            let (table, ids) = (ins[0], ins[1]);
+            if wants_grad(g, table) {
+                let dtable = g.emit(Op::EmbeddingGrad, &[table, ids, dy], Role::WeightGrad)?;
+                add_grad(g, grads, table, dtable)?;
+            }
+        }
+        Op::AttnScores { heads, causal } => {
+            let (q, k) = (ins[0], ins[1]);
+            let dq = g.emit(Op::AttnScoresGradQ { heads: *heads, causal: *causal }, &[k, dy], Role::ActGrad)?;
+            add_grad(g, grads, q, dq)?;
+            let dk = g.emit(Op::AttnScoresGradK { heads: *heads, causal: *causal }, &[q, dy], Role::ActGrad)?;
+            add_grad(g, grads, k, dk)?;
+        }
+        Op::AttnContext { heads } => {
+            let (p, v) = (ins[0], ins[1]);
+            let dp = g.emit(Op::AttnContextGradP { heads: *heads }, &[v, dy], Role::ActGrad)?;
+            add_grad(g, grads, p, dp)?;
+            let dv = g.emit(Op::AttnContextGradV { heads: *heads }, &[p, dy], Role::ActGrad)?;
+            add_grad(g, grads, v, dv)?;
+        }
+        Op::Gate { experts, .. } => {
+            // Only the combine weight (output 1) is differentiable.
+            let scale = instr.outputs[1];
+            if let Some(&dscale) = grads.get(&scale) {
+                let (x, wg) = (ins[0], ins[1]);
+                let assign = instr.outputs[0];
+                if wants_grad(g, x) {
+                    let dx = g.emit(Op::GateGradX { experts: *experts }, &[x, wg, assign, dscale], Role::ActGrad)?;
+                    add_grad(g, grads, x, dx)?;
+                }
+                if wants_grad(g, wg) {
+                    let dwg = g.emit(Op::GateGradW { experts: *experts }, &[x, wg, assign, dscale], Role::WeightGrad)?;
+                    add_grad(g, grads, wg, dwg)?;
+                }
+            }
+        }
+        Op::MoeDispatch { experts, capacity } => {
+            let x = ins[0];
+            let assign = ins[1];
+            if wants_grad(g, x) {
+                let xs = g.tensor(x).shape.clone();
+                let dx = g.emit(
+                    Op::MoeDispatchGrad {
+                        experts: *experts,
+                        capacity: *capacity,
+                        batch: xs.dim(0),
+                        seq: xs.dim(1),
+                    },
+                    &[assign, dy],
+                    Role::ActGrad,
+                )?;
+                add_grad(g, grads, x, dx)?;
+            }
+        }
+        Op::MoeGather { experts, capacity, .. } => {
+            let (buf, assign, scale) = (ins[0], ins[1], ins[2]);
+            let dbuf = g.emit(
+                Op::MoeGatherGradBuf { experts: *experts, capacity: *capacity },
+                &[assign, scale, dy],
+                Role::ActGrad,
+            )?;
+            add_grad(g, grads, buf, dbuf)?;
+            let dscale = g.emit(
+                Op::MoeGatherGradScale { experts: *experts, capacity: *capacity },
+                &[buf, assign, dy],
+                Role::ActGrad,
+            )?;
+            add_grad(g, grads, scale, dscale)?;
+        }
+        Op::ExpertsLayout { gpus } => {
+            let dx = g.emit(Op::ExpertsLayoutInv { gpus: *gpus }, &[dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::ExpertsLayoutInv { gpus } => {
+            let dx = g.emit(Op::ExpertsLayout { gpus: *gpus }, &[dy], Role::ActGrad)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::AllToAll => {
+            // The uniform all-to-all is an involution; its adjoint is itself.
+            let dx = g.emit(Op::AllToAll, &[dy], Role::Comm)?;
+            add_grad(g, grads, ins[0], dx)?;
+        }
+        Op::AllGather { gpus } => {
+            // FSDP: the adjoint of gathering shards is reduce-scattering
+            // the gradient back to the shard owners.
+            let dshard = g.emit(Op::ReduceScatter { gpus: *gpus }, &[dy], Role::Comm)?;
+            add_grad(g, grads, ins[0], dshard)?;
+        }
+        // --- partitioned / irregular pipeline (emitted by the partition
+        // pass before autodiff runs) ---
+        Op::Slice { axis, start, end } => {
+            let x = ins[0];
+            let extent = g.tensor(x).shape.dim(*axis);
+            let dx = g.emit(
+                Op::Pad { axis: *axis, before: *start, after: extent - end },
+                &[dy],
+                Role::ActGrad,
+            )?;
+            add_grad(g, grads, x, dx)?;
+        }
+        Op::Concat { axis } => {
+            let mut offset = 0usize;
+            for &x in ins {
+                let extent = g.tensor(x).shape.dim(*axis);
+                if wants_grad(g, x) {
+                    let dx = g.emit(
+                        Op::Slice { axis: *axis, start: offset, end: offset + extent },
+                        &[dy],
+                        Role::ActGrad,
+                    )?;
+                    add_grad(g, grads, x, dx)?;
+                }
+                offset += extent;
+            }
+        }
+        Op::GateChunk { experts, .. } => {
+            // Same gradient structure as Gate: only the combine weight is
+            // differentiable; the capacity state is integer metadata.
+            let scale = instr.outputs[1];
+            if let Some(&dscale) = grads.get(&scale) {
+                let (x, wg) = (ins[0], ins[1]);
+                let assign = instr.outputs[0];
+                if wants_grad(g, x) {
+                    let dx = g.emit(Op::GateGradX { experts: *experts }, &[x, wg, assign, dscale], Role::ActGrad)?;
+                    add_grad(g, grads, x, dx)?;
+                }
+                if wants_grad(g, wg) {
+                    let dwg = g.emit(Op::GateGradW { experts: *experts }, &[x, wg, assign, dscale], Role::WeightGrad)?;
+                    add_grad(g, grads, wg, dwg)?;
+                }
+            }
+        }
+        Op::MoeDispatchIrr { experts, capacity, .. } => {
+            // Only the packed buffer (output 0) carries gradient; counts
+            // are integer metadata.
+            if let Some(&dbuf) = grads.get(&instr.outputs[0]) {
+                let x = ins[0];
+                let assign = ins[1];
+                if wants_grad(g, x) {
+                    let xs = g.tensor(x).shape.clone();
+                    let dx = g.emit(
+                        Op::MoeDispatchIrrGrad {
+                            experts: *experts,
+                            capacity: *capacity,
+                            batch: xs.dim(0),
+                            seq: xs.dim(1),
+                        },
+                        &[assign, dbuf],
+                        Role::ActGrad,
+                    )?;
+                    add_grad(g, grads, x, dx)?;
+                }
+            }
+        }
+        Op::AllToAllIrr => {
+            // Adjoint: send each received chunk back to its source —
+            // another irregular all-to-all driven by the *received*
+            // counts (output 1 of the forward instruction).
+            if let Some(&dbuf) = grads.get(&instr.outputs[0]) {
+                let counts_out = instr.outputs[1];
+                let outs = g.emit_multi(Op::AllToAllIrr, &[dbuf, counts_out], Role::Comm)?;
+                add_grad(g, grads, ins[0], outs[0])?;
+            }
+        }
+        Op::MoeGatherIrr { experts, capacity, .. } => {
+            let (buf, assign, scale) = (ins[0], ins[1], ins[2]);
+            let dbuf = g.emit(
+                Op::MoeGatherIrrGradBuf { experts: *experts, capacity: *capacity },
+                &[assign, scale, dy],
+                Role::ActGrad,
+            )?;
+            add_grad(g, grads, buf, dbuf)?;
+            let dscale = g.emit(
+                Op::MoeGatherGradScale { experts: *experts, capacity: *capacity },
+                &[buf, assign, dy],
+                Role::ActGrad,
+            )?;
+            add_grad(g, grads, scale, dscale)?;
+        }
+        other => return Err(IrError::NonDifferentiable(other.name())),
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::GateKind;
+
+    /// Tiny forward graph: embedding → matmul → bias → gelu → matmul → loss.
+    fn dense_forward() -> (Graph, Vec<TensorId>) {
+        let mut g = Graph::new();
+        let table = g.weight("wte", vec![10, 8]);
+        let ids = g.input("ids", vec![2, 4]);
+        let targets = g.input("targets", vec![2, 4]);
+        let w1 = g.weight("w1", vec![8, 16]);
+        let b1 = g.weight("b1", vec![16]);
+        let w2 = g.weight("w2", vec![16, 10]);
+        let x = g.emit(Op::Embedding, &[table, ids], Role::Forward).unwrap();
+        let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w1], Role::Forward).unwrap();
+        let h = g.emit(Op::BiasAdd, &[h, b1], Role::Forward).unwrap();
+        let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+        let logits = g.emit(Op::MatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+        let _outs = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward).unwrap();
+        (g, vec![table, w1, b1, w2])
+    }
+
+    #[test]
+    fn backward_produces_grad_for_every_weight() {
+        let (mut g, weights) = dense_forward();
+        let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+        for w in &weights {
+            assert!(grads.contains_key(w), "missing grad for {:?}", g.tensor(*w).name);
+            let dw = grads[w];
+            assert_eq!(g.tensor(dw).shape, g.tensor(*w).shape, "grad shape mismatch");
+        }
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn backward_tags_weight_grads() {
+        let (mut g, _) = dense_forward();
+        build_backward(&mut g, &BackwardOptions::default()).unwrap();
+        let n_dw = g.weight_grad_positions().len();
+        // wte, w1, b1, w2 → at least 4 weight-grad instructions.
+        assert!(n_dw >= 4, "expected >=4 dW instrs, got {n_dw}");
+    }
+
+    #[test]
+    fn backward_without_loss_fails() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2, 4]);
+        let _y = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+        assert!(build_backward(&mut g, &BackwardOptions::default()).is_err());
+    }
+
+    #[test]
+    fn sgd_and_allreduce_options_emit_instrs() {
+        let (mut g, _) = dense_forward();
+        let opts = BackwardOptions { sgd_lr: Some(0.1), optimizer: Default::default(), allreduce_grads: true };
+        build_backward(&mut g, &opts).unwrap();
+        let n_allreduce = g.instrs().iter().filter(|i| matches!(i.op, Op::AllReduce)).count();
+        let n_sgd = g.instrs().iter().filter(|i| matches!(i.op, Op::SgdUpdate { .. })).count();
+        assert_eq!(n_allreduce, 4);
+        assert_eq!(n_sgd, 4);
+    }
+
+    #[test]
+    fn residual_connection_accumulates() {
+        let mut g = Graph::new();
+        let targets = g.input("targets", vec![1, 2]);
+        let ids = g.input("ids", vec![1, 2]);
+        let table = g.weight("wte", vec![4, 4]);
+        let w = g.weight("w", vec![4, 4]);
+        let x = g.emit(Op::Embedding, &[table, ids], Role::Forward).unwrap();
+        let branch = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let sum = g.emit(Op::Add, &[x, branch], Role::Forward).unwrap();
+        let _loss = g.emit_multi(Op::CrossEntropy, &[sum, targets], Role::Forward).unwrap();
+        let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+        assert!(grads.contains_key(&w));
+        // x receives two gradient contributions -> an Add with ActGrad role.
+        let n_grad_adds = g
+            .instrs()
+            .iter()
+            .filter(|i| matches!(i.op, Op::Add) && i.role == Role::ActGrad)
+            .count();
+        assert!(n_grad_adds >= 1);
+    }
+
+    #[test]
+    fn moe_layer_differentiates() {
+        let (e, c, gpus) = (4usize, 4usize, 2usize);
+        let mut g = Graph::new();
+        let ids = g.input("ids", vec![2, 4]);
+        let targets = g.input("targets", vec![2, 4]);
+        let table = g.weight("wte", vec![10, 8]);
+        let wg = g.weight("gate.w", vec![8, e]);
+        let w1 = g.weight("expert.w1", vec![e / gpus, 8, 16]);
+        let w2 = g.weight("expert.w2", vec![e / gpus, 16, 8]);
+        let lm = g.weight("lm", vec![8, 10]);
+        let x = g.emit(Op::Embedding, &[table, ids], Role::Forward).unwrap();
+        let gate = g
+            .emit_multi(Op::Gate { kind: GateKind::Switch, experts: e, capacity: c }, &[x, wg], Role::Forward)
+            .unwrap();
+        let buf = g
+            .emit(Op::MoeDispatch { experts: e, capacity: c }, &[x, gate[0], gate[1]], Role::Forward)
+            .unwrap();
+        let buf = g.emit(Op::AllToAll, &[buf], Role::Comm).unwrap();
+        let loc = g.emit(Op::ExpertsLayout { gpus }, &[buf], Role::Forward).unwrap();
+        let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).unwrap();
+        let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+        let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+        let back = g.emit(Op::ExpertsLayoutInv { gpus }, &[h], Role::Forward).unwrap();
+        let back = g.emit(Op::AllToAll, &[back], Role::Comm).unwrap();
+        let y = g
+            .emit(
+                Op::MoeGather { experts: e, capacity: c, batch: 2, seq: 4 },
+                &[back, gate[0], gate[1]],
+                Role::Forward,
+            )
+            .unwrap();
+        let logits = g.emit(Op::MatMul { transpose_b: false }, &[y, lm], Role::Forward).unwrap();
+        let _ = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward).unwrap();
+
+        let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+        for w in [wg, w1, w2, lm, table] {
+            assert!(grads.contains_key(&w), "missing grad for {}", g.tensor(w).name);
+        }
+        // Backward must contain two more all-to-alls (adjoints of the two
+        // forward ones).
+        let n_a2a = g.instrs().iter().filter(|i| i.op.is_all_to_all()).count();
+        assert_eq!(n_a2a, 4);
+        assert!(g.validate().is_ok());
+    }
+}

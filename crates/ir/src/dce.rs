@@ -1,0 +1,124 @@
+//! Dead-code elimination over instruction sequences.
+
+use crate::{Graph, Op, Result, Role, TensorId};
+use std::collections::HashSet;
+
+/// Removes instructions that contribute to neither the given root
+/// tensors, nor any optimizer update, nor the loss. Returns the number of
+/// instructions removed.
+///
+/// Collectives are eliminated like any other instruction when dead: every
+/// device executes the same (rewritten) program, so no rank can be left
+/// waiting on a removed collective.
+///
+/// # Errors
+///
+/// Propagates validation failures (would indicate an invariant bug — the
+/// surviving subsequence of a valid program is always valid).
+///
+/// # Example
+///
+/// ```
+/// use lancet_ir::{eliminate_dead_code, Graph, Op, Role};
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", vec![2, 2]);
+/// let live = g.emit(Op::Relu, &[x], Role::Forward)?;
+/// let _dead = g.emit(Op::Gelu, &[x], Role::Forward)?;
+/// let removed = eliminate_dead_code(&mut g, &[live])?;
+/// assert_eq!(removed, 1);
+/// assert_eq!(g.instrs().len(), 1);
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+pub fn eliminate_dead_code(graph: &mut Graph, roots: &[TensorId]) -> Result<usize> {
+    let producers = graph.producer_positions();
+    let mut live_instrs: HashSet<usize> = HashSet::new();
+    let mut stack: Vec<usize> = Vec::new();
+
+    // Seed: roots' producers, optimizer updates, and the loss.
+    for &t in roots {
+        if let Some(&p) = producers.get(&t) {
+            stack.push(p);
+        }
+    }
+    for (pos, instr) in graph.instrs().iter().enumerate() {
+        if instr.role == Role::Optimizer || matches!(instr.op, Op::CrossEntropy) {
+            stack.push(pos);
+        }
+    }
+    while let Some(pos) = stack.pop() {
+        if !live_instrs.insert(pos) {
+            continue;
+        }
+        for &t in &graph.instrs()[pos].inputs {
+            if let Some(&p) = producers.get(&t) {
+                stack.push(p);
+            }
+        }
+    }
+
+    let removed = graph.instrs().len() - live_instrs.len();
+    if removed == 0 {
+        return Ok(0);
+    }
+    let order: Vec<crate::InstrId> = graph
+        .instrs()
+        .iter()
+        .enumerate()
+        .filter(|(pos, _)| live_instrs.contains(pos))
+        .map(|(_, i)| i.id)
+        .collect();
+    graph.retain_instrs(&order)?;
+    Ok(removed)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn keeps_live_chain_drops_dead_branch() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2, 2]);
+        let a = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+        let b = g.emit(Op::Gelu, &[a], Role::Forward).unwrap();
+        let _dead1 = g.emit(Op::Softmax, &[a], Role::Forward).unwrap();
+        let _dead2 = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+        let removed = eliminate_dead_code(&mut g, &[b]).unwrap();
+        assert_eq!(removed, 2);
+        assert!(g.validate().is_ok());
+        assert_eq!(g.instrs().len(), 2);
+    }
+
+    #[test]
+    fn optimizer_updates_are_roots() {
+        let mut g = Graph::new();
+        let w = g.weight("w", vec![2]);
+        let dw = g.input("dw", vec![2]);
+        let _upd = g.emit(Op::SgdUpdate { lr: 0.1 }, &[w, dw], Role::Optimizer).unwrap();
+        let removed = eliminate_dead_code(&mut g, &[]).unwrap();
+        assert_eq!(removed, 0);
+    }
+
+    #[test]
+    fn loss_is_a_root() {
+        let mut g = Graph::new();
+        let logits = g.input("logits", vec![1, 2, 4]);
+        let targets = g.input("targets", vec![1, 2]);
+        let pre = g.emit(Op::Gelu, &[logits], Role::Forward).unwrap();
+        let _ = g.emit_multi(Op::CrossEntropy, &[pre, targets], Role::Forward).unwrap();
+        let removed = eliminate_dead_code(&mut g, &[]).unwrap();
+        assert_eq!(removed, 0);
+        assert_eq!(g.instrs().len(), 2);
+    }
+
+    #[test]
+    fn everything_dead_without_roots() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2]);
+        let _a = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+        let removed = eliminate_dead_code(&mut g, &[]).unwrap();
+        assert_eq!(removed, 1);
+        assert!(g.instrs().is_empty());
+    }
+}

@@ -1,0 +1,220 @@
+//! Instruction dependency graph and reachability analysis.
+//!
+//! This is the machinery behind the paper's weight-gradient *labelling*
+//! step (§4.1): a dW instruction may overlap an all-to-all iff no directed
+//! path connects them in either direction.
+
+use crate::Graph;
+use std::collections::HashMap;
+
+/// A dense bitset over instruction positions.
+#[derive(Debug, Clone)]
+struct BitSet {
+    words: Vec<u64>,
+}
+
+impl BitSet {
+    fn new(n: usize) -> Self {
+        BitSet { words: vec![0; n.div_ceil(64)] }
+    }
+
+    fn set(&mut self, i: usize) {
+        self.words[i / 64] |= 1 << (i % 64);
+    }
+
+    fn get(&self, i: usize) -> bool {
+        self.words[i / 64] >> (i % 64) & 1 == 1
+    }
+
+    fn union_with(&mut self, other: &BitSet) {
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a |= b;
+        }
+    }
+}
+
+/// Dependency structure of a [`Graph`]'s instruction sequence, indexed by
+/// *position* in program order.
+///
+/// Edges run producer → consumer. Reachability (`reaches`) is precomputed
+/// as a transitive closure over the program-order DAG, so queries are O(1).
+///
+/// # Example
+///
+/// ```
+/// use lancet_ir::{DepGraph, Graph, Op, Role};
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", vec![2, 4]);
+/// let w = g.weight("w", vec![4, 4]);
+/// let y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward)?;
+/// let _z = g.emit(Op::Relu, &[y], Role::Forward)?;
+/// let _u = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward)?;
+/// let dep = DepGraph::build(&g);
+/// assert!(dep.reaches(0, 1));      // matmul feeds relu
+/// assert!(dep.independent(1, 2));  // relu and the second matmul are unordered
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+#[derive(Debug)]
+pub struct DepGraph {
+    preds: Vec<Vec<usize>>,
+    succs: Vec<Vec<usize>>,
+    /// descendants[i] = positions reachable from i via one or more edges.
+    descendants: Vec<BitSet>,
+}
+
+impl DepGraph {
+    /// Builds the dependency graph of `g`'s current instruction sequence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not in definition-before-use order (call
+    /// [`Graph::validate`] first).
+    pub fn build(g: &Graph) -> Self {
+        let n = g.instrs().len();
+        let mut preds: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut succs: Vec<Vec<usize>> = vec![Vec::new(); n];
+        let mut producer: HashMap<crate::TensorId, usize> = HashMap::new();
+        for (pos, instr) in g.instrs().iter().enumerate() {
+            for &t in &instr.inputs {
+                if let Some(&p) = producer.get(&t) {
+                    assert!(p < pos, "graph must be in def-before-use order");
+                    preds[pos].push(p);
+                    succs[p].push(pos);
+                }
+            }
+            for &o in &instr.outputs {
+                producer.insert(o, pos);
+            }
+        }
+        for v in preds.iter_mut().chain(succs.iter_mut()) {
+            v.sort_unstable();
+            v.dedup();
+        }
+        // Transitive closure, walking backwards so successors are final.
+        let mut descendants: Vec<BitSet> = (0..n).map(|_| BitSet::new(n)).collect();
+        for i in (0..n).rev() {
+            // Split at i+1 so we can read descendants[j] (j > i) while
+            // mutating descendants[i].
+            let (head, tail) = descendants.split_at_mut(i + 1);
+            let di = &mut head[i];
+            for &j in &succs[i] {
+                di.set(j);
+                di.union_with(&tail[j - i - 1]);
+            }
+        }
+        DepGraph { preds, succs, descendants }
+    }
+
+    /// Number of instructions.
+    pub fn len(&self) -> usize {
+        self.preds.len()
+    }
+
+    /// True if the graph has no instructions.
+    pub fn is_empty(&self) -> bool {
+        self.preds.is_empty()
+    }
+
+    /// Direct producers of instruction at position `i`.
+    pub fn preds(&self, i: usize) -> &[usize] {
+        &self.preds[i]
+    }
+
+    /// Direct consumers of instruction at position `i`.
+    pub fn succs(&self, i: usize) -> &[usize] {
+        &self.succs[i]
+    }
+
+    /// True if there is a directed path from `from` to `to`.
+    pub fn reaches(&self, from: usize, to: usize) -> bool {
+        from != to && self.descendants[from].get(to)
+    }
+
+    /// True if no directed path connects `a` and `b` in either direction —
+    /// the paper's condition for a dW op to overlap an all-to-all.
+    pub fn independent(&self, a: usize, b: usize) -> bool {
+        a != b && !self.reaches(a, b) && !self.reaches(b, a)
+    }
+
+    /// All transitive producers of `i` (positions, ascending).
+    pub fn ancestors(&self, i: usize) -> Vec<usize> {
+        let mut out = Vec::new();
+        for j in 0..i {
+            if self.reaches(j, i) {
+                out.push(j);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Op, Role};
+
+    /// Chain x -> a -> b, plus independent c.
+    fn chain_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2, 4]);
+        let w = g.weight("w", vec![4, 4]);
+        let a = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let _b = g.emit(Op::Relu, &[a], Role::Forward).unwrap();
+        let _c = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        g
+    }
+
+    #[test]
+    fn direct_edges() {
+        let g = chain_graph();
+        let d = DepGraph::build(&g);
+        assert_eq!(d.succs(0), &[1]);
+        assert_eq!(d.preds(1), &[0]);
+        assert!(d.preds(2).is_empty());
+    }
+
+    #[test]
+    fn reachability_is_transitive() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2, 4]);
+        let w = g.weight("w", vec![4, 4]);
+        let a = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let b = g.emit(Op::Relu, &[a], Role::Forward).unwrap();
+        let _c = g.emit(Op::Relu, &[b], Role::Forward).unwrap();
+        let d = DepGraph::build(&g);
+        assert!(d.reaches(0, 2));
+        assert!(!d.reaches(2, 0));
+        assert!(!d.reaches(0, 0));
+    }
+
+    #[test]
+    fn independence_is_symmetric() {
+        let g = chain_graph();
+        let d = DepGraph::build(&g);
+        assert!(d.independent(1, 2));
+        assert!(d.independent(2, 1));
+        assert!(!d.independent(0, 1));
+        assert!(!d.independent(1, 1));
+    }
+
+    #[test]
+    fn ancestors_collects_transitive_producers() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2, 4]);
+        let w = g.weight("w", vec![4, 4]);
+        let a = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let b = g.emit(Op::Relu, &[a], Role::Forward).unwrap();
+        let _c = g.emit(Op::Gelu, &[b], Role::Forward).unwrap();
+        let d = DepGraph::build(&g);
+        assert_eq!(d.ancestors(2), vec![0, 1]);
+        assert!(d.ancestors(0).is_empty());
+    }
+
+    #[test]
+    fn empty_graph() {
+        let d = DepGraph::build(&Graph::new());
+        assert!(d.is_empty());
+        assert_eq!(d.len(), 0);
+    }
+}

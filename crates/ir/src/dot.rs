@@ -1,0 +1,76 @@
+//! Graphviz (DOT) export for visual inspection of training graphs.
+
+use crate::{Graph, Role};
+use std::fmt::Write as _;
+
+/// Renders the instruction dependency structure as a DOT digraph.
+///
+/// Node colors encode the instruction [`Role`]: forward (white), dX
+/// (lightyellow), dW (lightblue), comm (lightgreen), optimizer (gray).
+///
+/// # Example
+///
+/// ```
+/// use lancet_ir::{to_dot, Graph, Op, Role};
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", vec![2, 2]);
+/// let _y = g.emit(Op::Relu, &[x], Role::Forward)?;
+/// let dot = to_dot(&g);
+/// assert!(dot.starts_with("digraph lancet"));
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+pub fn to_dot(g: &Graph) -> String {
+    let mut out = String::from("digraph lancet {\n  rankdir=TB;\n  node [shape=box, style=filled];\n");
+    for (pos, instr) in g.instrs().iter().enumerate() {
+        let color = match instr.role {
+            Role::Forward => "white",
+            Role::ActGrad => "lightyellow",
+            Role::WeightGrad => "lightblue",
+            Role::Comm => "lightgreen",
+            Role::Optimizer => "lightgray",
+        };
+        let _ = writeln!(
+            out,
+            "  n{pos} [label=\"[{pos}] {}\", fillcolor={color}];",
+            instr.op.name()
+        );
+    }
+    let producers = g.producer_positions();
+    for (pos, instr) in g.instrs().iter().enumerate() {
+        for &t in &instr.inputs {
+            if let Some(&p) = producers.get(&t) {
+                let _ = writeln!(out, "  n{p} -> n{pos};");
+            }
+        }
+    }
+    out.push_str("}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    #[test]
+    fn dot_contains_nodes_and_edges() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![2, 2]);
+        let y = g.emit(Op::Relu, &[x], Role::Forward).unwrap();
+        let _z = g.emit(Op::Gelu, &[y], Role::Forward).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("n0 [label=\"[0] relu\""));
+        assert!(dot.contains("n0 -> n1;"));
+        assert!(dot.ends_with("}\n"));
+    }
+
+    #[test]
+    fn dot_colors_roles() {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![4, 4, 4]);
+        let _c = g.emit(Op::AllToAll, &[x], Role::Comm).unwrap();
+        let dot = to_dot(&g);
+        assert!(dot.contains("lightgreen"));
+    }
+}

@@ -1,0 +1,63 @@
+use crate::{InstrId, TensorId};
+use std::fmt;
+
+/// Errors produced by IR construction, validation, and transformation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum IrError {
+    /// Operator received the wrong number of inputs.
+    ArityMismatch {
+        /// Operator name.
+        op: &'static str,
+        /// Number of inputs the operator requires.
+        expected: usize,
+        /// Number of inputs provided.
+        actual: usize,
+    },
+    /// Operator inputs have incompatible shapes.
+    ShapeMismatch {
+        /// Operator name.
+        op: &'static str,
+        /// Debug rendering of the offending input shapes.
+        detail: String,
+    },
+    /// A tensor id is not defined in the graph.
+    UnknownTensor(TensorId),
+    /// An instruction id is not defined in the graph.
+    UnknownInstr(InstrId),
+    /// A tensor is consumed before the instruction that produces it.
+    UseBeforeDef {
+        /// The consuming instruction.
+        instr: InstrId,
+        /// The tensor consumed too early.
+        tensor: TensorId,
+    },
+    /// A tensor is produced by more than one instruction.
+    MultipleProducers(TensorId),
+    /// Autodiff does not know how to differentiate an operator.
+    NonDifferentiable(&'static str),
+    /// A requested transformation is invalid.
+    InvalidTransform(String),
+}
+
+impl fmt::Display for IrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IrError::ArityMismatch { op, expected, actual } => {
+                write!(f, "{op} expects {expected} inputs, got {actual}")
+            }
+            IrError::ShapeMismatch { op, detail } => {
+                write!(f, "shape mismatch in {op}: {detail}")
+            }
+            IrError::UnknownTensor(t) => write!(f, "unknown tensor {t}"),
+            IrError::UnknownInstr(i) => write!(f, "unknown instruction {i}"),
+            IrError::UseBeforeDef { instr, tensor } => {
+                write!(f, "instruction {instr} uses {tensor} before its definition")
+            }
+            IrError::MultipleProducers(t) => write!(f, "tensor {t} has multiple producers"),
+            IrError::NonDifferentiable(op) => write!(f, "operator {op} is not differentiable"),
+            IrError::InvalidTransform(msg) => write!(f, "invalid transform: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for IrError {}

@@ -1,0 +1,426 @@
+//! The training graph: tensor definitions plus an instruction sequence.
+
+use crate::{InstrId, IrError, Op, Result, Role, TensorId, TensorKind};
+use lancet_tensor::Shape;
+use std::collections::HashMap;
+
+/// A tensor definition: static shape plus classification.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TensorDef {
+    /// The tensor's id within its graph.
+    pub id: TensorId,
+    /// Static shape.
+    pub shape: Shape,
+    /// Classification (input / weight / activation / gradient).
+    pub kind: TensorKind,
+    /// Debug name (not required to be unique).
+    pub name: String,
+}
+
+impl TensorDef {
+    /// Element count.
+    pub fn volume(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Size in bytes assuming 4-byte elements.
+    pub fn bytes(&self) -> u64 {
+        4 * self.volume() as u64
+    }
+}
+
+/// One instruction: an operator applied to input tensors, producing output
+/// tensors. Instructions execute in sequence order; communication ops are
+/// issued to the communication stream and only *synchronize* when a
+/// dependent instruction runs.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instr {
+    /// Stable identity (survives reordering).
+    pub id: InstrId,
+    /// The operator.
+    pub op: Op,
+    /// Input tensor ids.
+    pub inputs: Vec<TensorId>,
+    /// Output tensor ids.
+    pub outputs: Vec<TensorId>,
+    /// Position in the training iteration (forward / dX / dW / comm / …).
+    pub role: Role,
+}
+
+/// A training-iteration graph: the unit the Lancet passes transform.
+///
+/// The instruction list is a *program*: order matters. [`Graph::validate`]
+/// checks the SSA-like invariants (single producer, definition before use).
+#[derive(Debug, Clone, Default)]
+pub struct Graph {
+    tensors: Vec<TensorDef>,
+    instrs: Vec<Instr>,
+    next_instr: u32,
+}
+
+impl Graph {
+    /// An empty graph.
+    pub fn new() -> Self {
+        Graph::default()
+    }
+
+    /// Number of tensors defined.
+    pub fn num_tensors(&self) -> usize {
+        self.tensors.len()
+    }
+
+    /// The instruction sequence in program order.
+    pub fn instrs(&self) -> &[Instr] {
+        &self.instrs
+    }
+
+    /// All tensor definitions.
+    pub fn tensors(&self) -> &[TensorDef] {
+        &self.tensors
+    }
+
+    /// Looks up a tensor definition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this graph.
+    pub fn tensor(&self, id: TensorId) -> &TensorDef {
+        &self.tensors[id.0 as usize]
+    }
+
+    /// Looks up an instruction by id (not position).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` was not created by this graph.
+    pub fn instr(&self, id: InstrId) -> &Instr {
+        self.instrs
+            .iter()
+            .find(|i| i.id == id)
+            .expect("instruction id belongs to this graph")
+    }
+
+    /// Creates a new tensor definition and returns its id.
+    pub fn add_tensor(&mut self, name: impl Into<String>, shape: impl Into<Shape>, kind: TensorKind) -> TensorId {
+        let id = TensorId(self.tensors.len() as u32);
+        self.tensors.push(TensorDef { id, shape: shape.into(), kind, name: name.into() });
+        id
+    }
+
+    /// Declares a per-iteration model input.
+    pub fn input(&mut self, name: impl Into<String>, shape: impl Into<Shape>) -> TensorId {
+        self.add_tensor(name, shape, TensorKind::Input)
+    }
+
+    /// Declares a trainable weight.
+    pub fn weight(&mut self, name: impl Into<String>, shape: impl Into<Shape>) -> TensorId {
+        self.add_tensor(name, shape, TensorKind::Weight)
+    }
+
+    /// Appends an instruction, inferring output shapes, and returns the
+    /// first output tensor id.
+    ///
+    /// # Errors
+    ///
+    /// Propagates shape/arity errors from [`Op::infer_shapes`]; returns
+    /// [`IrError::UnknownTensor`] for foreign input ids.
+    pub fn emit(&mut self, op: Op, inputs: &[TensorId], role: Role) -> Result<TensorId> {
+        Ok(self.emit_multi(op, inputs, role)?[0])
+    }
+
+    /// [`Graph::emit`] returning every output tensor id.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`Graph::emit`].
+    pub fn emit_multi(&mut self, op: Op, inputs: &[TensorId], role: Role) -> Result<Vec<TensorId>> {
+        for &t in inputs {
+            if t.0 as usize >= self.tensors.len() {
+                return Err(IrError::UnknownTensor(t));
+            }
+        }
+        let in_shapes: Vec<&Shape> = inputs.iter().map(|&t| &self.tensors[t.0 as usize].shape).collect();
+        let out_shapes = op.infer_shapes(&in_shapes)?;
+        let out_kind = match role {
+            Role::Forward | Role::Comm | Role::Optimizer => TensorKind::Activation,
+            Role::ActGrad => TensorKind::Gradient,
+            Role::WeightGrad => TensorKind::WeightGrad,
+        };
+        let name = op.name();
+        let outputs: Vec<TensorId> = out_shapes
+            .into_iter()
+            .enumerate()
+            .map(|(i, s)| self.add_tensor(format!("{name}.{}.{i}", self.next_instr), s, out_kind))
+            .collect();
+        let id = InstrId(self.next_instr);
+        self.next_instr += 1;
+        self.instrs.push(Instr { id, op, inputs: inputs.to_vec(), outputs: outputs.clone(), role });
+        Ok(outputs)
+    }
+
+    /// Map from tensor to the sequence position of its producing
+    /// instruction (inputs and weights have no producer).
+    pub fn producer_positions(&self) -> HashMap<TensorId, usize> {
+        let mut m = HashMap::new();
+        for (pos, instr) in self.instrs.iter().enumerate() {
+            for &o in &instr.outputs {
+                m.insert(o, pos);
+            }
+        }
+        m
+    }
+
+    /// Map from tensor to the positions of every consuming instruction.
+    pub fn user_positions(&self) -> HashMap<TensorId, Vec<usize>> {
+        let mut m: HashMap<TensorId, Vec<usize>> = HashMap::new();
+        for (pos, instr) in self.instrs.iter().enumerate() {
+            for &t in &instr.inputs {
+                m.entry(t).or_default().push(pos);
+            }
+        }
+        m
+    }
+
+    /// Checks the program invariants: every consumed tensor is defined,
+    /// produced at most once, and produced *before* its first use.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first violated invariant.
+    pub fn validate(&self) -> Result<()> {
+        let mut produced_at: HashMap<TensorId, usize> = HashMap::new();
+        for (pos, instr) in self.instrs.iter().enumerate() {
+            for &o in &instr.outputs {
+                if produced_at.insert(o, pos).is_some() {
+                    return Err(IrError::MultipleProducers(o));
+                }
+            }
+        }
+        for (pos, instr) in self.instrs.iter().enumerate() {
+            for &t in &instr.inputs {
+                if t.0 as usize >= self.tensors.len() {
+                    return Err(IrError::UnknownTensor(t));
+                }
+                match self.tensors[t.0 as usize].kind {
+                    TensorKind::Input | TensorKind::Weight => continue,
+                    _ => {}
+                }
+                match produced_at.get(&t) {
+                    None => return Err(IrError::UseBeforeDef { instr: instr.id, tensor: t }),
+                    Some(&p) if p >= pos => {
+                        return Err(IrError::UseBeforeDef { instr: instr.id, tensor: t })
+                    }
+                    _ => {}
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Replaces the instruction sequence with a reordering of the same
+    /// instructions.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidTransform`] if `order` is not a
+    /// permutation of the current sequence, or if the reordered program
+    /// fails [`Graph::validate`].
+    pub fn reorder(&mut self, order: Vec<InstrId>) -> Result<()> {
+        if order.len() != self.instrs.len() {
+            return Err(IrError::InvalidTransform(format!(
+                "reorder length {} != {}",
+                order.len(),
+                self.instrs.len()
+            )));
+        }
+        let snapshot = self.instrs.clone();
+        let mut by_id: HashMap<InstrId, Instr> =
+            self.instrs.drain(..).map(|i| (i.id, i)).collect();
+        let mut new_instrs = Vec::with_capacity(order.len());
+        for id in order {
+            match by_id.remove(&id) {
+                Some(i) => new_instrs.push(i),
+                None => {
+                    // Restore the original program exactly before failing.
+                    self.instrs = snapshot;
+                    return Err(IrError::InvalidTransform(format!(
+                        "instruction {id} missing or duplicated in reorder"
+                    )));
+                }
+            }
+        }
+        self.instrs = new_instrs;
+        if let Err(e) = self.validate() {
+            // An invalid permutation must not corrupt the graph.
+            self.instrs = snapshot;
+            return Err(e);
+        }
+        Ok(())
+    }
+
+    /// Keeps only the given instructions (a subsequence of the current
+    /// program, by id) and drops the rest.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::InvalidTransform`] if an id is unknown, or
+    /// validation fails afterwards (a surviving instruction consumed a
+    /// dropped instruction's output).
+    pub fn retain_instrs(&mut self, keep: &[InstrId]) -> Result<()> {
+        let keep_set: std::collections::HashSet<InstrId> = keep.iter().copied().collect();
+        if keep_set.len() != keep.len() {
+            return Err(IrError::InvalidTransform("duplicate ids in retain set".into()));
+        }
+        let before = self.instrs.len();
+        let drained: Vec<Instr> = self.instrs.drain(..).collect();
+        self.instrs = drained.into_iter().filter(|i| keep_set.contains(&i.id)).collect();
+        if self.instrs.len() != keep.len() {
+            let kept = self.instrs.len();
+            return Err(IrError::InvalidTransform(format!(
+                "retained {kept} of {} requested ids (program had {before})",
+                keep.len()
+            )));
+        }
+        self.validate()
+    }
+
+    /// Total number of weight elements (for memory/parameter statistics).
+    pub fn weight_volume(&self) -> usize {
+        self.tensors
+            .iter()
+            .filter(|t| t.kind == TensorKind::Weight)
+            .map(TensorDef::volume)
+            .sum()
+    }
+
+    /// All weight tensor ids in definition order.
+    pub fn weights(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .filter(|t| t.kind == TensorKind::Weight)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// All input tensor ids in definition order.
+    pub fn inputs(&self) -> Vec<TensorId> {
+        self.tensors
+            .iter()
+            .filter(|t| t.kind == TensorKind::Input)
+            .map(|t| t.id)
+            .collect()
+    }
+
+    /// Positions of all all-to-all instructions in program order.
+    pub fn all_to_all_positions(&self) -> Vec<usize> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.op.is_all_to_all())
+            .map(|(p, _)| p)
+            .collect()
+    }
+
+    /// Positions of all weight-gradient instructions in program order.
+    pub fn weight_grad_positions(&self) -> Vec<usize> {
+        self.instrs
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| i.role.is_weight_grad())
+            .map(|(p, _)| p)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn simple_graph() -> (Graph, TensorId, TensorId) {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![4, 8]);
+        let w = g.weight("w", vec![8, 2]);
+        (g, x, w)
+    }
+
+    #[test]
+    fn emit_infers_shapes() {
+        let (mut g, x, w) = simple_graph();
+        let y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        assert_eq!(g.tensor(y).shape.dims(), &[4, 2]);
+        assert_eq!(g.instrs().len(), 1);
+        assert!(g.validate().is_ok());
+    }
+
+    #[test]
+    fn emit_rejects_unknown_tensor() {
+        let (mut g, x, _) = simple_graph();
+        let foreign = TensorId(999);
+        assert!(matches!(
+            g.emit(Op::Add, &[x, foreign], Role::Forward),
+            Err(IrError::UnknownTensor(_))
+        ));
+    }
+
+    #[test]
+    fn validate_catches_use_before_def() {
+        let (mut g, x, w) = simple_graph();
+        let y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let z = g.emit(Op::Relu, &[y], Role::Forward).unwrap();
+        let _ = z;
+        // Swap the instructions by hand to break ordering.
+        let ids: Vec<InstrId> = g.instrs().iter().map(|i| i.id).collect();
+        let err = g.reorder(vec![ids[1], ids[0]]).unwrap_err();
+        assert!(matches!(err, IrError::UseBeforeDef { .. }));
+    }
+
+    #[test]
+    fn reorder_valid_permutation() {
+        let (mut g, x, w) = simple_graph();
+        // Two independent matmuls can swap.
+        let _a = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let _b = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let ids: Vec<InstrId> = g.instrs().iter().map(|i| i.id).collect();
+        assert!(g.reorder(vec![ids[1], ids[0]]).is_ok());
+        assert_eq!(g.instrs()[0].id, ids[1]);
+    }
+
+    #[test]
+    fn reorder_rejects_bad_permutation() {
+        let (mut g, x, w) = simple_graph();
+        let _ = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let err = g.reorder(vec![]).unwrap_err();
+        assert!(matches!(err, IrError::InvalidTransform(_)));
+    }
+
+    #[test]
+    fn weight_volume_counts_weights_only() {
+        let (mut g, x, w) = simple_graph();
+        let _ = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        assert_eq!(g.weight_volume(), 16);
+        assert_eq!(g.weights(), vec![w]);
+        assert_eq!(g.inputs(), vec![x]);
+    }
+
+    #[test]
+    fn role_position_queries() {
+        let (mut g, x, w) = simple_graph();
+        let y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let dy = g.emit(Op::Relu, &[y], Role::ActGrad).unwrap();
+        let _dw = g.emit(Op::MatMulDw, &[x, dy], Role::WeightGrad).unwrap();
+        assert_eq!(g.weight_grad_positions(), vec![2]);
+        assert!(g.all_to_all_positions().is_empty());
+    }
+
+    #[test]
+    fn producer_and_user_maps() {
+        let (mut g, x, w) = simple_graph();
+        let y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let _z = g.emit(Op::Relu, &[y], Role::Forward).unwrap();
+        let prod = g.producer_positions();
+        assert_eq!(prod[&y], 0);
+        let users = g.user_positions();
+        assert_eq!(users[&y], vec![1]);
+        assert_eq!(users[&x], vec![0]);
+    }
+}

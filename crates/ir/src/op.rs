@@ -1,0 +1,1138 @@
+//! The operator set of the Lancet IR.
+//!
+//! Operators carry the static attributes needed for shape inference, cost
+//! modelling (FLOP and byte counts), and the partition pass's constraint
+//! functions. Dynamic behaviour (actual routing, actual communication) lives
+//! in `lancet-moe` / `lancet-exec`.
+
+use crate::{GateKind, IrError, Result};
+use lancet_tensor::Shape;
+
+/// An IR operator.
+///
+/// Naming convention: `Foo` is a forward operator, `FooGrad*` its backward
+/// companions. Weight-gradient producers ([`Op::MatMulDw`],
+/// [`Op::BatchedMatMulDw`], [`Op::SumLeading`], [`Op::EmbeddingGrad`],
+/// [`Op::GateGradW`], `LayerNormGrad{Gamma,Beta}`) are the instructions the
+/// dW-scheduling pass moves around.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    // ------------------------------------------------------------------
+    // Dense compute
+    // ------------------------------------------------------------------
+    /// `[x(…,K), w(K,N)] → (…,N)`; with `transpose_b`, `w` is `(N,K)`.
+    MatMul {
+        /// Interpret the weight operand as transposed.
+        transpose_b: bool,
+    },
+    /// Weight gradient of a matmul: `[x(…,K), dy(…,N)] → (K,N)`, contracting
+    /// all leading dimensions. This is the canonical schedulable dW op.
+    MatMulDw,
+    /// Per-expert matmul `[x(E,C,K), w(E,K,N)] → (E,C,N)`; with
+    /// `transpose_b`, `w` is `(E,N,K)`.
+    BatchedMatMul {
+        /// Interpret the weight operand as transposed.
+        transpose_b: bool,
+    },
+    /// Weight gradient of a per-expert matmul: `[x(E,C,K), dy(E,C,N)] → (E,K,N)`.
+    BatchedMatMulDw,
+    /// Element-wise sum of two same-shaped tensors.
+    Add,
+    /// Element-wise product of two same-shaped tensors.
+    Mul,
+    /// `[x(…,N), b(N)] → (…,N)` broadcast bias add.
+    BiasAdd,
+    /// Sums all leading dims: `[dy(…,N)] → (N,)`. Bias weight gradient.
+    SumLeading,
+    /// Multiplies by a compile-time constant.
+    Scale {
+        /// The constant factor.
+        factor: f32,
+    },
+    /// Rectified linear unit.
+    Relu,
+    /// `[x, dy] → dx` for ReLU.
+    ReluGrad,
+    /// GELU activation (tanh approximation).
+    Gelu,
+    /// `[x, dy] → dx` for GELU.
+    GeluGrad,
+    /// Softmax over the last dimension.
+    Softmax,
+    /// `[y, dy] → dx` given the softmax output `y`.
+    SoftmaxGrad,
+    /// `[x(…,D), gamma(D), beta(D)] → (…,D)`.
+    LayerNorm {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// `[x, gamma, dy] → dx`.
+    LayerNormGradX {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// `[x, dy] → dgamma(D,)`.
+    LayerNormGradGamma {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// `[dy] → dbeta(D,)`.
+    LayerNormGradBeta,
+    /// `[x(…,D), gamma(D)] → (…,D)` RMS normalization (Llama/Mixtral).
+    RmsNorm {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// `[x, gamma, dy] → dx`.
+    RmsNormGradX {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// `[x, dy] → dgamma(D,)`.
+    RmsNormGradGamma {
+        /// Numerical-stability epsilon.
+        eps: f32,
+    },
+    /// SiLU (swish) activation, the SwiGLU building block.
+    Silu,
+    /// `[x, dy] → dx` for SiLU.
+    SiluGrad,
+    /// Identity at execution time; carries the dropout probability for cost
+    /// accounting (training kernels still touch all bytes).
+    Dropout {
+        /// Drop probability.
+        p: f32,
+    },
+    /// `[table(V,H), ids(B,S)] → (B,S,H)` lookup.
+    Embedding,
+    /// `[table(V,H), ids(B,S), dy(B,S,H)] → (V,H)` scatter-add.
+    EmbeddingGrad,
+    // ------------------------------------------------------------------
+    // Fused attention
+    // ------------------------------------------------------------------
+    /// `[q(B,S,H), k(B,S,H)] → (B,heads,S,S)` scaled (optionally causal)
+    /// attention logits.
+    AttnScores {
+        /// Number of attention heads; must divide `H`.
+        heads: usize,
+        /// Apply a causal mask (GPT-style).
+        causal: bool,
+    },
+    /// `[k(B,S,H), dy(B,heads,S,S)] → dq(B,S,H)`.
+    AttnScoresGradQ {
+        /// Number of attention heads.
+        heads: usize,
+        /// Whether the forward op was causal.
+        causal: bool,
+    },
+    /// `[q(B,S,H), dy(B,heads,S,S)] → dk(B,S,H)`.
+    AttnScoresGradK {
+        /// Number of attention heads.
+        heads: usize,
+        /// Whether the forward op was causal.
+        causal: bool,
+    },
+    /// `[p(B,heads,S,S), v(B,S,H)] → (B,S,H)` probability-weighted values.
+    AttnContext {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// `[v(B,S,H), dy(B,S,H)] → dp(B,heads,S,S)`.
+    AttnContextGradP {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    /// `[p(B,heads,S,S), dy(B,S,H)] → dv(B,S,H)`.
+    AttnContextGradV {
+        /// Number of attention heads.
+        heads: usize,
+    },
+    // ------------------------------------------------------------------
+    // Loss
+    // ------------------------------------------------------------------
+    /// `[logits(B,S,V), targets(B,S)] → [loss(1,), probs(B,S,V)]`
+    /// mean token cross-entropy; also returns softmax probabilities for the
+    /// backward pass.
+    CrossEntropy,
+    /// `[probs(B,S,V), targets(B,S)] → dlogits(B,S,V)`.
+    CrossEntropyGrad,
+    // ------------------------------------------------------------------
+    // Mixture-of-Experts
+    // ------------------------------------------------------------------
+    /// `[x(B,S,H), wg(H,E)] → [assign(B·S,), scale(B·S,)]`.
+    ///
+    /// `assign[t]` is the target expert (or −1 when dropped after capacity),
+    /// `scale[t]` the combine weight.
+    Gate {
+        /// Routing algorithm.
+        kind: GateKind,
+        /// Total number of experts `E` across all devices.
+        experts: usize,
+        /// Per-expert capacity `C`.
+        capacity: usize,
+    },
+    /// `[x(B,S,H), wg(H,E), assign(T,), dscale(T,)] → dx(B,S,H)`.
+    GateGradX {
+        /// Total number of experts.
+        experts: usize,
+    },
+    /// `[x(B,S,H), wg(H,E), assign(T,), dscale(T,)] → dwg(H,E)`.
+    GateGradW {
+        /// Total number of experts.
+        experts: usize,
+    },
+    /// `[x(B,S,H), assign(T,), scale(T,)] → buf(E,C,H)`: scatter tokens to
+    /// the per-expert send buffer, zero-padded to capacity.
+    MoeDispatch {
+        /// Total number of experts.
+        experts: usize,
+        /// Per-expert capacity.
+        capacity: usize,
+    },
+    /// `[assign(T,), dbuf(E,C,H)] → dx(B,S,H)`: gather gradients back to
+    /// token order. `batch`/`seq` give the token layout.
+    MoeDispatchGrad {
+        /// Total number of experts.
+        experts: usize,
+        /// Per-expert capacity.
+        capacity: usize,
+        /// Batch extent of the token tensor.
+        batch: usize,
+        /// Sequence extent of the token tensor.
+        seq: usize,
+    },
+    /// `[buf(E,C,H), assign(T,), scale(T,)] → y(B,S,H)`: restore received
+    /// expert outputs to original token order, scaled by the combine
+    /// weight; dropped tokens produce zero rows.
+    MoeGather {
+        /// Total number of experts.
+        experts: usize,
+        /// Per-expert capacity.
+        capacity: usize,
+        /// Batch extent of the output.
+        batch: usize,
+        /// Sequence extent of the output.
+        seq: usize,
+    },
+    /// `[assign(T,), scale(T,), dy(B,S,H)] → dbuf(E,C,H)`.
+    MoeGatherGradBuf {
+        /// Total number of experts.
+        experts: usize,
+        /// Per-expert capacity.
+        capacity: usize,
+    },
+    /// `[buf(E,C,H), assign(T,), dy(B,S,H)] → dscale(T,)`.
+    MoeGatherGradScale {
+        /// Total number of experts.
+        experts: usize,
+        /// Per-expert capacity.
+        capacity: usize,
+    },
+    /// `(E,C,M) → (E_l, G·C, M)`: regroup the received buffer so each of
+    /// the `E_l = E/G` local experts sees its tokens from all `G` devices
+    /// contiguously.
+    ExpertsLayout {
+        /// Number of participating devices `G`.
+        gpus: usize,
+    },
+    /// Inverse of [`Op::ExpertsLayout`]: `(E_l, G·C, M) → (E,C,M)`.
+    ExpertsLayoutInv {
+        /// Number of participating devices `G`.
+        gpus: usize,
+    },
+    // ------------------------------------------------------------------
+    // Collectives
+    // ------------------------------------------------------------------
+    /// Uniform all-to-all over the leading (expert) axis: shape-preserving
+    /// exchange of `(E,C,M)` buffers across `G` devices.
+    AllToAll,
+    /// Sum all-reduce across devices (gradient synchronization).
+    AllReduce,
+    /// FSDP/ZeRO-3 weight gather: concatenates each device's parameter
+    /// shard along axis 0, materializing the full weight:
+    /// `(R/G, …) → (R, …)`.
+    AllGather {
+        /// Number of participating devices `G`.
+        gpus: usize,
+    },
+    /// Adjoint of [`Op::AllGather`]: sums gradients across devices and
+    /// returns each device its shard: `(R, …) → (R/G, …)`.
+    ReduceScatter {
+        /// Number of participating devices `G`.
+        gpus: usize,
+    },
+    // ------------------------------------------------------------------
+    // Partitioned / irregular MoE (emitted by the partition pass)
+    // ------------------------------------------------------------------
+    /// Capacity-passing partitioned gate (paper Fig. 5c):
+    /// `[x(Bc,S,H), wg(H,E), cap_in(E,)] → [assign(Tc,), scale(Tc,), cap_out(E,)]`.
+    ///
+    /// `cap_in[e]` is the number of capacity slots already consumed by
+    /// earlier micro-batches; the chunk drops exactly the tokens the
+    /// unpartitioned gate would drop.
+    GateChunk {
+        /// Routing algorithm (must be partitionable).
+        kind: GateKind,
+        /// Total number of experts.
+        experts: usize,
+        /// Shared (full) per-expert capacity `C`.
+        capacity: usize,
+        /// Total number of chunks in the pipeline.
+        parts: usize,
+    },
+    /// `[x(Bc,S,H), assign(Tc,), scale(Tc,)] → [buf(E,C,H), counts(E,)]`:
+    /// densely packs this chunk's kept tokens per expert and reports the
+    /// actual counts for the irregular all-to-all.
+    MoeDispatchIrr {
+        /// Total number of experts.
+        experts: usize,
+        /// Shared per-expert capacity.
+        capacity: usize,
+        /// Number of chunks in the pipeline this dispatch belongs to —
+        /// the `n` of the paper's static-shape `C/n` cost approximation.
+        parts: usize,
+    },
+    /// `[assign(Tc,), dbuf(E,C,H)] → dx(Bc,S,H)` for the irregular dispatch.
+    MoeDispatchIrrGrad {
+        /// Total number of experts.
+        experts: usize,
+        /// Shared per-expert capacity.
+        capacity: usize,
+        /// Chunk batch extent.
+        batch: usize,
+        /// Sequence extent.
+        seq: usize,
+    },
+    /// Two-phase irregular all-to-all (paper Fig. 10):
+    /// `[buf(E,C,M), counts(E,)] → [buf'(E,C,M), counts'(E,)]`.
+    ///
+    /// A first (tiny) exchange communicates the sizes, a second exchange
+    /// moves only the actual data; padding is never transmitted.
+    AllToAllIrr,
+    /// `[buf(E,C,H), assign(Tc,), scale(Tc,)] → y(Bc,S,H)` for the
+    /// irregular pipeline.
+    MoeGatherIrr {
+        /// Total number of experts.
+        experts: usize,
+        /// Shared per-expert capacity.
+        capacity: usize,
+        /// Chunk batch extent.
+        batch: usize,
+        /// Sequence extent.
+        seq: usize,
+    },
+    /// `[assign(Tc,), scale(Tc,), dy(Bc,S,H)] → dbuf(E,C,H)`.
+    MoeGatherIrrGradBuf {
+        /// Total number of experts.
+        experts: usize,
+        /// Shared per-expert capacity.
+        capacity: usize,
+    },
+    // ------------------------------------------------------------------
+    // Data movement / misc
+    // ------------------------------------------------------------------
+    /// Copies `start..end` along `axis`.
+    Slice {
+        /// Axis to slice.
+        axis: usize,
+        /// Start index (inclusive).
+        start: usize,
+        /// End index (exclusive).
+        end: usize,
+    },
+    /// Concatenates all inputs along `axis`.
+    Concat {
+        /// Axis to concatenate.
+        axis: usize,
+    },
+    /// Zero-pads along `axis`: `before` rows in front, `after` rows
+    /// behind. Adjoint of [`Op::Slice`]; emitted by autodiff.
+    Pad {
+        /// Axis to pad.
+        axis: usize,
+        /// Leading padding extent.
+        before: usize,
+        /// Trailing padding extent.
+        after: usize,
+    },
+    /// Produces an all-zeros tensor of the given shape (e.g. the initial
+    /// `cap_in` of a partitioned gate chain).
+    Zeros {
+        /// Output shape.
+        shape: Vec<usize>,
+    },
+    /// `[w, dw] → w − lr·dw`.
+    SgdUpdate {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Heavy-ball SGD (the paper's optimizer):
+    /// `[w, dw, vel] → [w − lr·vel', vel']` with `vel' = μ·vel + dw`.
+    SgdMomentumUpdate {
+        /// Learning rate.
+        lr: f32,
+        /// Momentum coefficient μ.
+        momentum: f32,
+    },
+    /// Adam (no bias correction — steady-state form for single-iteration
+    /// graphs): `[w, dw, m, v] → [w', m', v']` with
+    /// `m' = β₁m + (1−β₁)dw`, `v' = β₂v + (1−β₂)dw²`,
+    /// `w' = w − lr·m'/(√v' + ε)`.
+    AdamUpdate {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay β₁.
+        beta1: f32,
+        /// Second-moment decay β₂.
+        beta2: f32,
+        /// Denominator stabilizer ε.
+        eps: f32,
+    },
+}
+
+impl Op {
+    /// Short stable name for diagnostics, profiling keys and DOT output.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::MatMul { .. } => "matmul",
+            Op::MatMulDw => "matmul_dw",
+            Op::BatchedMatMul { .. } => "batched_matmul",
+            Op::BatchedMatMulDw => "batched_matmul_dw",
+            Op::Add => "add",
+            Op::Mul => "mul",
+            Op::BiasAdd => "bias_add",
+            Op::SumLeading => "sum_leading",
+            Op::Scale { .. } => "scale",
+            Op::Relu => "relu",
+            Op::ReluGrad => "relu_grad",
+            Op::Gelu => "gelu",
+            Op::GeluGrad => "gelu_grad",
+            Op::Softmax => "softmax",
+            Op::SoftmaxGrad => "softmax_grad",
+            Op::LayerNorm { .. } => "layer_norm",
+            Op::LayerNormGradX { .. } => "layer_norm_grad_x",
+            Op::LayerNormGradGamma { .. } => "layer_norm_grad_gamma",
+            Op::LayerNormGradBeta => "layer_norm_grad_beta",
+            Op::RmsNorm { .. } => "rms_norm",
+            Op::RmsNormGradX { .. } => "rms_norm_grad_x",
+            Op::RmsNormGradGamma { .. } => "rms_norm_grad_gamma",
+            Op::Silu => "silu",
+            Op::SiluGrad => "silu_grad",
+            Op::Dropout { .. } => "dropout",
+            Op::Embedding => "embedding",
+            Op::EmbeddingGrad => "embedding_grad",
+            Op::AttnScores { .. } => "attn_scores",
+            Op::AttnScoresGradQ { .. } => "attn_scores_grad_q",
+            Op::AttnScoresGradK { .. } => "attn_scores_grad_k",
+            Op::AttnContext { .. } => "attn_context",
+            Op::AttnContextGradP { .. } => "attn_context_grad_p",
+            Op::AttnContextGradV { .. } => "attn_context_grad_v",
+            Op::CrossEntropy => "cross_entropy",
+            Op::CrossEntropyGrad => "cross_entropy_grad",
+            Op::Gate { .. } => "gate",
+            Op::GateGradX { .. } => "gate_grad_x",
+            Op::GateGradW { .. } => "gate_grad_w",
+            Op::MoeDispatch { .. } => "moe_dispatch",
+            Op::MoeDispatchGrad { .. } => "moe_dispatch_grad",
+            Op::MoeGather { .. } => "moe_gather",
+            Op::MoeGatherGradBuf { .. } => "moe_gather_grad_buf",
+            Op::MoeGatherGradScale { .. } => "moe_gather_grad_scale",
+            Op::ExpertsLayout { .. } => "experts_layout",
+            Op::ExpertsLayoutInv { .. } => "experts_layout_inv",
+            Op::AllToAll => "all_to_all",
+            Op::AllReduce => "all_reduce",
+            Op::AllGather { .. } => "all_gather",
+            Op::ReduceScatter { .. } => "reduce_scatter",
+            Op::GateChunk { .. } => "gate_chunk",
+            Op::MoeDispatchIrr { .. } => "moe_dispatch_irr",
+            Op::MoeDispatchIrrGrad { .. } => "moe_dispatch_irr_grad",
+            Op::AllToAllIrr => "all_to_all_irr",
+            Op::MoeGatherIrr { .. } => "moe_gather_irr",
+            Op::MoeGatherIrrGradBuf { .. } => "moe_gather_irr_grad_buf",
+            Op::Slice { .. } => "slice",
+            Op::Pad { .. } => "pad",
+            Op::Concat { .. } => "concat",
+            Op::Zeros { .. } => "zeros",
+            Op::SgdUpdate { .. } => "sgd_update",
+            Op::SgdMomentumUpdate { .. } => "sgd_momentum_update",
+            Op::AdamUpdate { .. } => "adam_update",
+        }
+    }
+
+    /// Number of inputs the operator consumes, or `None` when variadic
+    /// ([`Op::Concat`]).
+    pub fn arity(&self) -> Option<usize> {
+        Some(match self {
+            Op::Zeros { .. } => 0,
+            Op::Relu
+            | Op::Gelu
+            | Op::Silu
+            | Op::Softmax
+            | Op::Dropout { .. }
+            | Op::Scale { .. }
+            | Op::SumLeading
+            | Op::LayerNormGradBeta
+            | Op::ExpertsLayout { .. }
+            | Op::ExpertsLayoutInv { .. }
+            | Op::AllToAll
+            | Op::AllReduce
+            | Op::AllGather { .. }
+            | Op::ReduceScatter { .. }
+            | Op::Slice { .. }
+            | Op::Pad { .. } => 1,
+            Op::MatMul { .. }
+            | Op::MatMulDw
+            | Op::BatchedMatMul { .. }
+            | Op::BatchedMatMulDw
+            | Op::Add
+            | Op::Mul
+            | Op::BiasAdd
+            | Op::ReluGrad
+            | Op::GeluGrad
+            | Op::SiluGrad
+            | Op::RmsNorm { .. }
+            | Op::RmsNormGradGamma { .. }
+            | Op::SoftmaxGrad
+            | Op::Embedding
+            | Op::AttnScores { .. }
+            | Op::AttnScoresGradQ { .. }
+            | Op::AttnScoresGradK { .. }
+            | Op::AttnContext { .. }
+            | Op::AttnContextGradP { .. }
+            | Op::AttnContextGradV { .. }
+            | Op::CrossEntropy
+            | Op::CrossEntropyGrad
+            | Op::Gate { .. }
+            | Op::LayerNormGradGamma { .. }
+            | Op::MoeDispatchGrad { .. }
+            | Op::MoeDispatchIrrGrad { .. }
+            | Op::AllToAllIrr
+            | Op::SgdUpdate { .. } => 2,
+            Op::SgdMomentumUpdate { .. } => 3,
+            Op::AdamUpdate { .. } => 4,
+            Op::LayerNorm { .. }
+            | Op::LayerNormGradX { .. }
+            | Op::RmsNormGradX { .. }
+            | Op::EmbeddingGrad
+            | Op::MoeDispatch { .. }
+            | Op::MoeGather { .. }
+            | Op::MoeGatherGradBuf { .. }
+            | Op::MoeGatherGradScale { .. }
+            | Op::GateChunk { .. }
+            | Op::MoeDispatchIrr { .. }
+            | Op::MoeGatherIrr { .. }
+            | Op::MoeGatherIrrGradBuf { .. } => 3,
+            Op::GateGradX { .. } | Op::GateGradW { .. } => 4,
+            Op::Concat { .. } => return None,
+        })
+    }
+
+    /// True for communication operators (executed on the comm stream).
+    pub fn is_comm(&self) -> bool {
+        matches!(
+            self,
+            Op::AllToAll
+                | Op::AllToAllIrr
+                | Op::AllReduce
+                | Op::AllGather { .. }
+                | Op::ReduceScatter { .. }
+        )
+    }
+
+    /// True for (uniform or irregular) all-to-all operators — the
+    /// operators whose latency Lancet hides.
+    pub fn is_all_to_all(&self) -> bool {
+        matches!(self, Op::AllToAll | Op::AllToAllIrr)
+    }
+
+    /// Infers output shapes from input shapes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`IrError::ArityMismatch`] or [`IrError::ShapeMismatch`]
+    /// when the inputs are malformed.
+    pub fn infer_shapes(&self, ins: &[&Shape]) -> Result<Vec<Shape>> {
+        if let Some(n) = self.arity() {
+            if ins.len() != n {
+                return Err(IrError::ArityMismatch { op: self.name(), expected: n, actual: ins.len() });
+            }
+        } else if ins.is_empty() {
+            return Err(IrError::ArityMismatch { op: self.name(), expected: 1, actual: 0 });
+        }
+        let fail = |detail: String| IrError::ShapeMismatch { op: self.name(), detail };
+        match self {
+            Op::MatMul { transpose_b } => {
+                let x = ins[0];
+                let w = ins[1];
+                if x.rank() < 1 || w.rank() != 2 {
+                    return Err(fail(format!("x{x}, w{w}")));
+                }
+                let k = x.dims()[x.rank() - 1];
+                let (wk, n) = if *transpose_b { (w.dim(1), w.dim(0)) } else { (w.dim(0), w.dim(1)) };
+                if k != wk {
+                    return Err(fail(format!("inner dims {k} vs {wk}")));
+                }
+                let mut dims = x.dims().to_vec();
+                *dims.last_mut().expect("rank >= 1") = n;
+                Ok(vec![Shape::new(dims)])
+            }
+            Op::MatMulDw => {
+                let x = ins[0];
+                let dy = ins[1];
+                if x.rank() != dy.rank() || x.dims()[..x.rank() - 1] != dy.dims()[..dy.rank() - 1] {
+                    return Err(fail(format!("x{x}, dy{dy}")));
+                }
+                Ok(vec![Shape::new(vec![x.dims()[x.rank() - 1], dy.dims()[dy.rank() - 1]])])
+            }
+            Op::BatchedMatMul { transpose_b } => {
+                let x = ins[0];
+                let w = ins[1];
+                if x.rank() != 3 || w.rank() != 3 || x.dim(0) != w.dim(0) {
+                    return Err(fail(format!("x{x}, w{w}")));
+                }
+                let (wk, n) = if *transpose_b { (w.dim(2), w.dim(1)) } else { (w.dim(1), w.dim(2)) };
+                if x.dim(2) != wk {
+                    return Err(fail(format!("inner dims {} vs {}", x.dim(2), wk)));
+                }
+                Ok(vec![Shape::new(vec![x.dim(0), x.dim(1), n])])
+            }
+            Op::BatchedMatMulDw => {
+                let x = ins[0];
+                let dy = ins[1];
+                if x.rank() != 3 || dy.rank() != 3 || x.dim(0) != dy.dim(0) || x.dim(1) != dy.dim(1) {
+                    return Err(fail(format!("x{x}, dy{dy}")));
+                }
+                Ok(vec![Shape::new(vec![x.dim(0), x.dim(2), dy.dim(2)])])
+            }
+            Op::RmsNorm { .. } => {
+                let (x, g) = (ins[0], ins[1]);
+                let d = *x.dims().last().unwrap_or(&0);
+                if g.dims() != [d] {
+                    return Err(fail(format!("x{x}, gamma{g}")));
+                }
+                Ok(vec![x.clone()])
+            }
+            Op::RmsNormGradX { .. } => {
+                let (x, g, dy) = (ins[0], ins[1], ins[2]);
+                let d = *x.dims().last().unwrap_or(&0);
+                if g.dims() != [d] || dy != x {
+                    return Err(fail(format!("x{x}, gamma{g}, dy{dy}")));
+                }
+                Ok(vec![x.clone()])
+            }
+            Op::RmsNormGradGamma { .. } => {
+                let (x, dy) = (ins[0], ins[1]);
+                if x != dy {
+                    return Err(fail(format!("x{x}, dy{dy}")));
+                }
+                Ok(vec![Shape::new(vec![*x.dims().last().unwrap_or(&0)])])
+            }
+            Op::Add | Op::Mul | Op::ReluGrad | Op::GeluGrad | Op::SiluGrad | Op::SoftmaxGrad | Op::SgdUpdate { .. } => {
+                if ins[0] != ins[1] {
+                    return Err(fail(format!("{} vs {}", ins[0], ins[1])));
+                }
+                Ok(vec![ins[0].clone()])
+            }
+            Op::SgdMomentumUpdate { .. } => {
+                if ins[0] != ins[1] || ins[0] != ins[2] {
+                    return Err(fail(format!("{} vs {} vs {}", ins[0], ins[1], ins[2])));
+                }
+                Ok(vec![ins[0].clone(), ins[0].clone()])
+            }
+            Op::AdamUpdate { .. } => {
+                if ins.iter().any(|&s| s != ins[0]) {
+                    return Err(fail("adam operands must share the weight shape".into()));
+                }
+                Ok(vec![ins[0].clone(), ins[0].clone(), ins[0].clone()])
+            }
+            Op::BiasAdd => {
+                let x = ins[0];
+                let b = ins[1];
+                if b.rank() != 1 || b.dim(0) != *x.dims().last().unwrap_or(&0) {
+                    return Err(fail(format!("x{x}, b{b}")));
+                }
+                Ok(vec![x.clone()])
+            }
+            Op::SumLeading => {
+                let x = ins[0];
+                if x.rank() < 1 {
+                    return Err(fail("scalar input".into()));
+                }
+                Ok(vec![Shape::new(vec![*x.dims().last().expect("rank >= 1")])])
+            }
+            Op::Scale { .. } | Op::Relu | Op::Gelu | Op::Silu | Op::Softmax | Op::Dropout { .. } => {
+                Ok(vec![ins[0].clone()])
+            }
+            Op::LayerNorm { .. } => {
+                let (x, g, b) = (ins[0], ins[1], ins[2]);
+                let d = *x.dims().last().unwrap_or(&0);
+                if g.dims() != [d] || b.dims() != [d] {
+                    return Err(fail(format!("x{x}, gamma{g}, beta{b}")));
+                }
+                Ok(vec![x.clone()])
+            }
+            Op::LayerNormGradX { .. } => {
+                let (x, g, dy) = (ins[0], ins[1], ins[2]);
+                let d = *x.dims().last().unwrap_or(&0);
+                if g.dims() != [d] || dy != x {
+                    return Err(fail(format!("x{x}, gamma{g}, dy{dy}")));
+                }
+                Ok(vec![x.clone()])
+            }
+            Op::LayerNormGradGamma { .. } => {
+                let (x, dy) = (ins[0], ins[1]);
+                if x != dy {
+                    return Err(fail(format!("x{x}, dy{dy}")));
+                }
+                Ok(vec![Shape::new(vec![*x.dims().last().unwrap_or(&0)])])
+            }
+            Op::LayerNormGradBeta => {
+                Ok(vec![Shape::new(vec![*ins[0].dims().last().unwrap_or(&0)])])
+            }
+            Op::Embedding => {
+                let (table, ids) = (ins[0], ins[1]);
+                if table.rank() != 2 || ids.rank() != 2 {
+                    return Err(fail(format!("table{table}, ids{ids}")));
+                }
+                Ok(vec![Shape::new(vec![ids.dim(0), ids.dim(1), table.dim(1)])])
+            }
+            Op::EmbeddingGrad => {
+                let (table, ids, dy) = (ins[0], ins[1], ins[2]);
+                if dy.rank() != 3 || dy.dim(0) != ids.dim(0) || dy.dim(1) != ids.dim(1) {
+                    return Err(fail(format!("ids{ids}, dy{dy}")));
+                }
+                Ok(vec![table.clone()])
+            }
+            Op::AttnScores { heads, .. } => {
+                let (q, k) = (ins[0], ins[1]);
+                if q != k || q.rank() != 3 || q.dim(2) % heads != 0 {
+                    return Err(fail(format!("q{q}, k{k}, heads {heads}")));
+                }
+                Ok(vec![Shape::new(vec![q.dim(0), *heads, q.dim(1), q.dim(1)])])
+            }
+            Op::AttnScoresGradQ { heads, .. } | Op::AttnScoresGradK { heads, .. } => {
+                let (other, dy) = (ins[0], ins[1]);
+                if other.rank() != 3 || dy.rank() != 4 || dy.dim(1) != *heads {
+                    return Err(fail(format!("in{other}, dy{dy}")));
+                }
+                Ok(vec![other.clone()])
+            }
+            Op::AttnContext { heads } => {
+                let (p, v) = (ins[0], ins[1]);
+                if p.rank() != 4 || v.rank() != 3 || p.dim(1) != *heads || p.dim(0) != v.dim(0) {
+                    return Err(fail(format!("p{p}, v{v}")));
+                }
+                Ok(vec![v.clone()])
+            }
+            Op::AttnContextGradP { heads } => {
+                let (v, dy) = (ins[0], ins[1]);
+                if v.rank() != 3 || dy != v {
+                    return Err(fail(format!("v{v}, dy{dy}")));
+                }
+                Ok(vec![Shape::new(vec![v.dim(0), *heads, v.dim(1), v.dim(1)])])
+            }
+            Op::AttnContextGradV { .. } => {
+                let (p, dy) = (ins[0], ins[1]);
+                if p.rank() != 4 || dy.rank() != 3 {
+                    return Err(fail(format!("p{p}, dy{dy}")));
+                }
+                Ok(vec![dy.clone()])
+            }
+            Op::CrossEntropy => {
+                let (logits, targets) = (ins[0], ins[1]);
+                if logits.rank() != 3 || targets.rank() != 2 || logits.dim(0) != targets.dim(0) {
+                    return Err(fail(format!("logits{logits}, targets{targets}")));
+                }
+                Ok(vec![Shape::new(vec![1]), logits.clone()])
+            }
+            Op::CrossEntropyGrad => Ok(vec![ins[0].clone()]),
+            Op::Gate { kind, experts, .. } => {
+                let (x, wg) = (ins[0], ins[1]);
+                if x.rank() != 3 || wg.rank() != 2 || wg.dim(0) != x.dim(2) || wg.dim(1) != *experts {
+                    return Err(fail(format!("x{x}, wg{wg}")));
+                }
+                // Slots per token: k for token-choice gates, E for
+                // expert-choice (any expert may pick any token).
+                let per_token = if matches!(kind, GateKind::ExpertChoice) {
+                    *experts
+                } else {
+                    kind.k().min(*experts)
+                };
+                let slots = x.dim(0) * x.dim(1) * per_token;
+                Ok(vec![Shape::new(vec![slots]), Shape::new(vec![slots])])
+            }
+            Op::GateGradX { .. } => Ok(vec![ins[0].clone()]),
+            Op::GateGradW { .. } => Ok(vec![ins[1].clone()]),
+            Op::MoeDispatch { experts, capacity } => {
+                let x = ins[0];
+                if x.rank() != 3 {
+                    return Err(fail(format!("x{x}")));
+                }
+                Ok(vec![Shape::new(vec![*experts, *capacity, x.dim(2)])])
+            }
+            Op::MoeDispatchGrad { batch, seq, .. } => {
+                let dbuf = ins[1];
+                if dbuf.rank() != 3 {
+                    return Err(fail(format!("dbuf{dbuf}")));
+                }
+                Ok(vec![Shape::new(vec![*batch, *seq, dbuf.dim(2)])])
+            }
+            Op::MoeGather { batch, seq, .. } => {
+                let buf = ins[0];
+                if buf.rank() != 3 {
+                    return Err(fail(format!("buf{buf}")));
+                }
+                Ok(vec![Shape::new(vec![*batch, *seq, buf.dim(2)])])
+            }
+            Op::MoeGatherGradBuf { experts, capacity } => {
+                let dy = ins[2];
+                if dy.rank() != 3 {
+                    return Err(fail(format!("dy{dy}")));
+                }
+                Ok(vec![Shape::new(vec![*experts, *capacity, dy.dim(2)])])
+            }
+            Op::MoeGatherGradScale { .. } => {
+                let assign = ins[1];
+                Ok(vec![assign.clone()])
+            }
+            Op::ExpertsLayout { gpus } => {
+                let b = ins[0];
+                if b.rank() != 3 || !b.dim(0).is_multiple_of(*gpus) {
+                    return Err(fail(format!("buf{b}, gpus {gpus}")));
+                }
+                Ok(vec![Shape::new(vec![b.dim(0) / gpus, gpus * b.dim(1), b.dim(2)])])
+            }
+            Op::ExpertsLayoutInv { gpus } => {
+                let b = ins[0];
+                if b.rank() != 3 || !b.dim(1).is_multiple_of(*gpus) {
+                    return Err(fail(format!("buf{b}, gpus {gpus}")));
+                }
+                Ok(vec![Shape::new(vec![b.dim(0) * gpus, b.dim(1) / gpus, b.dim(2)])])
+            }
+            Op::AllToAll | Op::AllReduce => Ok(vec![ins[0].clone()]),
+            Op::AllGather { gpus } => {
+                let x = ins[0];
+                if x.rank() < 1 {
+                    return Err(fail("scalar shard".into()));
+                }
+                Ok(vec![x.with_dim(0, x.dim(0) * gpus)])
+            }
+            Op::ReduceScatter { gpus } => {
+                let x = ins[0];
+                if x.rank() < 1 || !x.dim(0).is_multiple_of(*gpus) {
+                    return Err(fail(format!("{x} not shardable over {gpus}")));
+                }
+                Ok(vec![x.with_dim(0, x.dim(0) / gpus)])
+            }
+            Op::GateChunk { kind, experts, .. } => {
+                let (x, wg, cap) = (ins[0], ins[1], ins[2]);
+                if x.rank() != 3 || wg.rank() != 2 || cap.dims() != [*experts] {
+                    return Err(fail(format!("x{x}, wg{wg}, cap{cap}")));
+                }
+                let slots = x.dim(0) * x.dim(1) * kind.k().min(*experts);
+                Ok(vec![
+                    Shape::new(vec![slots]),
+                    Shape::new(vec![slots]),
+                    Shape::new(vec![*experts]),
+                ])
+            }
+            Op::MoeDispatchIrr { experts, capacity, .. } => {
+                let x = ins[0];
+                if x.rank() != 3 {
+                    return Err(fail(format!("x{x}")));
+                }
+                Ok(vec![
+                    Shape::new(vec![*experts, *capacity, x.dim(2)]),
+                    Shape::new(vec![*experts]),
+                ])
+            }
+            Op::MoeDispatchIrrGrad { batch, seq, .. } => {
+                let dbuf = ins[1];
+                Ok(vec![Shape::new(vec![*batch, *seq, dbuf.dim(2)])])
+            }
+            Op::AllToAllIrr => Ok(vec![ins[0].clone(), ins[1].clone()]),
+            Op::MoeGatherIrr { batch, seq, .. } => {
+                let buf = ins[0];
+                Ok(vec![Shape::new(vec![*batch, *seq, buf.dim(2)])])
+            }
+            Op::MoeGatherIrrGradBuf { experts, capacity } => {
+                let dy = ins[2];
+                Ok(vec![Shape::new(vec![*experts, *capacity, dy.dim(2)])])
+            }
+            Op::Slice { axis, start, end } => {
+                let x = ins[0];
+                if *axis >= x.rank() || start >= end || *end > x.dim(*axis) {
+                    return Err(fail(format!("slice {start}..{end} of {x} axis {axis}")));
+                }
+                Ok(vec![x.with_dim(*axis, end - start)])
+            }
+            Op::Concat { axis } => {
+                let first = ins[0];
+                if *axis >= first.rank() {
+                    return Err(fail(format!("axis {axis} of {first}")));
+                }
+                let mut total = 0usize;
+                for s in ins {
+                    if s.rank() != first.rank()
+                        || s.dims()
+                            .iter()
+                            .zip(first.dims())
+                            .enumerate()
+                            .any(|(i, (a, b))| i != *axis && a != b)
+                    {
+                        return Err(fail(format!("{s} vs {first}")));
+                    }
+                    total += s.dim(*axis);
+                }
+                Ok(vec![first.with_dim(*axis, total)])
+            }
+            Op::Pad { axis, before, after } => {
+                let x = ins[0];
+                if *axis >= x.rank() {
+                    return Err(fail(format!("pad axis {axis} of {x}")));
+                }
+                Ok(vec![x.with_dim(*axis, x.dim(*axis) + before + after)])
+            }
+            Op::Zeros { shape } => Ok(vec![Shape::new(shape.clone())]),
+        }
+    }
+
+    /// Floating-point operations performed (used by the cost model).
+    pub fn flops(&self, ins: &[&Shape], outs: &[&Shape]) -> u64 {
+        let vol = |s: &Shape| s.volume() as u64;
+        match self {
+            Op::MatMul { .. } => {
+                let k = *ins[0].dims().last().unwrap_or(&1) as u64;
+                2 * vol(outs[0]) * k
+            }
+            Op::MatMulDw => {
+                let lead: u64 = ins[0].dims()[..ins[0].rank() - 1].iter().product::<usize>() as u64;
+                2 * vol(outs[0]) * lead
+            }
+            Op::BatchedMatMul { .. } => {
+                let k = ins[0].dim(2) as u64;
+                2 * vol(outs[0]) * k
+            }
+            Op::BatchedMatMulDw => {
+                let c = ins[0].dim(1) as u64;
+                2 * vol(outs[0]) * c
+            }
+            Op::AttnScores { .. } => {
+                // (B, h, S, S) output, each from a length-dh dot product.
+                let dh = (ins[0].dim(2) / outs[0].dim(1)) as u64;
+                2 * vol(outs[0]) * dh
+            }
+            Op::AttnScoresGradQ { .. } | Op::AttnScoresGradK { .. } => {
+                let s = ins[1].dim(2) as u64;
+                2 * vol(outs[0]) * s
+            }
+            Op::AttnContext { .. } => {
+                let s = ins[0].dim(2) as u64;
+                2 * vol(outs[0]) * s
+            }
+            Op::AttnContextGradP { .. } => {
+                let dh = (ins[0].dim(2) / outs[0].dim(1)) as u64;
+                2 * vol(outs[0]) * dh
+            }
+            Op::AttnContextGradV { .. } => {
+                let s = ins[0].dim(2) as u64;
+                2 * vol(outs[0]) * s
+            }
+            Op::CrossEntropy | Op::CrossEntropyGrad => 5 * vol(ins[0]),
+            Op::Gate { .. } | Op::GateChunk { .. } => {
+                // Gating projection (T,H)x(H,E) dominates.
+                let t = (ins[0].dim(0) * ins[0].dim(1)) as u64;
+                let h = ins[0].dim(2) as u64;
+                let e = ins[1].dim(1) as u64;
+                2 * t * h * e
+            }
+            Op::GateGradX { .. } | Op::GateGradW { .. } => {
+                let t = (ins[0].dim(0) * ins[0].dim(1)) as u64;
+                let h = ins[0].dim(2) as u64;
+                let e = ins[1].dim(1) as u64;
+                2 * t * h * e
+            }
+            Op::LayerNorm { .. } | Op::LayerNormGradX { .. } => 8 * vol(ins[0]),
+            Op::LayerNormGradGamma { .. } | Op::LayerNormGradBeta => 2 * vol(ins[0]),
+            Op::RmsNorm { .. } | Op::RmsNormGradX { .. } => 6 * vol(ins[0]),
+            Op::RmsNormGradGamma { .. } => 2 * vol(ins[0]),
+            Op::Silu | Op::SiluGrad => 8 * vol(ins[0]),
+            Op::Softmax | Op::SoftmaxGrad => 4 * vol(ins[0]),
+            Op::Gelu | Op::GeluGrad => 12 * vol(ins[0]),
+            // Memory-movement / elementwise ops: ~1 flop per output element.
+            _ => outs.iter().map(|s| vol(s)).sum(),
+        }
+    }
+
+    /// Bytes read + written assuming 4-byte elements (used for the
+    /// memory-bound side of the cost model).
+    pub fn mem_bytes(&self, ins: &[&Shape], outs: &[&Shape]) -> u64 {
+        let total: usize = ins.iter().map(|s| s.volume()).sum::<usize>()
+            + outs.iter().map(|s| s.volume()).sum::<usize>();
+        4 * total as u64
+    }
+
+    /// Bytes moved over the network per device for communication ops; zero
+    /// for compute ops. For [`Op::AllToAllIrr`] this is the *maximum*
+    /// (capacity-shaped) size — the simulator substitutes actual counts at
+    /// run time.
+    pub fn comm_bytes(&self, ins: &[&Shape]) -> u64 {
+        match self {
+            Op::AllToAll | Op::AllToAllIrr | Op::AllReduce => 4 * ins[0].volume() as u64,
+            // Gather/scatter sizes are quoted as the *full* tensor volume.
+            Op::AllGather { gpus } => 4 * (ins[0].volume() * gpus) as u64,
+            Op::ReduceScatter { .. } => 4 * ins[0].volume() as u64,
+            _ => 0,
+        }
+    }
+}
+
+impl std::fmt::Display for Op {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(dims: &[usize]) -> Shape {
+        Shape::new(dims.to_vec())
+    }
+
+    #[test]
+    fn matmul_shapes() {
+        let op = Op::MatMul { transpose_b: false };
+        let out = op.infer_shapes(&[&s(&[2, 4, 8]), &s(&[8, 3])]).unwrap();
+        assert_eq!(out[0].dims(), &[2, 4, 3]);
+        let op_t = Op::MatMul { transpose_b: true };
+        let out = op_t.infer_shapes(&[&s(&[2, 4, 8]), &s(&[3, 8])]).unwrap();
+        assert_eq!(out[0].dims(), &[2, 4, 3]);
+        assert!(op.infer_shapes(&[&s(&[2, 4, 8]), &s(&[7, 3])]).is_err());
+    }
+
+    #[test]
+    fn matmul_dw_contracts_leading() {
+        let out = Op::MatMulDw.infer_shapes(&[&s(&[2, 4, 8]), &s(&[2, 4, 3])]).unwrap();
+        assert_eq!(out[0].dims(), &[8, 3]);
+    }
+
+    #[test]
+    fn batched_matmul_shapes() {
+        let op = Op::BatchedMatMul { transpose_b: false };
+        let out = op.infer_shapes(&[&s(&[4, 16, 8]), &s(&[4, 8, 32])]).unwrap();
+        assert_eq!(out[0].dims(), &[4, 16, 32]);
+        let dw = Op::BatchedMatMulDw.infer_shapes(&[&s(&[4, 16, 8]), &s(&[4, 16, 32])]).unwrap();
+        assert_eq!(dw[0].dims(), &[4, 8, 32]);
+    }
+
+    #[test]
+    fn attention_shapes() {
+        let q = s(&[2, 6, 8]);
+        let out = Op::AttnScores { heads: 2, causal: true }
+            .infer_shapes(&[&q, &q])
+            .unwrap();
+        assert_eq!(out[0].dims(), &[2, 2, 6, 6]);
+        let ctx = Op::AttnContext { heads: 2 }
+            .infer_shapes(&[&out[0], &q])
+            .unwrap();
+        assert_eq!(ctx[0].dims(), &[2, 6, 8]);
+        // Heads must divide hidden.
+        assert!(Op::AttnScores { heads: 3, causal: false }.infer_shapes(&[&q, &q]).is_err());
+    }
+
+    #[test]
+    fn gate_and_dispatch_shapes() {
+        let x = s(&[2, 4, 8]);
+        let wg = s(&[8, 4]);
+        let outs = Op::Gate { kind: GateKind::Switch, experts: 4, capacity: 3 }
+            .infer_shapes(&[&x, &wg])
+            .unwrap();
+        assert_eq!(outs[0].dims(), &[8]); // assign: T = 2*4
+        assert_eq!(outs[1].dims(), &[8]);
+        let buf = Op::MoeDispatch { experts: 4, capacity: 3 }
+            .infer_shapes(&[&x, &outs[0], &outs[1]])
+            .unwrap();
+        assert_eq!(buf[0].dims(), &[4, 3, 8]);
+        let y = Op::MoeGather { experts: 4, capacity: 3, batch: 2, seq: 4 }
+            .infer_shapes(&[&buf[0], &outs[0], &outs[1]])
+            .unwrap();
+        assert_eq!(y[0].dims(), &[2, 4, 8]);
+    }
+
+    #[test]
+    fn experts_layout_roundtrip_shape() {
+        let buf = s(&[8, 6, 16]); // E=8, C=6, M=16, G=4 -> (2, 24, 16)
+        let l = Op::ExpertsLayout { gpus: 4 }.infer_shapes(&[&buf]).unwrap();
+        assert_eq!(l[0].dims(), &[2, 24, 16]);
+        let inv = Op::ExpertsLayoutInv { gpus: 4 }.infer_shapes(&[&l[0]]).unwrap();
+        assert_eq!(inv[0].dims(), &[8, 6, 16]);
+    }
+
+    #[test]
+    fn gate_chunk_outputs_capacity_state() {
+        let x = s(&[1, 4, 8]);
+        let wg = s(&[8, 4]);
+        let cap = s(&[4]);
+        let outs = Op::GateChunk { kind: GateKind::Switch, experts: 4, capacity: 6, parts: 2 }
+            .infer_shapes(&[&x, &wg, &cap])
+            .unwrap();
+        assert_eq!(outs.len(), 3);
+        assert_eq!(outs[2].dims(), &[4]);
+    }
+
+    #[test]
+    fn alltoall_preserves_shape() {
+        let buf = s(&[8, 6, 16]);
+        assert_eq!(Op::AllToAll.infer_shapes(&[&buf]).unwrap()[0], buf);
+        let counts = s(&[8]);
+        let outs = Op::AllToAllIrr.infer_shapes(&[&buf, &counts]).unwrap();
+        assert_eq!(outs[0], buf);
+        assert_eq!(outs[1], counts);
+    }
+
+    #[test]
+    fn slice_concat_shapes() {
+        let x = s(&[8, 4, 16]);
+        let part = Op::Slice { axis: 0, start: 2, end: 5 }.infer_shapes(&[&x]).unwrap();
+        assert_eq!(part[0].dims(), &[3, 4, 16]);
+        let cat = Op::Concat { axis: 0 }
+            .infer_shapes(&[&part[0], &x])
+            .unwrap();
+        assert_eq!(cat[0].dims(), &[11, 4, 16]);
+        assert!(Op::Slice { axis: 0, start: 5, end: 5 }.infer_shapes(&[&x]).is_err());
+    }
+
+    #[test]
+    fn arity_enforced() {
+        let err = Op::Add.infer_shapes(&[&s(&[2])]).unwrap_err();
+        assert!(matches!(err, IrError::ArityMismatch { .. }));
+    }
+
+    #[test]
+    fn flops_scale_with_size() {
+        let x = s(&[1, 16, 64]);
+        let w = s(&[64, 64]);
+        let op = Op::MatMul { transpose_b: false };
+        let out = op.infer_shapes(&[&x, &w]).unwrap();
+        let f = op.flops(&[&x, &w], &[&out[0]]);
+        assert_eq!(f, 2 * 16 * 64 * 64);
+    }
+
+    #[test]
+    fn comm_bytes_only_for_collectives() {
+        let buf = s(&[8, 6, 16]);
+        assert_eq!(Op::AllToAll.comm_bytes(&[&buf]), 4 * 8 * 6 * 16);
+        assert_eq!(Op::Relu.comm_bytes(&[&buf]), 0);
+        assert!(Op::AllToAll.is_comm());
+        assert!(Op::AllToAllIrr.is_all_to_all());
+        assert!(!Op::AllReduce.is_all_to_all());
+    }
+
+    #[test]
+    fn zeros_has_no_inputs() {
+        let outs = Op::Zeros { shape: vec![4] }.infer_shapes(&[]).unwrap();
+        assert_eq!(outs[0].dims(), &[4]);
+    }
+}

@@ -1,0 +1,143 @@
+//! Human-readable textual dump of a training graph.
+//!
+//! One line per instruction in program order:
+//!
+//! ```text
+//! [ 12] F  %34(24,512,768) = matmul(%30, %w.h0.attn.wq)
+//! [ 13] C  %41(64,320,768) = all_to_all(%40)
+//! ```
+//!
+//! Role letters: `F` forward, `X` activation grad, `W` weight grad,
+//! `C` communication, `O` optimizer.
+
+use crate::{Graph, Role, TensorId};
+use std::fmt::Write as _;
+
+fn role_letter(role: Role) -> char {
+    match role {
+        Role::Forward => 'F',
+        Role::ActGrad => 'X',
+        Role::WeightGrad => 'W',
+        Role::Comm => 'C',
+        Role::Optimizer => 'O',
+    }
+}
+
+fn tensor_ref(g: &Graph, t: TensorId) -> String {
+    let def = g.tensor(t);
+    match def.kind {
+        crate::TensorKind::Weight => format!("%w.{}", def.name),
+        crate::TensorKind::Input => format!("%in.{}", def.name),
+        _ => format!("%{}", t.0),
+    }
+}
+
+/// Renders the instruction sequence as text (see module docs).
+///
+/// # Example
+///
+/// ```
+/// use lancet_ir::{to_text, Graph, Op, Role};
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", vec![2, 2]);
+/// let _y = g.emit(Op::Relu, &[x], Role::Forward)?;
+/// let text = to_text(&g);
+/// assert!(text.contains("relu(%in.x)"));
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+pub fn to_text(g: &Graph) -> String {
+    let mut out = String::new();
+    let width = g.instrs().len().to_string().len().max(3);
+    for (pos, instr) in g.instrs().iter().enumerate() {
+        let _ = write!(out, "[{pos:>width$}] {}  ", role_letter(instr.role));
+        for (i, &o) in instr.outputs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}{}", tensor_ref(g, o), g.tensor(o).shape);
+        }
+        let _ = write!(out, " = {}(", instr.op.name());
+        for (i, &t) in instr.inputs.iter().enumerate() {
+            if i > 0 {
+                out.push_str(", ");
+            }
+            out.push_str(&tensor_ref(g, t));
+        }
+        out.push_str(")\n");
+    }
+    out
+}
+
+/// Summarizes the graph: instruction count by role and all-to-all count.
+///
+/// # Example
+///
+/// ```
+/// use lancet_ir::{summarize, Graph, Op, Role};
+///
+/// let mut g = Graph::new();
+/// let x = g.input("x", vec![4, 4, 4]);
+/// let _ = g.emit(Op::AllToAll, &[x], Role::Comm)?;
+/// assert!(summarize(&g).contains("all-to-alls: 1"));
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+pub fn summarize(g: &Graph) -> String {
+    let mut counts = [0usize; 5];
+    for i in g.instrs() {
+        counts[match i.role {
+            Role::Forward => 0,
+            Role::ActGrad => 1,
+            Role::WeightGrad => 2,
+            Role::Comm => 3,
+            Role::Optimizer => 4,
+        }] += 1;
+    }
+    format!(
+        "{} instructions (forward {}, dX {}, dW {}, comm {}, optimizer {}); \
+         {} tensors; {} weight elements; all-to-alls: {}",
+        g.instrs().len(),
+        counts[0],
+        counts[1],
+        counts[2],
+        counts[3],
+        counts[4],
+        g.num_tensors(),
+        g.weight_volume(),
+        g.all_to_all_positions().len(),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Op;
+
+    fn sample() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("tokens", vec![2, 4]);
+        let w = g.weight("embed", vec![8, 4]);
+        let y = g.emit(Op::Embedding, &[w, x], Role::Forward).unwrap();
+        let _z = g.emit(Op::Relu, &[y], Role::Forward).unwrap();
+        g
+    }
+
+    #[test]
+    fn text_lists_every_instruction() {
+        let g = sample();
+        let text = to_text(&g);
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("embedding(%w.embed, %in.tokens)"));
+        assert!(text.contains("(2, 4, 4)"));
+        assert!(text.starts_with("[  0] F"));
+    }
+
+    #[test]
+    fn summary_counts() {
+        let g = sample();
+        let s = summarize(&g);
+        assert!(s.contains("2 instructions"));
+        assert!(s.contains("forward 2"));
+        assert!(s.contains("all-to-alls: 0"));
+    }
+}

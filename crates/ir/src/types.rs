@@ -1,0 +1,182 @@
+//! Identifier and classification types shared across the IR.
+
+use std::fmt;
+
+/// Identifies a tensor within a [`Graph`](crate::Graph).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct TensorId(pub u32);
+
+/// Identifies an instruction within a [`Graph`](crate::Graph).
+///
+/// Instruction ids are stable across reordering: they name the instruction,
+/// not its position in the sequence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InstrId(pub u32);
+
+impl fmt::Display for TensorId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "%{}", self.0)
+    }
+}
+
+impl fmt::Display for InstrId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "@{}", self.0)
+    }
+}
+
+/// How a tensor is produced / what it stores.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TensorKind {
+    /// Model input supplied per iteration (tokens, targets).
+    Input,
+    /// Trainable parameter, replicated (or expert-local) per device.
+    Weight,
+    /// Intermediate activation produced by an instruction.
+    Activation,
+    /// Activation gradient (dX) produced during backward.
+    Gradient,
+    /// Weight gradient (dW) produced during backward.
+    WeightGrad,
+}
+
+/// Classifies an instruction's position in the training iteration.
+///
+/// The Lancet dW-scheduling pass (paper §4) keys off [`Role::WeightGrad`]:
+/// these are the instructions that have no dependency on earlier-layer
+/// all-to-alls and can be moved to overlap them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Role {
+    /// Forward-pass computation.
+    Forward,
+    /// Backward-pass activation-gradient computation (dX); on the critical
+    /// path of back-propagation.
+    ActGrad,
+    /// Backward-pass weight-gradient computation (dW); off the critical
+    /// path, schedulable against all-to-alls.
+    WeightGrad,
+    /// Communication (all-to-all, all-reduce).
+    Comm,
+    /// Optimizer update.
+    Optimizer,
+}
+
+impl Role {
+    /// True for the dW instructions the scheduling pass may move.
+    pub fn is_weight_grad(self) -> bool {
+        matches!(self, Role::WeightGrad)
+    }
+}
+
+/// The gating (routing) algorithm of an MoE layer.
+///
+/// The choice of gate constrains the operator-partition pass (paper §5.1,
+/// Fig. 4): gates whose routing decision depends on global batch statistics
+/// cannot have the batch split *before* the MoE layer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum GateKind {
+    /// Switch-style top-1 routing (Fedus et al.): per-token argmax of the
+    /// gating scores. Decidable from partial batches.
+    Switch,
+    /// GShard-style top-k routing (Lepikhin et al.): each token is sent to
+    /// its `k` highest-scoring experts with combine weights normalized
+    /// over the chosen set. Decidable from partial batches.
+    TopK {
+        /// Experts chosen per token (k ≥ 1).
+        k: usize,
+    },
+    /// Batch-prioritized routing (Riquelme et al.): tokens are sorted by
+    /// importance score over the whole batch before capacity is applied,
+    /// so partial batches change the drop set.
+    BatchPrioritized,
+    /// Uniform-random expert assignment (THOR-style). Decidable per token.
+    Random,
+    /// Hash-based assignment (Roller et al.). Decidable per token.
+    Hash,
+    /// Expert-choice routing (Zhou et al.): experts pick their top tokens
+    /// over the whole batch; not decidable from partial batches.
+    ExpertChoice,
+}
+
+impl GateKind {
+    /// Whether the routing decision of a *partial* batch equals its routing
+    /// decision within the full batch, i.e. whether computation *before*
+    /// the MoE layer may be batch-partitioned (paper Fig. 4d vs 4c).
+    pub fn partitionable_before_moe(self) -> bool {
+        match self {
+            GateKind::Switch | GateKind::TopK { .. } | GateKind::Random | GateKind::Hash => true,
+            GateKind::BatchPrioritized | GateKind::ExpertChoice => false,
+        }
+    }
+
+    /// Number of experts each token is routed to.
+    pub fn k(self) -> usize {
+        match self {
+            GateKind::TopK { k } => k.max(1),
+            _ => 1,
+        }
+    }
+
+    /// Whether combine weights are normalized over the chosen experts
+    /// (GShard top-k) rather than raw softmax probabilities (Switch).
+    pub fn normalizes_scales(self) -> bool {
+        matches!(self, GateKind::TopK { .. })
+    }
+
+    /// Short human-readable name used in figures and traces.
+    pub fn name(self) -> &'static str {
+        match self {
+            GateKind::Switch => "switch",
+            GateKind::TopK { .. } => "topk",
+            GateKind::BatchPrioritized => "bpr",
+            GateKind::Random => "random",
+            GateKind::Hash => "hash",
+            GateKind::ExpertChoice => "expert-choice",
+        }
+    }
+}
+
+impl fmt::Display for GateKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn topk_properties() {
+        let g = GateKind::TopK { k: 2 };
+        assert_eq!(g.k(), 2);
+        assert!(g.partitionable_before_moe());
+        assert!(g.normalizes_scales());
+        assert_eq!(GateKind::Switch.k(), 1);
+        assert!(!GateKind::Switch.normalizes_scales());
+        assert_eq!(GateKind::TopK { k: 0 }.k(), 1);
+    }
+
+    #[test]
+    fn gate_partitionability_matches_paper() {
+        assert!(GateKind::Switch.partitionable_before_moe());
+        assert!(GateKind::Random.partitionable_before_moe());
+        assert!(GateKind::Hash.partitionable_before_moe());
+        assert!(!GateKind::BatchPrioritized.partitionable_before_moe());
+        assert!(!GateKind::ExpertChoice.partitionable_before_moe());
+    }
+
+    #[test]
+    fn display_ids() {
+        assert_eq!(TensorId(3).to_string(), "%3");
+        assert_eq!(InstrId(7).to_string(), "@7");
+        assert_eq!(GateKind::Switch.to_string(), "switch");
+    }
+
+    #[test]
+    fn role_weight_grad_flag() {
+        assert!(Role::WeightGrad.is_weight_grad());
+        assert!(!Role::ActGrad.is_weight_grad());
+        assert!(!Role::Comm.is_weight_grad());
+    }
+}

@@ -1,0 +1,145 @@
+//! Property-based tests for IR invariants: dependency reachability,
+//! reorder validity, and autodiff completeness.
+
+use lancet_ir::{build_backward, BackwardOptions, DepGraph, Graph, Op, Role, TensorId};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+
+/// Builds a random layered elementwise DAG: `n` unary/binary ops over a
+/// growing pool of tensors (always valid, def-before-use by construction).
+fn random_graph(ops: &[u8]) -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![4, 4]);
+    let mut pool: Vec<TensorId> = vec![x];
+    for (i, &b) in ops.iter().enumerate() {
+        let a = pool[(b as usize) % pool.len()];
+        let out = match b % 3 {
+            0 => g.emit(Op::Relu, &[a], Role::Forward).unwrap(),
+            1 => g.emit(Op::Gelu, &[a], Role::Forward).unwrap(),
+            _ => {
+                let c = pool[(b as usize / 3) % pool.len()];
+                g.emit(Op::Add, &[a, c], Role::Forward).unwrap()
+            }
+        };
+        let _ = i;
+        pool.push(out);
+    }
+    g
+}
+
+/// Naive BFS reachability over the instruction dependency edges.
+fn naive_reaches(g: &Graph, from: usize, to: usize) -> bool {
+    let producers = g.producer_positions();
+    let mut succs: Vec<Vec<usize>> = vec![Vec::new(); g.instrs().len()];
+    for (pos, instr) in g.instrs().iter().enumerate() {
+        for t in &instr.inputs {
+            if let Some(&p) = producers.get(t) {
+                succs[p].push(pos);
+            }
+        }
+    }
+    let mut seen = vec![false; g.instrs().len()];
+    let mut q = VecDeque::from([from]);
+    while let Some(n) = q.pop_front() {
+        for &s in &succs[n] {
+            if s == to {
+                return true;
+            }
+            if !seen[s] {
+                seen[s] = true;
+                q.push_back(s);
+            }
+        }
+    }
+    false
+}
+
+proptest! {
+    /// The bitset transitive closure agrees with naive BFS on every pair.
+    #[test]
+    fn reachability_matches_bfs(ops in prop::collection::vec(any::<u8>(), 1..25)) {
+        let g = random_graph(&ops);
+        let dep = DepGraph::build(&g);
+        let n = g.instrs().len();
+        for a in 0..n {
+            for b in 0..n {
+                prop_assert_eq!(
+                    dep.reaches(a, b),
+                    a != b && naive_reaches(&g, a, b),
+                    "pair ({}, {})", a, b
+                );
+            }
+        }
+    }
+
+    /// Independence is symmetric and irreflexive.
+    #[test]
+    fn independence_properties(ops in prop::collection::vec(any::<u8>(), 1..25)) {
+        let g = random_graph(&ops);
+        let dep = DepGraph::build(&g);
+        let n = g.instrs().len();
+        for a in 0..n {
+            prop_assert!(!dep.independent(a, a));
+            for b in 0..n {
+                prop_assert_eq!(dep.independent(a, b), dep.independent(b, a));
+            }
+        }
+    }
+
+    /// Reversing the program order of a non-trivial graph is rejected by
+    /// validation whenever a true dependency exists.
+    #[test]
+    fn reversal_caught_when_dependent(ops in prop::collection::vec(any::<u8>(), 2..20)) {
+        let g = random_graph(&ops);
+        let dep = DepGraph::build(&g);
+        let n = g.instrs().len();
+        let any_dep = (0..n).any(|i| !dep.succs(i).is_empty());
+        let mut g2 = g.clone();
+        let order: Vec<_> = g.instrs().iter().rev().map(|i| i.id).collect();
+        let result = g2.reorder(order);
+        if any_dep {
+            prop_assert!(result.is_err());
+        } else {
+            prop_assert!(result.is_ok());
+        }
+    }
+
+    /// Autodiff of a random dense model yields a gradient for every
+    /// weight on a differentiable path, with matching shapes.
+    #[test]
+    fn autodiff_covers_all_weights(layers in 1usize..5, hidden in 1usize..4) {
+        let h = hidden * 4;
+        let mut g = Graph::new();
+        let ids = g.input("ids", vec![2, 3]);
+        let targets = g.input("targets", vec![2, 3]);
+        let table = g.weight("wte", vec![5, h]);
+        let mut x = g.emit(Op::Embedding, &[table, ids], Role::Forward).unwrap();
+        let mut weights = vec![table];
+        for l in 0..layers {
+            let w = g.weight(format!("w{l}"), vec![h, h]);
+            weights.push(w);
+            let y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+            let y = g.emit(Op::Gelu, &[y], Role::Forward).unwrap();
+            x = g.emit(Op::Add, &[x, y], Role::Forward).unwrap();
+        }
+        let lm = g.weight("lm", vec![h, 5]);
+        weights.push(lm);
+        let logits = g.emit(Op::MatMul { transpose_b: false }, &[x, lm], Role::Forward).unwrap();
+        let _ = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward).unwrap();
+        let grads = build_backward(&mut g, &BackwardOptions::default()).unwrap();
+        prop_assert!(g.validate().is_ok());
+        for w in weights {
+            let dw = grads.get(&w).copied();
+            prop_assert!(dw.is_some(), "no grad for {}", g.tensor(w).name);
+            prop_assert_eq!(&g.tensor(dw.unwrap()).shape, &g.tensor(w).shape);
+        }
+    }
+
+    /// Shape inference is deterministic and emit never corrupts validity.
+    #[test]
+    fn emit_preserves_validity(ops in prop::collection::vec(any::<u8>(), 1..40)) {
+        let g = random_graph(&ops);
+        prop_assert!(g.validate().is_ok());
+        prop_assert_eq!(g.instrs().len(), ops.len());
+    }
+}

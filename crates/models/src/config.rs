@@ -1,0 +1,263 @@
+//! Model configuration.
+
+use lancet_ir::GateKind;
+
+/// Configuration of a GPT-2-with-MoE benchmark model.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GptMoeConfig {
+    /// Display name ("GPT2-S-MoE").
+    pub name: String,
+    /// Number of Transformer blocks.
+    pub layers: usize,
+    /// Hidden dimension.
+    pub hidden: usize,
+    /// Attention heads.
+    pub heads: usize,
+    /// Feed-forward inner dimension (dense and expert FFNs).
+    pub ffn: usize,
+    /// Vocabulary size.
+    pub vocab: usize,
+    /// Per-GPU batch size.
+    pub batch: usize,
+    /// Sequence length.
+    pub seq: usize,
+    /// Number of GPUs (= number of expert-parallel ranks).
+    pub gpus: usize,
+    /// Experts hosted per GPU (paper: always 2).
+    pub experts_per_gpu: usize,
+    /// GShard-style capacity factor.
+    pub capacity_factor: f64,
+    /// Gating algorithm.
+    pub gate: GateKind,
+    /// An MoE layer replaces the FFN of every block whose index is odd
+    /// (i.e. every `moe_every`-th block, paper: 2).
+    pub moe_every: usize,
+    /// Dropout probability carried on dropout ops (identity at exec time).
+    pub dropout: f32,
+    /// Add a DeepSeek/PR-MoE-style *shared expert*: a dense FFN branch
+    /// every token passes through, summed with the routed-expert output.
+    /// Its computation has no dependency on the all-to-all, so it overlaps
+    /// naturally — the architecture the paper's §8 discussion highlights.
+    pub shared_expert: bool,
+    /// Shard the large replicated weights FSDP/ZeRO-3 style: each device
+    /// stores `1/G` of the parameter and an all-gather materializes it
+    /// before use (paper §8: "FSDP/ZeRO3 inserts additional all-gather
+    /// communication in the forward passes, which may require additional
+    /// scheduling").
+    pub fsdp: bool,
+    /// Use RMS normalization instead of layer norm (Llama/Mixtral style).
+    pub rms_norm: bool,
+    /// Use SwiGLU feed-forward blocks (gated SiLU) instead of GELU MLPs,
+    /// in both dense FFNs and experts (Mixtral style).
+    pub swiglu: bool,
+}
+
+impl GptMoeConfig {
+    /// The paper's smaller benchmark model: 12 layers, hidden 768.
+    ///
+    /// Per-GPU batch sizes follow the paper: 24 on A100, 16 on V100 — set
+    /// via [`GptMoeConfig::with_batch`].
+    pub fn gpt2_s_moe(gpus: usize, gate: GateKind) -> Self {
+        GptMoeConfig {
+            name: "GPT2-S-MoE".into(),
+            layers: 12,
+            hidden: 768,
+            heads: 12,
+            ffn: 4 * 768,
+            vocab: 50257,
+            batch: 16,
+            seq: 512,
+            gpus,
+            experts_per_gpu: 2,
+            capacity_factor: 1.25,
+            gate,
+            moe_every: 2,
+            dropout: 0.1,
+            shared_expert: false,
+            fsdp: false,
+            rms_norm: false,
+            swiglu: false,
+        }
+    }
+
+    /// The paper's larger benchmark model: 24 layers, hidden 1024.
+    pub fn gpt2_l_moe(gpus: usize, gate: GateKind) -> Self {
+        GptMoeConfig {
+            name: "GPT2-L-MoE".into(),
+            layers: 24,
+            hidden: 1024,
+            heads: 16,
+            ffn: 4 * 1024,
+            vocab: 50257,
+            batch: 8,
+            seq: 512,
+            gpus,
+            experts_per_gpu: 2,
+            capacity_factor: 1.25,
+            gate,
+            moe_every: 2,
+            dropout: 0.1,
+            shared_expert: false,
+            fsdp: false,
+            rms_norm: false,
+            swiglu: false,
+        }
+    }
+
+    /// A miniature configuration small enough for the numerical executor
+    /// (used by equivalence and gradient tests).
+    pub fn tiny(gpus: usize, gate: GateKind) -> Self {
+        GptMoeConfig {
+            name: "Tiny-MoE".into(),
+            layers: 2,
+            hidden: 8,
+            heads: 2,
+            ffn: 16,
+            vocab: 11,
+            batch: 2,
+            seq: 4,
+            gpus,
+            experts_per_gpu: 2,
+            capacity_factor: 1.5,
+            gate,
+            moe_every: 2,
+            dropout: 0.0,
+            shared_expert: false,
+            fsdp: false,
+            rms_norm: false,
+            swiglu: false,
+        }
+    }
+
+    /// Overrides the per-GPU batch size (builder style).
+    pub fn with_batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Overrides the layer count (builder style), e.g. for the Fig. 6
+    /// partition-range sweeps.
+    pub fn with_layers(mut self, layers: usize) -> Self {
+        self.layers = layers;
+        self
+    }
+
+    /// Overrides the gate (builder style).
+    pub fn with_gate(mut self, gate: GateKind) -> Self {
+        self.gate = gate;
+        self
+    }
+
+    /// Enables the shared-expert branch (builder style).
+    pub fn with_shared_expert(mut self, enabled: bool) -> Self {
+        self.shared_expert = enabled;
+        self
+    }
+
+    /// Enables FSDP-style weight sharding (builder style).
+    pub fn with_fsdp(mut self, enabled: bool) -> Self {
+        self.fsdp = enabled;
+        self
+    }
+
+    /// A Mixtral-style model (paper §8 names Mixtral as a target
+    /// architecture): every block's FFN is an MoE layer, top-2 routing,
+    /// RMS normalization, SwiGLU experts.
+    pub fn mixtral_moe(gpus: usize) -> Self {
+        let mut cfg = GptMoeConfig::gpt2_s_moe(gpus, GateKind::TopK { k: 2 });
+        cfg.name = "Mixtral-S-MoE".into();
+        cfg.moe_every = 1;
+        cfg.rms_norm = true;
+        cfg.swiglu = true;
+        cfg
+    }
+
+    /// A tiny Mixtral-style configuration for the numerical executor.
+    pub fn mixtral_tiny(gpus: usize) -> Self {
+        let mut cfg = GptMoeConfig::tiny(gpus, GateKind::TopK { k: 2 });
+        cfg.name = "Mixtral-Tiny".into();
+        cfg.moe_every = 1;
+        cfg.rms_norm = true;
+        cfg.swiglu = true;
+        cfg
+    }
+
+    /// Total number of experts across the cluster.
+    pub fn experts(&self) -> usize {
+        self.gpus * self.experts_per_gpu
+    }
+
+    /// Tokens processed per GPU per iteration.
+    pub fn tokens(&self) -> usize {
+        self.batch * self.seq
+    }
+
+    /// Per-expert capacity `C` (tokens per device, GShard convention —
+    /// scaled by `k` for top-k gates since every token claims `k` slots).
+    pub fn capacity(&self) -> usize {
+        let slots = self.tokens() * self.gate.k();
+        ((self.capacity_factor * slots as f64) / self.experts() as f64).ceil() as usize
+    }
+
+    /// Indices of the blocks whose FFN is an MoE layer (every block when
+    /// `moe_every == 1`, every other block — the odd ones — when 2).
+    pub fn moe_layers(&self) -> Vec<usize> {
+        (0..self.layers)
+            .filter(|i| i % self.moe_every == self.moe_every.saturating_sub(1).min(1))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_model_shapes() {
+        let s = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch);
+        assert_eq!(s.layers, 12);
+        assert_eq!(s.hidden, 768);
+        assert_eq!(s.experts(), 32);
+        assert_eq!(s.moe_layers().len(), 6);
+        let l = GptMoeConfig::gpt2_l_moe(16, GateKind::Switch);
+        assert_eq!(l.layers, 24);
+        assert_eq!(l.hidden, 1024);
+        assert_eq!(l.moe_layers().len(), 12);
+    }
+
+    #[test]
+    fn capacity_follows_gshard_formula() {
+        let c = GptMoeConfig::gpt2_s_moe(16, GateKind::Switch).with_batch(16);
+        // 16×512 = 8192 tokens, 32 experts, factor 1.25 → 320.
+        assert_eq!(c.capacity(), 320);
+        // Top-2 doubles the slot demand and hence the capacity.
+        let c2 = c.with_gate(GateKind::TopK { k: 2 });
+        assert_eq!(c2.capacity(), 640);
+    }
+
+    #[test]
+    fn builders_override() {
+        let c = GptMoeConfig::gpt2_s_moe(8, GateKind::Switch)
+            .with_batch(24)
+            .with_layers(6)
+            .with_gate(GateKind::BatchPrioritized);
+        assert_eq!(c.batch, 24);
+        assert_eq!(c.layers, 6);
+        assert_eq!(c.gate, GateKind::BatchPrioritized);
+    }
+
+    #[test]
+    fn moe_layers_are_odd_blocks() {
+        let c = GptMoeConfig::tiny(2, GateKind::Switch);
+        assert_eq!(c.moe_layers(), vec![1]);
+    }
+
+    #[test]
+    fn mixtral_preset_is_every_layer_top2() {
+        let c = GptMoeConfig::mixtral_moe(16);
+        assert_eq!(c.moe_every, 1);
+        assert_eq!(c.gate, GateKind::TopK { k: 2 });
+        assert!(c.rms_norm && c.swiglu);
+        assert_eq!(c.moe_layers().len(), c.layers);
+    }
+}

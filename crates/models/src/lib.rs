@@ -1,0 +1,25 @@
+//! GPT-2 MoE benchmark models (paper §7, "Benchmark Models and Datasets").
+//!
+//! The paper evaluates MoE variants of GPT-2 built by replacing every
+//! other Transformer block's feed-forward layer with an MoE layer:
+//!
+//! * **GPT2-S-MoE** — 12 layers, hidden 768;
+//! * **GPT2-L-MoE** — 24 layers, hidden 1024;
+//!
+//! with 2 experts per GPU (experts scale with cluster size), sequence
+//! length 512, Switch or Batch-Prioritized gating, and SGD training.
+//!
+//! [`build_training`] emits the complete training-iteration IR — forward,
+//! loss, autodiff backward with tagged dX/dW instructions, and optional
+//! SGD updates — ready for the Lancet passes, the simulator, and (at tiny
+//! configurations) the numerical executor.
+//!
+//! Deviations from the exact HuggingFace GPT-2 (documented in DESIGN.md):
+//! no learned positional embedding and no per-expert bias terms; neither
+//! affects the operator mix that drives scheduling decisions.
+
+mod config;
+mod gpt;
+
+pub use config::GptMoeConfig;
+pub use gpt::{block_boundaries, build_forward, build_training, ModelGraph};

@@ -1,0 +1,107 @@
+//! Expert capacity computation and the capacity-passing state.
+
+/// The per-expert capacity `C` for `tokens` tokens routed to `experts`
+/// experts with the given capacity factor (GShard/Switch convention).
+///
+/// # Example
+///
+/// ```
+/// // 512 tokens over 8 experts at factor 1.25 → ⌈80⌉ slots per expert.
+/// assert_eq!(lancet_moe::expert_capacity(512, 8, 1.25), 80);
+/// // Factor 1.0 with uneven division rounds up.
+/// assert_eq!(lancet_moe::expert_capacity(10, 4, 1.0), 3);
+/// ```
+///
+/// # Panics
+///
+/// Panics if `experts == 0` or the factor is not positive.
+pub fn expert_capacity(tokens: usize, experts: usize, capacity_factor: f64) -> usize {
+    assert!(experts > 0, "experts must be positive");
+    assert!(capacity_factor > 0.0, "capacity factor must be positive");
+    ((capacity_factor * tokens as f64) / experts as f64).ceil() as usize
+}
+
+/// Capacity slots already consumed per expert by earlier micro-batches.
+///
+/// This is the state the paper's "special gating operators" pass between
+/// partitions (Fig. 5c) so that partitioned gating drops exactly the
+/// tokens the unpartitioned gate would drop.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct CapacityState {
+    used: Vec<u32>,
+}
+
+impl CapacityState {
+    /// Fresh state for `experts` experts (nothing consumed yet).
+    pub fn new(experts: usize) -> Self {
+        CapacityState { used: vec![0; experts] }
+    }
+
+    /// Restores a state from per-expert consumed counts.
+    pub fn from_used(used: Vec<u32>) -> Self {
+        CapacityState { used }
+    }
+
+    /// Slots consumed so far for each expert.
+    pub fn used(&self) -> &[u32] {
+        &self.used
+    }
+
+    /// Number of experts tracked.
+    pub fn experts(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Remaining capacity of `expert` under total capacity `cap`.
+    pub fn remaining(&self, expert: usize, cap: usize) -> usize {
+        cap.saturating_sub(self.used[expert] as usize)
+    }
+
+    /// Attempts to consume one slot of `expert` under total capacity
+    /// `cap`; returns the slot index if one was available.
+    pub fn try_consume(&mut self, expert: usize, cap: usize) -> Option<usize> {
+        let u = self.used[expert] as usize;
+        if u < cap {
+            self.used[expert] += 1;
+            Some(u)
+        } else {
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_rounds_up() {
+        assert_eq!(expert_capacity(100, 8, 1.0), 13);
+        assert_eq!(expert_capacity(64, 8, 1.0), 8);
+        assert_eq!(expert_capacity(64, 8, 2.0), 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "experts must be positive")]
+    fn zero_experts_panics() {
+        expert_capacity(10, 0, 1.0);
+    }
+
+    #[test]
+    fn consume_until_full() {
+        let mut s = CapacityState::new(2);
+        assert_eq!(s.try_consume(0, 2), Some(0));
+        assert_eq!(s.try_consume(0, 2), Some(1));
+        assert_eq!(s.try_consume(0, 2), None);
+        assert_eq!(s.remaining(0, 2), 0);
+        assert_eq!(s.remaining(1, 2), 2);
+        assert_eq!(s.used(), &[2, 0]);
+    }
+
+    #[test]
+    fn from_used_roundtrip() {
+        let s = CapacityState::from_used(vec![3, 1]);
+        assert_eq!(s.remaining(0, 5), 2);
+        assert_eq!(s.experts(), 2);
+    }
+}

@@ -1,0 +1,289 @@
+//! Token dispatch to expert buffers and gather back to token order.
+
+use crate::{MoeError, Result, Routing};
+use lancet_tensor::Tensor;
+
+/// Per-expert buffer position of every kept slot, assigned first-come in
+/// slot order (−1 for dropped slots). Dispatch and gather both derive
+/// positions from the routing, so they always agree.
+fn slots(routing: &Routing, experts: usize) -> Vec<i32> {
+    let mut next = vec![0i32; experts];
+    routing
+        .assign
+        .iter()
+        .map(|&e| {
+            if e < 0 {
+                -1
+            } else {
+                let s = next[e as usize];
+                next[e as usize] += 1;
+                s
+            }
+        })
+        .collect()
+}
+
+fn check_tokens(x: &Tensor, routing: &Routing) -> Result<(usize, usize)> {
+    if x.rank() != 2 {
+        return Err(MoeError::SizeMismatch { what: "token tensor rank", expected: 2, actual: x.rank() });
+    }
+    let (t, h) = (x.shape()[0], x.shape()[1]);
+    if routing.len() != t * routing.k.max(1) {
+        return Err(MoeError::SizeMismatch {
+            what: "routing length",
+            expected: t * routing.k.max(1),
+            actual: routing.len(),
+        });
+    }
+    Ok((t, h))
+}
+
+/// Scatters tokens `x (T,H)` into the per-expert send buffer `(E,C,H)`,
+/// zero-padded to capacity. A token with `k > 1` kept slots is replicated
+/// to each of its experts. Kept slots occupy buffer rows first-come in
+/// slot order.
+///
+/// # Errors
+///
+/// Returns [`MoeError::SizeMismatch`] when routing and tokens disagree.
+///
+/// # Panics
+///
+/// Panics if a kept slot's buffer position exceeds `capacity` — routing
+/// must have been produced with the same capacity.
+///
+/// # Example
+///
+/// ```
+/// use lancet_moe::{dispatch_dense, gather_dense, Routing};
+/// use lancet_tensor::Tensor;
+///
+/// let x = Tensor::from_vec(vec![2, 2], vec![1.0, 2.0, 3.0, 4.0])?;
+/// let routing = Routing { k: 1, assign: vec![1, 0], scale: vec![1.0, 0.5] };
+/// let buf = dispatch_dense(&x, &routing, 2, 1)?;          // (E=2, C=1, H=2)
+/// assert_eq!(buf.data(), &[3.0, 4.0, 1.0, 2.0]);
+/// let y = gather_dense(&buf, &routing, 2, 1)?;            // combine-weighted
+/// assert_eq!(y.data(), &[1.0, 2.0, 1.5, 2.0]);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub fn dispatch_dense(x: &Tensor, routing: &Routing, experts: usize, capacity: usize) -> Result<Tensor> {
+    let (_t, h) = check_tokens(x, routing)?;
+    let k = routing.k.max(1);
+    let slot = slots(routing, experts);
+    let mut buf = Tensor::zeros(vec![experts, capacity, h]);
+    for (idx, (&e, &s)) in routing.assign.iter().zip(&slot).enumerate() {
+        if e < 0 {
+            continue;
+        }
+        let s = s as usize;
+        assert!(s < capacity, "slot exceeds capacity; routing/capacity mismatch");
+        let token = idx / k;
+        let dst = (e as usize * capacity + s) * h;
+        let src = token * h;
+        buf.data_mut()[dst..dst + h].copy_from_slice(&x.data()[src..src + h]);
+    }
+    Ok(buf)
+}
+
+/// Restores the expert output buffer `(E,C,H)` to token order `(T,H)`,
+/// summing each token's `k` expert outputs weighted by the combine
+/// weights; fully dropped tokens produce zero rows.
+///
+/// # Errors
+///
+/// Returns [`MoeError::SizeMismatch`] on inconsistent shapes.
+pub fn gather_dense(buf: &Tensor, routing: &Routing, experts: usize, capacity: usize) -> Result<Tensor> {
+    if buf.rank() != 3 || buf.shape()[0] != experts || buf.shape()[1] != capacity {
+        return Err(MoeError::SizeMismatch {
+            what: "expert buffer",
+            expected: experts * capacity,
+            actual: buf.shape().iter().take(2).product(),
+        });
+    }
+    let h = buf.shape()[2];
+    let k = routing.k.max(1);
+    let t = routing.tokens();
+    let slot = slots(routing, experts);
+    let mut y = Tensor::zeros(vec![t, h]);
+    for (idx, (&e, &s)) in routing.assign.iter().zip(&slot).enumerate() {
+        if e < 0 {
+            continue;
+        }
+        let token = idx / k;
+        let src = (e as usize * capacity + s as usize) * h;
+        let dst = token * h;
+        let w = routing.scale[idx];
+        for i in 0..h {
+            y.data_mut()[dst + i] += w * buf.data()[src + i];
+        }
+    }
+    Ok(y)
+}
+
+/// A micro-batch's densely packed expert buffer plus actual per-expert
+/// slot counts — the payload of the irregular all-to-all (paper Fig. 5c).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DispatchedChunk {
+    /// `(E, C, H)` buffer; only the first `counts[e]` rows of expert `e`
+    /// are valid.
+    pub buf: Tensor,
+    /// Number of valid rows per expert.
+    pub counts: Vec<u32>,
+}
+
+/// Packs a micro-batch's kept slots densely per expert (buffer positions
+/// start at 0 for every chunk), reporting actual counts for the irregular
+/// all-to-all.
+///
+/// # Errors
+///
+/// Returns [`MoeError::SizeMismatch`] when routing and tokens disagree.
+pub fn dispatch_irregular(
+    x: &Tensor,
+    routing: &Routing,
+    experts: usize,
+    capacity: usize,
+) -> Result<DispatchedChunk> {
+    let buf = dispatch_dense(x, routing, experts, capacity)?;
+    let mut counts = vec![0u32; experts];
+    for &e in &routing.assign {
+        if e >= 0 {
+            counts[e as usize] += 1;
+        }
+    }
+    Ok(DispatchedChunk { buf, counts })
+}
+
+/// Gathers a micro-batch's expert outputs back to chunk token order.
+///
+/// # Errors
+///
+/// Returns [`MoeError::SizeMismatch`] on inconsistent shapes.
+pub fn gather_irregular(
+    chunk_buf: &Tensor,
+    routing: &Routing,
+    experts: usize,
+    capacity: usize,
+) -> Result<Tensor> {
+    gather_dense(chunk_buf, routing, experts, capacity)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_ir::GateKind;
+    use lancet_tensor::TensorRng;
+
+    fn routed(t: usize, e: usize, cap: usize, seed: u64) -> (Tensor, Routing) {
+        let mut rng = TensorRng::seed(seed);
+        let x = rng.uniform(vec![t, 4], -1.0, 1.0);
+        let logits = rng.uniform(vec![t, e], -2.0, 2.0);
+        let r = crate::route(GateKind::Switch, &logits, cap, None).unwrap();
+        (x, r)
+    }
+
+    #[test]
+    fn dispatch_places_tokens_in_order() {
+        let x = Tensor::from_vec(vec![3, 2], vec![1., 1., 2., 2., 3., 3.]).unwrap();
+        let r = Routing { k: 1, assign: vec![0, 1, 0], scale: vec![1.0, 1.0, 1.0] };
+        let buf = dispatch_dense(&x, &r, 2, 2).unwrap();
+        // Expert 0: tokens 0 and 2; expert 1: token 1 then zero padding.
+        assert_eq!(buf.data(), &[1., 1., 3., 3., 2., 2., 0., 0.]);
+    }
+
+    #[test]
+    fn gather_inverts_dispatch_with_unit_scale() {
+        let (x, mut r) = routed(16, 4, 8, 1);
+        r.scale.iter_mut().for_each(|s| {
+            if *s > 0.0 {
+                *s = 1.0;
+            }
+        });
+        let buf = dispatch_dense(&x, &r, 4, 8).unwrap();
+        let y = gather_dense(&buf, &r, 4, 8).unwrap();
+        for (t, &e) in r.assign.iter().enumerate() {
+            for i in 0..4 {
+                let expect = if e < 0 { 0.0 } else { x.data()[t * 4 + i] };
+                assert_eq!(y.data()[t * 4 + i], expect, "token {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn gather_applies_scale_and_zeroes_dropped() {
+        let x = Tensor::from_vec(vec![2, 1], vec![3.0, 5.0]).unwrap();
+        let r = Routing { k: 1, assign: vec![0, -1], scale: vec![0.5, 0.0] };
+        let buf = dispatch_dense(&x, &r, 1, 1).unwrap();
+        let y = gather_dense(&buf, &r, 1, 1).unwrap();
+        assert_eq!(y.data(), &[1.5, 0.0]);
+    }
+
+    #[test]
+    fn topk_dispatch_replicates_and_gather_mixes() {
+        // One token, two experts chosen with weights 0.75 / 0.25.
+        let x = Tensor::from_vec(vec![1, 2], vec![2.0, 4.0]).unwrap();
+        let r = Routing { k: 2, assign: vec![0, 1], scale: vec![0.75, 0.25] };
+        let buf = dispatch_dense(&x, &r, 2, 1).unwrap();
+        // Token replicated to both experts' buffers.
+        assert_eq!(buf.data(), &[2.0, 4.0, 2.0, 4.0]);
+        // Scale experts differently to observe mixing.
+        let mut processed = buf.clone();
+        for i in 0..2 {
+            processed.data_mut()[2 + i] *= 10.0; // expert 1 multiplies by 10
+        }
+        let y = gather_dense(&processed, &r, 2, 1).unwrap();
+        // 0.75·x + 0.25·10·x = 3.25·x
+        assert_eq!(y.data(), &[2.0 * 3.25, 4.0 * 3.25]);
+    }
+
+    #[test]
+    fn topk_roundtrip_with_routing() {
+        let mut rng = TensorRng::seed(5);
+        let x = rng.uniform(vec![12, 3], -1.0, 1.0);
+        let logits = rng.uniform(vec![12, 4], -2.0, 2.0);
+        let r = crate::route(GateKind::TopK { k: 2 }, &logits, 8, None).unwrap();
+        let buf = dispatch_dense(&x, &r, 4, 8).unwrap();
+        let y = gather_dense(&buf, &r, 4, 8).unwrap();
+        // y[t] = (sum of kept scales) * x[t] since experts are identity.
+        for t in 0..12 {
+            let w: f32 = (0..2).map(|j| r.scale[t * 2 + j]).sum();
+            for i in 0..3 {
+                assert!((y.data()[t * 3 + i] - w * x.data()[t * 3 + i]).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn irregular_counts_match_routing() {
+        let (x, r) = routed(32, 4, 6, 7);
+        let chunk = dispatch_irregular(&x, &r, 4, 6).unwrap();
+        for e in 0..4 {
+            assert_eq!(chunk.counts[e] as usize, r.slots_for(e));
+            assert!(chunk.counts[e] <= 6);
+        }
+        let total: u32 = chunk.counts.iter().sum();
+        assert_eq!(total as usize, r.len() - r.num_dropped());
+    }
+
+    #[test]
+    fn irregular_gather_roundtrip() {
+        let (x, r) = routed(16, 4, 8, 3);
+        let chunk = dispatch_irregular(&x, &r, 4, 8).unwrap();
+        let y = gather_irregular(&chunk.buf, &r, 4, 8).unwrap();
+        for (t, (&e, &s)) in r.assign.iter().zip(&r.scale).enumerate() {
+            for i in 0..4 {
+                let expect = if e < 0 { 0.0 } else { s * x.data()[t * 4 + i] };
+                assert!((y.data()[t * 4 + i] - expect).abs() < 1e-6);
+            }
+        }
+    }
+
+    #[test]
+    fn size_mismatch_detected() {
+        let x = Tensor::zeros(vec![4, 2]);
+        let r = Routing { k: 1, assign: vec![0; 3], scale: vec![1.0; 3] };
+        assert!(dispatch_dense(&x, &r, 2, 2).is_err());
+        let buf = Tensor::zeros(vec![2, 2, 2]);
+        assert!(gather_dense(&buf, &r, 3, 2).is_err());
+    }
+}

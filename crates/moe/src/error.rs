@@ -1,0 +1,68 @@
+use std::fmt;
+
+/// Errors produced by the MoE data plane.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MoeError {
+    /// The gate kind cannot be evaluated on a partial batch (paper §5.1):
+    /// batch-prioritized and expert-choice gates need the whole batch.
+    NotPartitionable(&'static str),
+    /// The gate kind is not supported by the numerical data plane.
+    UnsupportedGate(&'static str),
+    /// Logits tensor has the wrong rank or extent.
+    BadLogits {
+        /// Debug rendering of the offending shape.
+        shape: Vec<usize>,
+    },
+    /// Mismatched sizes between routing metadata and token tensors.
+    SizeMismatch {
+        /// What was being matched.
+        what: &'static str,
+        /// Expected element count.
+        expected: usize,
+        /// Actual element count.
+        actual: usize,
+    },
+    /// Device buffers disagree on shape or the device count does not
+    /// divide the expert count.
+    BadTopology {
+        /// Description of the inconsistency.
+        detail: String,
+    },
+    /// An underlying tensor kernel failed.
+    Tensor(lancet_tensor::TensorError),
+}
+
+impl fmt::Display for MoeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MoeError::NotPartitionable(gate) => {
+                write!(f, "gate `{gate}` cannot be evaluated on a partial batch")
+            }
+            MoeError::UnsupportedGate(gate) => {
+                write!(f, "gate `{gate}` is not supported by the data plane")
+            }
+            MoeError::BadLogits { shape } => write!(f, "bad logits shape {shape:?}"),
+            MoeError::SizeMismatch { what, expected, actual } => {
+                write!(f, "size mismatch in {what}: expected {expected}, got {actual}")
+            }
+            MoeError::BadTopology { detail } => write!(f, "bad topology: {detail}"),
+            MoeError::Tensor(e) => write!(f, "tensor error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for MoeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            MoeError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+#[doc(hidden)]
+impl From<lancet_tensor::TensorError> for MoeError {
+    fn from(e: lancet_tensor::TensorError) -> Self {
+        MoeError::Tensor(e)
+    }
+}

@@ -1,0 +1,161 @@
+//! Synthetic gating-score workloads.
+//!
+//! The paper trains on WikiText; what matters for Lancet is the
+//! *distribution* of tokens over experts — it drives irregular all-to-all
+//! sizes, drop counts, and load imbalance. These generators produce
+//! gating-logit tensors with controllable structure, substituting for
+//! real data (DESIGN.md §3).
+
+use lancet_tensor::{Tensor, TensorRng};
+
+/// Shape of the token→expert preference distribution.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Workload {
+    /// Every expert equally likely (balanced routing).
+    Uniform,
+    /// Expert popularity follows a Zipf law with the given exponent —
+    /// heavy-tailed imbalance, the regime where capacity drops happen.
+    Zipf {
+        /// Skew exponent (0 = uniform, 1 ≈ natural-language-like).
+        exponent: f64,
+    },
+    /// Consecutive tokens prefer the same expert (topic clustering);
+    /// the whole batch is balanced but any contiguous micro-batch is
+    /// skewed — the adversarial case for direct micro-batching
+    /// (paper Fig. 5b).
+    Clustered,
+    /// A fraction of tokens all prefer one hot expert.
+    HotExpert {
+        /// Fraction of tokens pinned to expert 0, in `[0, 1]`.
+        fraction: f64,
+    },
+}
+
+impl Workload {
+    /// Generates `(tokens, experts)` gating logits for this workload.
+    ///
+    /// The preferred expert of each token receives a logit boost of ~2.0
+    /// over baseline noise, making routing decisive but not degenerate.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tokens == 0` or `experts == 0`.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lancet_moe::Workload;
+    ///
+    /// let logits = Workload::Zipf { exponent: 1.2 }.logits(256, 8, 42);
+    /// assert_eq!(logits.shape(), &[256, 8]);
+    /// // A skewed workload overloads its head expert.
+    /// assert!(Workload::Zipf { exponent: 1.2 }.imbalance(256, 8, 42) > 1.5);
+    /// ```
+    pub fn logits(self, tokens: usize, experts: usize, seed: u64) -> Tensor {
+        assert!(tokens > 0 && experts > 0, "need tokens and experts");
+        let mut rng = TensorRng::seed(seed);
+        let mut logits = rng.uniform(vec![tokens, experts], -1.0, 1.0);
+        let boost = 2.0f32;
+        match self {
+            Workload::Uniform => {
+                for t in 0..tokens {
+                    let e = rng.below(experts);
+                    logits.data_mut()[t * experts + e] += boost;
+                }
+            }
+            Workload::Zipf { exponent } => {
+                // Inverse-CDF sampling over Zipf weights.
+                let weights: Vec<f64> =
+                    (1..=experts).map(|r| 1.0 / (r as f64).powf(exponent)).collect();
+                let total: f64 = weights.iter().sum();
+                for t in 0..tokens {
+                    let mut u = rng.sample() as f64 * total;
+                    let mut e = 0;
+                    for (i, w) in weights.iter().enumerate() {
+                        if u < *w {
+                            e = i;
+                            break;
+                        }
+                        u -= w;
+                        e = i;
+                    }
+                    logits.data_mut()[t * experts + e] += boost;
+                }
+            }
+            Workload::Clustered => {
+                for t in 0..tokens {
+                    let e = t * experts / tokens;
+                    logits.data_mut()[t * experts + e] += boost;
+                }
+            }
+            Workload::HotExpert { fraction } => {
+                let hot = (tokens as f64 * fraction.clamp(0.0, 1.0)) as usize;
+                for t in 0..tokens {
+                    let e = if t < hot { 0 } else { rng.below(experts) };
+                    logits.data_mut()[t * experts + e] += boost;
+                }
+            }
+        }
+        logits
+    }
+
+    /// Expected per-expert load imbalance of this workload: the ratio of
+    /// the busiest expert's token share to the balanced share `1/E`,
+    /// measured by routing a sample.
+    pub fn imbalance(self, tokens: usize, experts: usize, seed: u64) -> f64 {
+        let logits = self.logits(tokens, experts, seed);
+        let routing = crate::route(lancet_ir::GateKind::Switch, &logits, tokens, None)
+            .expect("ample capacity");
+        let max_load = (0..experts).map(|e| routing.slots_for(e)).max().unwrap_or(0);
+        max_load as f64 * experts as f64 / tokens as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{expert_capacity, route, route_direct_microbatch};
+    use lancet_ir::GateKind;
+
+    #[test]
+    fn uniform_is_nearly_balanced() {
+        let imb = Workload::Uniform.imbalance(4096, 8, 1);
+        assert!(imb < 1.3, "uniform imbalance {imb}");
+    }
+
+    #[test]
+    fn zipf_is_skewed_and_monotone_in_exponent() {
+        let mild = Workload::Zipf { exponent: 0.5 }.imbalance(4096, 8, 2);
+        let strong = Workload::Zipf { exponent: 1.5 }.imbalance(4096, 8, 2);
+        assert!(strong > mild, "{strong} !> {mild}");
+        assert!(strong > 2.0, "strong zipf should overload the head expert");
+    }
+
+    #[test]
+    fn hot_expert_concentrates() {
+        let imb = Workload::HotExpert { fraction: 0.5 }.imbalance(1024, 8, 3);
+        assert!(imb >= 4.0, "half the tokens on one of 8 experts → ≥4x share");
+    }
+
+    #[test]
+    fn clustered_is_globally_balanced_but_locally_skewed() {
+        let (tokens, experts) = (512, 8);
+        let logits = Workload::Clustered.logits(tokens, experts, 4);
+        let cap = expert_capacity(tokens, experts, 1.25);
+        // Whole batch fits…
+        let full = route(GateKind::Switch, &logits, cap, None).unwrap();
+        assert_eq!(full.num_dropped(), 0);
+        // …but direct micro-batching overflows chunk capacity.
+        let direct = route_direct_microbatch(GateKind::Switch, &logits, cap, 4).unwrap();
+        assert!(direct.num_dropped() > 100, "{}", direct.num_dropped());
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = Workload::Zipf { exponent: 1.0 }.logits(64, 4, 9);
+        let b = Workload::Zipf { exponent: 1.0 }.logits(64, 4, 9);
+        assert_eq!(a, b);
+        let c = Workload::Zipf { exponent: 1.0 }.logits(64, 4, 10);
+        assert_ne!(a, c);
+    }
+}

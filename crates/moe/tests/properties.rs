@@ -1,0 +1,175 @@
+//! Property-based tests for the MoE data plane invariants.
+
+use lancet_ir::GateKind;
+use lancet_moe::{
+    all_to_all_irregular, all_to_all_uniform, dispatch_dense, dispatch_irregular, expert_capacity,
+    gather_dense, route, CapacityState, DispatchedChunk, Routing,
+};
+use lancet_tensor::{Tensor, TensorRng};
+use proptest::prelude::*;
+
+fn logits_strategy() -> impl Strategy<Value = (Tensor, usize)> {
+    // (tokens 4..40, experts 2..8) with seeded contents.
+    (4usize..40, 2usize..8, any::<u64>()).prop_map(|(t, e, seed)| {
+        (TensorRng::seed(seed).uniform(vec![t, e], -3.0, 3.0), e)
+    })
+}
+
+proptest! {
+    /// No expert ever receives more than its capacity, for any gate.
+    #[test]
+    fn capacity_never_exceeded((logits, e) in logits_strategy(), cap in 1usize..6) {
+        for kind in [GateKind::Switch, GateKind::BatchPrioritized, GateKind::Random, GateKind::Hash] {
+            let r = route(kind, &logits, cap, None).unwrap();
+            for expert in 0..e {
+                prop_assert!(r.tokens_for(expert).len() <= cap, "{kind:?}");
+            }
+        }
+    }
+
+    /// The paper's core equivalence (Fig. 5c): capacity-passing chunked
+    /// routing is identical to unpartitioned routing, for every
+    /// partitionable gate, chunk count and capacity.
+    #[test]
+    fn capacity_passing_is_exact((logits, e) in logits_strategy(), cap in 1usize..8, parts in 2usize..5) {
+        let t = logits.shape()[0];
+        let parts = parts.min(t);
+        for kind in [GateKind::Switch, GateKind::Random, GateKind::Hash] {
+            let full = route(kind, &logits, cap, None).unwrap();
+            let mut state = CapacityState::new(e);
+            let routed: Vec<Routing> = logits
+                .split_axis(0, parts)
+                .unwrap()
+                .iter()
+                .map(|c| route(kind, c, cap, Some(&mut state)).unwrap())
+                .collect();
+            prop_assert_eq!(Routing::concat(&routed), full, "{:?}", kind);
+        }
+    }
+
+    /// Drops are monotone in capacity: more capacity never drops more.
+    #[test]
+    fn drops_monotone_in_capacity((logits, _e) in logits_strategy(), cap in 1usize..6) {
+        let smaller = route(GateKind::Switch, &logits, cap, None).unwrap();
+        let larger = route(GateKind::Switch, &logits, cap + 2, None).unwrap();
+        prop_assert!(larger.num_dropped() <= smaller.num_dropped());
+    }
+
+    /// Every token kept by routing appears in exactly one expert buffer
+    /// row, and dispatch conserves token values.
+    #[test]
+    fn dispatch_conserves_tokens((logits, e) in logits_strategy(), cap in 2usize..6) {
+        let t = logits.shape()[0];
+        let x = TensorRng::seed(42).uniform(vec![t, 3], -1.0, 1.0);
+        let r = route(GateKind::Switch, &logits, cap, None).unwrap();
+        let buf = dispatch_dense(&x, &r, e, cap).unwrap();
+        let kept: f32 = r
+            .assign
+            .iter()
+            .enumerate()
+            .filter(|(_, &a)| a >= 0)
+            .map(|(tk, _)| x.data()[tk * 3..(tk + 1) * 3].iter().sum::<f32>())
+            .sum();
+        let buf_sum: f32 = buf.data().iter().sum();
+        prop_assert!((kept - buf_sum).abs() < 1e-3);
+    }
+
+    /// gather(dispatch(x)) reproduces x on kept tokens (unit scale) and
+    /// zero on dropped tokens.
+    #[test]
+    fn gather_dispatch_roundtrip((logits, e) in logits_strategy(), cap in 2usize..6) {
+        let t = logits.shape()[0];
+        let x = TensorRng::seed(7).uniform(vec![t, 2], -1.0, 1.0);
+        let mut r = route(GateKind::Switch, &logits, cap, None).unwrap();
+        for (i, s) in r.scale.iter_mut().enumerate() {
+            if r.assign[i] >= 0 { *s = 1.0; }
+        }
+        let buf = dispatch_dense(&x, &r, e, cap).unwrap();
+        let y = gather_dense(&buf, &r, e, cap).unwrap();
+        for (tk, &a) in r.assign.iter().enumerate() {
+            for i in 0..2 {
+                let expect = if a < 0 { 0.0 } else { x.data()[tk * 2 + i] };
+                prop_assert_eq!(y.data()[tk * 2 + i], expect);
+            }
+        }
+    }
+
+    /// The irregular all-to-all conserves total payload: the sum of all
+    /// received valid rows equals the sum of all sent valid rows, and it
+    /// never transmits more than the padded volume.
+    #[test]
+    fn irregular_alltoall_conserves(devs in 2usize..5, el in 1usize..3, cap in 1usize..4, m in 1usize..4, seed in any::<u64>()) {
+        let e = devs * el;
+        let mut rng = TensorRng::seed(seed);
+        let mut chunks = Vec::new();
+        let mut sent_sum = 0.0f32;
+        for _ in 0..devs {
+            let mut buf = Tensor::zeros(vec![e, cap, m]);
+            let mut counts = vec![0u32; e];
+            for (idx, cnt) in counts.iter_mut().enumerate() {
+                *cnt = (rng.below(cap + 1)) as u32;
+                for r_i in 0..*cnt as usize {
+                    for j in 0..m {
+                        let v = rng.sample();
+                        buf.data_mut()[(idx * cap + r_i) * m + j] = v;
+                        sent_sum += v;
+                    }
+                }
+            }
+            chunks.push(DispatchedChunk { buf, counts });
+        }
+        let (out, stats) = all_to_all_irregular(&chunks).unwrap();
+        let recv_sum: f32 = out.iter().map(|ch| ch.buf.data().iter().sum::<f32>()).sum();
+        prop_assert!((sent_sum - recv_sum).abs() < 1e-2);
+        prop_assert!(stats.payload_bytes <= stats.padded_bytes);
+        // Counts conserve too.
+        let sent_counts: u32 = chunks.iter().map(|c| c.counts.iter().sum::<u32>()).sum();
+        let recv_counts: u32 = out.iter().map(|c| c.counts.iter().sum::<u32>()).sum();
+        prop_assert_eq!(sent_counts, recv_counts);
+    }
+
+    /// The hierarchical exchange is indistinguishable from the uniform
+    /// all-to-all for any (nodes × gpus/node) topology.
+    #[test]
+    fn hierarchical_equals_uniform_everywhere(nodes in 1usize..4, gpn in 1usize..5, el in 1usize..3, cap in 1usize..4, m in 1usize..3, seed in any::<u64>()) {
+        use lancet_moe::all_to_all_hierarchical;
+        let g = nodes * gpn;
+        let e = g * el;
+        let mut rng = TensorRng::seed(seed);
+        let bufs: Vec<Tensor> = (0..g).map(|_| rng.uniform(vec![e, cap, m], -1.0, 1.0)).collect();
+        let uniform = all_to_all_uniform(&bufs).unwrap();
+        let (hier, _) = all_to_all_hierarchical(&bufs, gpn).unwrap();
+        prop_assert_eq!(hier, uniform);
+    }
+
+    /// The uniform all-to-all is an involution for any topology.
+    #[test]
+    fn uniform_alltoall_involution(devs in 1usize..5, el in 1usize..3, cap in 1usize..4, m in 1usize..3, seed in any::<u64>()) {
+        let e = devs * el;
+        let mut rng = TensorRng::seed(seed);
+        let bufs: Vec<Tensor> = (0..devs).map(|_| rng.uniform(vec![e, cap, m], -1.0, 1.0)).collect();
+        let once = all_to_all_uniform(&bufs).unwrap();
+        let twice = all_to_all_uniform(&once).unwrap();
+        prop_assert_eq!(twice, bufs);
+    }
+
+    /// Irregular dispatch packs exactly the kept tokens.
+    #[test]
+    fn irregular_dispatch_counts((logits, e) in logits_strategy(), cap in 1usize..6) {
+        let t = logits.shape()[0];
+        let x = TensorRng::seed(3).uniform(vec![t, 2], -1.0, 1.0);
+        let r = route(GateKind::Switch, &logits, cap, None).unwrap();
+        let chunk = dispatch_irregular(&x, &r, e, cap).unwrap();
+        let total: u32 = chunk.counts.iter().sum();
+        prop_assert_eq!(total as usize, t - r.num_dropped());
+    }
+
+    /// Capacity formula bounds: C·E ≥ factor·T and C is minimal.
+    #[test]
+    fn capacity_formula_bounds(t in 1usize..2000, e in 1usize..64) {
+        let c = expert_capacity(t, e, 1.25);
+        prop_assert!((c * e) as f64 >= 1.25 * t as f64);
+        // Minimality: one slot less per expert would not fit the load.
+        prop_assert!((((c - 1) * e) as f64) < 1.25 * t as f64);
+    }
+}

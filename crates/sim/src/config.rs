@@ -1,0 +1,89 @@
+//! Simulation configuration.
+
+/// Knobs controlling one simulation run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SimConfig {
+    /// Number of GPUs participating in collectives.
+    pub gpus: usize,
+    /// Capacity factor used by the model's MoE layers; determines the
+    /// expected utilization of irregular all-to-all buffers (actual tokens
+    /// ≈ padded / capacity-factor).
+    pub capacity_factor: f64,
+    /// Relative jitter (±) applied to sampled irregular loads, modelling
+    /// routing imbalance and token drops. `0.1` means ±10 %.
+    pub load_jitter: f64,
+    /// Seed for the deterministic load sampler.
+    pub seed: u64,
+    /// Multiplier on compute-op latency, modelling framework overhead
+    /// differences (the paper notes PyTorch op performance differs from
+    /// RAF's; baselines run with a factor > 1).
+    pub compute_overhead: f64,
+    /// Multiplier on the liveness-based activation-memory estimate
+    /// (framework allocator slack; DeepSpeed's is higher, reproducing its
+    /// earlier OOM in Fig. 11).
+    pub memory_overhead: f64,
+    /// Use the hierarchical (two-stage, node-aggregated) all-to-all
+    /// implementation instead of naive per-peer exchange.
+    pub hierarchical_a2a: bool,
+    /// Run non-all-to-all collectives (all-reduce, all-gather,
+    /// reduce-scatter) on a second communication channel so they proceed
+    /// concurrently with MoE all-to-alls — the arrangement the paper's §8
+    /// suggests for tensor/sequence-parallel and gradient traffic.
+    pub separate_collective_channel: bool,
+    /// Model MegaBlocks-style block-sparse expert kernels (paper §8):
+    /// expert matmuls fed by *irregular* buffers are charged for actual
+    /// token rows instead of the zero-padded capacity.
+    pub block_sparse_experts: bool,
+}
+
+impl SimConfig {
+    /// A configuration for `gpus` devices with neutral overheads.
+    pub fn new(gpus: usize) -> Self {
+        SimConfig {
+            gpus,
+            capacity_factor: 1.25,
+            load_jitter: 0.1,
+            seed: 0x1a5ce7,
+            compute_overhead: 1.0,
+            memory_overhead: 1.0,
+            hierarchical_a2a: false,
+            separate_collective_channel: false,
+            block_sparse_experts: false,
+        }
+    }
+
+    /// Sets the compute-overhead multiplier (builder style).
+    pub fn with_compute_overhead(mut self, factor: f64) -> Self {
+        self.compute_overhead = factor;
+        self
+    }
+
+    /// Sets the memory-overhead multiplier (builder style).
+    pub fn with_memory_overhead(mut self, factor: f64) -> Self {
+        self.memory_overhead = factor;
+        self
+    }
+
+    /// Sets the load-sampler seed (builder style).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builder_chains() {
+        let c = SimConfig::new(8)
+            .with_compute_overhead(1.1)
+            .with_memory_overhead(1.2)
+            .with_seed(7);
+        assert_eq!(c.gpus, 8);
+        assert_eq!(c.compute_overhead, 1.1);
+        assert_eq!(c.memory_overhead, 1.2);
+        assert_eq!(c.seed, 7);
+    }
+}

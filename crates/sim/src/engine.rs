@@ -1,0 +1,615 @@
+//! The two-stream discrete-event engine.
+
+use crate::{estimate_peak_memory, SimConfig, SimReport, Stream, TimelineEvent};
+use lancet_cost::{CommModel, ComputeModel};
+use lancet_ir::{Graph, Op, Shape, TensorId};
+use std::collections::HashMap;
+
+/// Simulates training-iteration graphs on a cluster.
+///
+/// See the crate docs for the execution semantics. The simulator is
+/// deterministic: identical (graph, config) pairs produce identical
+/// reports.
+///
+/// # Example
+///
+/// ```
+/// use lancet_cost::{ClusterSpec, CommModel, ComputeModel};
+/// use lancet_ir::{Graph, Op, Role};
+/// use lancet_sim::{SimConfig, Simulator};
+///
+/// let spec = ClusterSpec::v100(1);
+/// let sim = Simulator::new(
+///     ComputeModel::new(spec.device.clone()),
+///     CommModel::new(spec),
+///     SimConfig::new(8),
+/// );
+/// let mut g = Graph::new();
+/// let x = g.input("x", vec![512, 512]);
+/// let w = g.weight("w", vec![512, 512]);
+/// let _y = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward)?;
+/// let report = sim.simulate(&g);
+/// assert!(report.iteration_time > 0.0);
+/// # Ok::<(), lancet_ir::IrError>(())
+/// ```
+#[derive(Debug)]
+pub struct Simulator {
+    compute: ComputeModel,
+    comm: CommModel,
+    cfg: SimConfig,
+}
+
+/// Iteration-time distribution over repeated simulations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SimStats {
+    /// Number of simulated iterations.
+    pub iterations: usize,
+    /// Mean iteration time, seconds.
+    pub mean: f64,
+    /// Standard deviation, seconds.
+    pub std: f64,
+    /// Fastest iteration.
+    pub min: f64,
+    /// Slowest iteration.
+    pub max: f64,
+}
+
+/// Deterministic xorshift sampler for irregular loads (no external RNG
+/// dependency needed for a simulation jitter source).
+fn jitter_unit(seed: u64, salt: u64) -> f64 {
+    let mut x = seed ^ salt.wrapping_mul(0x9e37_79b9_7f4a_7c15) ^ 0x2545_f491_4f6c_dd1d;
+    x ^= x << 13;
+    x ^= x >> 7;
+    x ^= x << 17;
+    (x >> 11) as f64 / (1u64 << 53) as f64
+}
+
+impl Simulator {
+    /// Builds a simulator from ground-truth hardware models and a config.
+    pub fn new(compute: ComputeModel, comm: CommModel, cfg: SimConfig) -> Self {
+        Simulator { compute, comm, cfg }
+    }
+
+    /// The simulation configuration.
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Runs one training iteration of `graph` and reports the timeline
+    /// and its decomposition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the graph is not in definition-before-use order
+    /// (validate first).
+    pub fn simulate(&self, graph: &Graph) -> SimReport {
+        graph.validate().expect("simulate requires a valid graph");
+        let mut tensor_ready: HashMap<TensorId, f64> = HashMap::new();
+        let mut compute_free = 0.0f64;
+        let mut comm_free = 0.0f64;
+        let mut aux_free = 0.0f64;
+        let mut timeline = Vec::with_capacity(graph.instrs().len());
+        let mut compute_busy = 0.0;
+        let mut comm_busy = 0.0;
+        let chunk_tokens = chunk_token_map(graph);
+        let sparse_experts = if self.cfg.block_sparse_experts {
+            irregular_expert_map(graph)
+        } else {
+            HashMap::new()
+        };
+
+        for (pos, instr) in graph.instrs().iter().enumerate() {
+            let ready = instr
+                .inputs
+                .iter()
+                .map(|t| tensor_ready.get(t).copied().unwrap_or(0.0))
+                .fold(0.0f64, f64::max);
+            let in_shapes: Vec<&Shape> = instr.inputs.iter().map(|&t| &graph.tensor(t).shape).collect();
+            let out_shapes: Vec<&Shape> = instr.outputs.iter().map(|&t| &graph.tensor(t).shape).collect();
+
+            let (stream, start, dur) = if instr.op.is_comm() {
+                // Non-a2a collectives may use a second channel so they run
+                // concurrently with MoE all-to-alls (paper §8).
+                let aux = self.cfg.separate_collective_channel && !instr.op.is_all_to_all();
+                let free = if aux { aux_free } else { comm_free };
+                let start = ready.max(free);
+                let dur = self.comm_duration(&instr.op, &in_shapes, pos, chunk_tokens.get(&pos).copied());
+                (if aux { Stream::CommAux } else { Stream::Comm }, start, dur)
+            } else {
+                let start = ready.max(compute_free);
+                let mut dur =
+                    self.compute.op_time(&instr.op, &in_shapes, &out_shapes) * self.cfg.compute_overhead;
+                // MegaBlocks-style kernels: scale irregular expert compute
+                // by the fraction of buffer rows actually occupied.
+                if let Some(&slots) = sparse_experts.get(&pos) {
+                    let padded = (in_shapes[0].dim(0) * in_shapes[0].dim(1)) as f64;
+                    let fill = (slots as f64 / padded).clamp(0.0, 1.0);
+                    let keep = 1.0 - self.cfg.load_jitter * jitter_unit(self.cfg.seed, pos as u64);
+                    dur = self.compute.device().launch_overhead
+                        + (dur - self.compute.device().launch_overhead) * fill * keep;
+                }
+                (Stream::Compute, start, dur)
+            };
+            let end = start + dur;
+            match stream {
+                Stream::Compute => {
+                    compute_free = end;
+                    compute_busy += dur;
+                }
+                Stream::Comm => {
+                    comm_free = end;
+                    comm_busy += dur;
+                }
+                Stream::CommAux => {
+                    aux_free = end;
+                    comm_busy += dur;
+                }
+            }
+            for &o in &instr.outputs {
+                tensor_ready.insert(o, end);
+            }
+            timeline.push(TimelineEvent { position: pos, op: instr.op.name(), stream, start, end });
+        }
+
+        let iteration_time = compute_free.max(comm_free).max(aux_free);
+        let overlapped = overlap_time(&timeline);
+        let peak_memory = (estimate_peak_memory(graph) as f64 * self.cfg.memory_overhead) as u64;
+        let oom = peak_memory > self.compute.device().memory;
+        SimReport {
+            iteration_time,
+            compute_busy,
+            comm_busy,
+            overlapped,
+            peak_memory,
+            oom,
+            timeline,
+        }
+    }
+
+    /// Runs `n` iterations with varied load-sampler seeds and summarizes
+    /// the iteration-time distribution (the per-iteration variation of
+    /// irregular all-to-all loads is the only stochastic element).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or the graph is invalid.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lancet_cost::{ClusterSpec, CommModel, ComputeModel};
+    /// use lancet_ir::{Graph, Op, Role};
+    /// use lancet_sim::{SimConfig, Simulator};
+    ///
+    /// let spec = ClusterSpec::v100(1);
+    /// let sim = Simulator::new(
+    ///     ComputeModel::new(spec.device.clone()),
+    ///     CommModel::new(spec),
+    ///     SimConfig::new(8),
+    /// );
+    /// let mut g = Graph::new();
+    /// let x = g.input("x", vec![64, 64]);
+    /// let _ = g.emit(Op::Relu, &[x], Role::Forward)?;
+    /// let stats = sim.simulate_n(&g, 4);
+    /// assert_eq!(stats.iterations, 4);
+    /// assert!(stats.min <= stats.mean && stats.mean <= stats.max);
+    /// # Ok::<(), lancet_ir::IrError>(())
+    /// ```
+    pub fn simulate_n(&self, graph: &Graph, n: usize) -> SimStats {
+        assert!(n > 0, "need at least one iteration");
+        let mut times = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut cfg = self.cfg.clone();
+            cfg.seed = self.cfg.seed.wrapping_add(i as u64).wrapping_mul(0x9e37_79b9);
+            let sim = Simulator { compute: self.compute.clone(), comm: self.comm.clone(), cfg };
+            times.push(sim.simulate(graph).iteration_time);
+        }
+        let mean = times.iter().sum::<f64>() / n as f64;
+        let var = times.iter().map(|t| (t - mean) * (t - mean)).sum::<f64>() / n as f64;
+        let min = times.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max = times.iter().cloned().fold(0.0f64, f64::max);
+        SimStats { iterations: n, mean, std: var.sqrt(), min, max }
+    }
+
+    fn comm_duration(&self, op: &Op, ins: &[&Shape], pos: usize, chunk_tokens: Option<usize>) -> f64 {
+        let gpus = self.cfg.gpus;
+        match op {
+            Op::AllToAll => {
+                // Uniform all-to-all transmits the capacity-padded buffer.
+                let bytes = op.comm_bytes(ins);
+                if self.cfg.hierarchical_a2a {
+                    self.comm.hierarchical_all_to_all_time(bytes, gpus)
+                } else {
+                    self.comm.all_to_all_time(bytes, gpus)
+                }
+            }
+            Op::AllToAllIrr => {
+                // Irregular all-to-all transmits only actual slots: the
+                // chunk's slot count (tokens × k, minus sampled drops),
+                // never more than the padded capacity.
+                let buf = ins[0];
+                let (e, c, m) = (buf.dim(0), buf.dim(1), buf.dim(2));
+                let padded_tokens = e * c;
+                let tokens = chunk_tokens.unwrap_or(padded_tokens);
+                let keep = 1.0 - self.cfg.load_jitter * jitter_unit(self.cfg.seed, pos as u64);
+                let actual = ((tokens as f64 * keep) as usize).min(padded_tokens);
+                let bytes = (actual * m * 4) as u64;
+                if self.cfg.hierarchical_a2a {
+                    // Size exchange plus hierarchical payload exchange.
+                    self.comm.all_to_all_time((4 * e) as u64, gpus)
+                        + self.comm.hierarchical_all_to_all_time(bytes, gpus)
+                } else {
+                    self.comm.irregular_all_to_all_time(bytes, e, gpus)
+                }
+            }
+            Op::AllReduce => {
+                let bytes = op.comm_bytes(ins);
+                self.comm.all_reduce_time(bytes, gpus)
+            }
+            Op::AllGather { .. } => self.comm.all_gather_time(op.comm_bytes(ins), gpus),
+            Op::ReduceScatter { .. } => self.comm.reduce_scatter_time(op.comm_bytes(ins), gpus),
+            _ => unreachable!("comm_duration called on compute op"),
+        }
+    }
+}
+
+/// For every irregular all-to-all position, the token count of the chunk
+/// that feeds it, recovered by following the counts-tensor producer chain
+/// back to its `MoeDispatchIrr`.
+fn chunk_token_map(graph: &Graph) -> HashMap<usize, usize> {
+    let producers = graph.producer_positions();
+    let mut map = HashMap::new();
+    for (pos, instr) in graph.instrs().iter().enumerate() {
+        if !matches!(instr.op, Op::AllToAllIrr) {
+            continue;
+        }
+        // input[1] is the counts tensor; walk producers until the
+        // originating dispatch is found.
+        let mut cursor = instr.inputs[1];
+        for _ in 0..graph.instrs().len() {
+            let Some(&p) = producers.get(&cursor) else { break };
+            let producer = &graph.instrs()[p];
+            match producer.op {
+                Op::MoeDispatchIrr { .. } => {
+                    // Slot count = the assign tensor's length (tokens × k).
+                    let assign = &graph.tensor(producer.inputs[1]).shape;
+                    map.insert(pos, assign.volume());
+                    break;
+                }
+                Op::AllToAllIrr => {
+                    cursor = producer.inputs[1];
+                }
+                _ => break,
+            }
+        }
+    }
+    map
+}
+
+/// For every expert-FFN compute instruction fed (through layout ops) by
+/// an irregular all-to-all, the actual slot count of its chunk — the rows
+/// a block-sparse kernel would process.
+fn irregular_expert_map(graph: &Graph) -> HashMap<usize, usize> {
+    let producers = graph.producer_positions();
+    let chunk_tokens = chunk_token_map(graph);
+    let mut map = HashMap::new();
+    for (pos, instr) in graph.instrs().iter().enumerate() {
+        if !matches!(instr.op, Op::BatchedMatMul { .. } | Op::Gelu | Op::Silu | Op::Mul) {
+            continue;
+        }
+        // Walk input[0]'s producer chain through shape-preserving expert
+        // ops until an irregular all-to-all is found.
+        let mut cursor = instr.inputs[0];
+        for _ in 0..graph.instrs().len() {
+            let Some(&p) = producers.get(&cursor) else { break };
+            match &graph.instrs()[p].op {
+                Op::AllToAllIrr => {
+                    if let Some(&slots) = chunk_tokens.get(&p) {
+                        map.insert(pos, slots);
+                    }
+                    break;
+                }
+                Op::ExpertsLayout { .. }
+                | Op::ExpertsLayoutInv { .. }
+                | Op::BatchedMatMul { .. }
+                | Op::Gelu
+                | Op::Silu
+                | Op::Mul => {
+                    cursor = graph.instrs()[p].inputs[0];
+                }
+                _ => break,
+            }
+        }
+    }
+    map
+}
+
+fn overlap_time(timeline: &[TimelineEvent]) -> f64 {
+    // Each stream's busy intervals are disjoint and sorted by start time;
+    // sum the pairwise intersections with a two-pointer sweep.
+    let mut compute: Vec<(f64, f64)> = Vec::new();
+    let mut comm: Vec<(f64, f64)> = Vec::new();
+    for e in timeline {
+        if e.end > e.start {
+            match e.stream {
+                Stream::Compute => compute.push((e.start, e.end)),
+                // Both channels count as communication busy intervals;
+                // merge them (they may overlap each other).
+                Stream::Comm | Stream::CommAux => comm.push((e.start, e.end)),
+            }
+        }
+    }
+    comm.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite times"));
+    // Merge overlapping aux/primary intervals.
+    let mut merged: Vec<(f64, f64)> = Vec::with_capacity(comm.len());
+    for (s, e) in comm {
+        match merged.last_mut() {
+            Some(last) if s <= last.1 => last.1 = last.1.max(e),
+            _ => merged.push((s, e)),
+        }
+    }
+    let comm = merged;
+    let (mut i, mut j) = (0usize, 0usize);
+    let mut total = 0.0;
+    while i < compute.len() && j < comm.len() {
+        let (a0, a1) = compute[i];
+        let (b0, b1) = comm[j];
+        let lo = a0.max(b0);
+        let hi = a1.min(b1);
+        if hi > lo {
+            total += hi - lo;
+        }
+        if a1 <= b1 {
+            i += 1;
+        } else {
+            j += 1;
+        }
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_cost::ClusterSpec;
+    use lancet_ir::Role;
+
+    fn sim(gpus: usize) -> Simulator {
+        let spec = ClusterSpec::v100(gpus.div_ceil(8));
+        Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(gpus),
+        )
+    }
+
+    /// compute → a2a → dependent compute: no overlap possible.
+    fn dependent_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![16, 128, 512]);
+        let w = g.weight("w", vec![512, 512]);
+        let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let t = g.emit(Op::AllToAll, &[h], Role::Comm).unwrap();
+        let _y = g.emit(Op::MatMul { transpose_b: false }, &[t, w], Role::Forward).unwrap();
+        g
+    }
+
+    /// a2a with an independent compute op issued right after it.
+    fn overlappable_graph() -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![16, 128, 512]);
+        let w = g.weight("w", vec![512, 512]);
+        let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let t = g.emit(Op::AllToAll, &[h], Role::Comm).unwrap();
+        let _indep = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let _y = g.emit(Op::MatMul { transpose_b: false }, &[t, w], Role::Forward).unwrap();
+        g
+    }
+
+    #[test]
+    fn dependencies_serialize() {
+        let r = sim(16).simulate(&dependent_graph());
+        assert!(r.overlapped < 1e-9, "dependent graph must not overlap");
+        assert!((r.iteration_time - (r.compute_busy + r.comm_busy)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn independent_compute_overlaps_comm() {
+        let r = sim(16).simulate(&overlappable_graph());
+        assert!(r.overlapped > 0.0, "independent op should overlap the all-to-all");
+        assert!(r.iteration_time < r.compute_busy + r.comm_busy);
+    }
+
+    #[test]
+    fn reordering_changes_overlap() {
+        // Issue the dependent op first and the independent one last: the
+        // dependent op waits for the a2a, and only the independent tail
+        // overlaps — program order matters, which is what the dW pass
+        // exploits.
+        let mut g = Graph::new();
+        let x = g.input("x", vec![16, 128, 512]);
+        let w = g.weight("w", vec![512, 512]);
+        let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let t = g.emit(Op::AllToAll, &[h], Role::Comm).unwrap();
+        let _y = g.emit(Op::MatMul { transpose_b: false }, &[t, w], Role::Forward).unwrap();
+        let _indep = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+        let bad = sim(16).simulate(&g);
+        let good = sim(16).simulate(&overlappable_graph());
+        assert!(good.iteration_time <= bad.iteration_time + 1e-12);
+    }
+
+    #[test]
+    fn more_gpus_longer_alltoall() {
+        let g = dependent_graph();
+        let r16 = sim(16).simulate(&g);
+        let r32 = sim(32).simulate(&g);
+        assert!(r32.comm_busy > r16.comm_busy);
+    }
+
+    #[test]
+    fn deterministic() {
+        let g = overlappable_graph();
+        let a = sim(16).simulate(&g);
+        let b = sim(16).simulate(&g);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn irregular_cheaper_than_uniform() {
+        // Same buffer, but the irregular path only moves actual tokens
+        // (chunk = half the padded capacity here).
+        let build = |irregular: bool| {
+            let mut g = Graph::new();
+            // 8 experts, capacity 64, hidden 512 → padded 8*64 = 512 rows;
+            // the chunk carries 16×16 = 256 tokens.
+            let x = g.input("x", vec![16, 16, 512]);
+            let wg = g.weight("gate.w", vec![512, 8]);
+            if irregular {
+                let cap0 = g.emit(Op::Zeros { shape: vec![8] }, &[], Role::Forward).unwrap();
+                let gate = g
+                    .emit_multi(
+                        Op::GateChunk { kind: lancet_ir::GateKind::Switch, experts: 8, capacity: 64, parts: 1 },
+                        &[x, wg, cap0],
+                        Role::Forward,
+                    )
+                    .unwrap();
+                let d = g
+                    .emit_multi(Op::MoeDispatchIrr { experts: 8, capacity: 64, parts: 1 }, &[x, gate[0], gate[1]], Role::Forward)
+                    .unwrap();
+                let _ = g.emit_multi(Op::AllToAllIrr, &[d[0], d[1]], Role::Comm).unwrap();
+            } else {
+                let gate = g
+                    .emit_multi(
+                        Op::Gate { kind: lancet_ir::GateKind::Switch, experts: 8, capacity: 64 },
+                        &[x, wg],
+                        Role::Forward,
+                    )
+                    .unwrap();
+                let d = g
+                    .emit(Op::MoeDispatch { experts: 8, capacity: 64 }, &[x, gate[0], gate[1]], Role::Forward)
+                    .unwrap();
+                let _ = g.emit(Op::AllToAll, &[d], Role::Comm).unwrap();
+            }
+            g
+        };
+        let uniform = sim(16).simulate(&build(false));
+        let irregular = sim(16).simulate(&build(true));
+        assert!(
+            irregular.comm_busy < uniform.comm_busy,
+            "irregular {} vs uniform {}",
+            irregular.comm_busy,
+            uniform.comm_busy
+        );
+    }
+
+    #[test]
+    fn block_sparse_experts_cut_irregular_compute() {
+        // A partitioned pipeline where the chunk fills half the padded
+        // capacity: block-sparse kernels should charge ~half the expert
+        // compute.
+        let mut g = Graph::new();
+        let x = g.input("x", vec![16, 16, 512]); // 256 tokens
+        let wg = g.weight("gate.w", vec![512, 8]);
+        let w1 = g.weight("expert.w1", vec![4, 512, 1024]);
+        let cap0 = g.emit(Op::Zeros { shape: vec![8] }, &[], Role::Forward).unwrap();
+        let gate = g
+            .emit_multi(
+                Op::GateChunk { kind: lancet_ir::GateKind::Switch, experts: 8, capacity: 64, parts: 1 },
+                &[x, wg, cap0],
+                Role::Forward,
+            )
+            .unwrap();
+        let d = g
+            .emit_multi(Op::MoeDispatchIrr { experts: 8, capacity: 64, parts: 1 }, &[x, gate[0], gate[1]], Role::Forward)
+            .unwrap();
+        let a2a = g.emit_multi(Op::AllToAllIrr, &[d[0], d[1]], Role::Comm).unwrap();
+        let loc = g.emit(Op::ExpertsLayout { gpus: 2 }, &[a2a[0]], Role::Forward).unwrap();
+        let _h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).unwrap();
+
+        let spec = ClusterSpec::v100(2);
+        let dense = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec.clone()),
+            SimConfig::new(16),
+        )
+        .simulate(&g);
+        let sparse = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig { block_sparse_experts: true, ..SimConfig::new(16) },
+        )
+        .simulate(&g);
+        // 256 tokens over 8×64 = 512 padded rows → roughly half the
+        // expert-matmul work (compare the kernel itself; the gate and
+        // dispatch around it are unaffected).
+        let bmm_time = |r: &crate::SimReport| {
+            r.timeline
+                .iter()
+                .find(|e| e.op == "batched_matmul")
+                .map(|e| e.duration())
+                .expect("bmm present")
+        };
+        let (d, s) = (bmm_time(&dense), bmm_time(&sparse));
+        assert!(s < d * 0.65, "sparse bmm {s} !< 0.65 × dense bmm {d}");
+        assert!(sparse.compute_busy < dense.compute_busy);
+    }
+
+    #[test]
+    fn oom_detected_for_huge_graph() {
+        let mut g = Graph::new();
+        // ~48 GB of weights exceeds a V100's 32 GB.
+        let _w = g.weight("w", vec![4096, 1_000_000]);
+        let r = sim(8).simulate(&g);
+        assert!(r.oom);
+    }
+
+    #[test]
+    fn simulate_n_summarizes_load_variation() {
+        // A graph with irregular all-to-alls varies across seeds; one with
+        // only deterministic ops does not.
+        let s = sim(16);
+        let det = s.simulate_n(&dependent_graph(), 5);
+        assert_eq!(det.iterations, 5);
+        assert!(det.std < 1e-12, "deterministic graph varied: {det:?}");
+        assert!((det.mean - det.min).abs() < 1e-12);
+
+        let mut g = Graph::new();
+        let x = g.input("x", vec![16, 16, 512]);
+        let wg = g.weight("gate.w", vec![512, 8]);
+        let cap0 = g.emit(Op::Zeros { shape: vec![8] }, &[], Role::Forward).unwrap();
+        let gate = g
+            .emit_multi(
+                Op::GateChunk { kind: lancet_ir::GateKind::Switch, experts: 8, capacity: 64, parts: 1 },
+                &[x, wg, cap0],
+                Role::Forward,
+            )
+            .unwrap();
+        let d = g
+            .emit_multi(Op::MoeDispatchIrr { experts: 8, capacity: 64, parts: 1 }, &[x, gate[0], gate[1]], Role::Forward)
+            .unwrap();
+        let _ = g.emit_multi(Op::AllToAllIrr, &[d[0], d[1]], Role::Comm).unwrap();
+        let irr = s.simulate_n(&g, 8);
+        assert!(irr.std > 0.0, "irregular loads should vary across seeds");
+        assert!(irr.min <= irr.mean && irr.mean <= irr.max);
+    }
+
+    #[test]
+    fn compute_overhead_scales_time() {
+        let g = dependent_graph();
+        let spec = ClusterSpec::v100(2);
+        let base = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec.clone()),
+            SimConfig::new(16),
+        )
+        .simulate(&g);
+        let slow = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(16).with_compute_overhead(1.5),
+        )
+        .simulate(&g);
+        assert!(slow.compute_busy > base.compute_busy * 1.4);
+        assert_eq!(slow.comm_busy, base.comm_busy);
+    }
+}

@@ -1,0 +1,38 @@
+//! Discrete-event cluster simulator for the Lancet reproduction.
+//!
+//! Executes a training-graph instruction sequence on a simulated GPU
+//! cluster, reproducing the execution semantics that make Lancet's
+//! optimizations matter:
+//!
+//! * every device runs **two streams** — compute and communication — so a
+//!   communication instruction only blocks instructions that *consume* its
+//!   output, and any independent compute issued after it overlaps;
+//! * instructions issue in **program order** per stream (reordering the
+//!   sequence is exactly how the dW-scheduling pass creates overlap);
+//! * collectives charge the hierarchical network model of `lancet-cost`,
+//!   with irregular all-to-alls paying for *actual* (sampled) token loads
+//!   rather than the padded capacity.
+//!
+//! Because the training program is SPMD and devices are symmetric, the
+//! simulator tracks one representative device timeline; collectives embed
+//! the cluster-wide cost (the max across devices is the common case the
+//! network model already returns).
+//!
+//! The [`SimReport`] decomposes the iteration into non-overlapped compute,
+//! non-overlapped communication, and overlapped time — the quantities of
+//! paper Fig. 13 — and estimates peak memory for OOM detection (the red
+//! crosses of Fig. 11).
+
+mod config;
+mod engine;
+mod gantt;
+mod memory;
+mod report;
+mod trace;
+
+pub use config::SimConfig;
+pub use engine::{SimStats, Simulator};
+pub use gantt::render_gantt;
+pub use memory::estimate_peak_memory;
+pub use report::{SimReport, Stream, TimelineEvent};
+pub use trace::to_chrome_trace;

@@ -1,0 +1,93 @@
+//! Property-based tests for simulator invariants.
+
+use lancet_cost::{ClusterSpec, CommModel, ComputeModel};
+use lancet_ir::{Graph, Op, Role, TensorId};
+use lancet_sim::{SimConfig, Simulator, Stream};
+use proptest::prelude::*;
+
+fn simulator(gpus: usize) -> Simulator {
+    let spec = ClusterSpec::v100(gpus.div_ceil(8));
+    Simulator::new(
+        ComputeModel::new(spec.device.clone()),
+        CommModel::new(spec),
+        SimConfig::new(gpus),
+    )
+}
+
+/// Random graph mixing compute chains and all-to-alls.
+fn random_graph(ops: &[u8]) -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![8, 16, 64]);
+    let w = g.weight("w", vec![64, 64]);
+    let mut pool: Vec<TensorId> = vec![x];
+    for &b in ops {
+        let a = pool[(b as usize) % pool.len()];
+        let out = match b % 4 {
+            0 => g.emit(Op::MatMul { transpose_b: false }, &[a, w], Role::Forward).unwrap(),
+            1 => g.emit(Op::Gelu, &[a], Role::Forward).unwrap(),
+            2 => g.emit(Op::AllToAll, &[a], Role::Comm).unwrap(),
+            _ => g.emit(Op::Relu, &[a], Role::Forward).unwrap(),
+        };
+        pool.push(out);
+    }
+    g
+}
+
+proptest! {
+    /// Core timing invariants: the iteration is at least as long as the
+    /// busier stream, overlap is bounded by the less busy stream, and
+    /// serial execution (busy sum) is an upper bound.
+    #[test]
+    fn timing_invariants(ops in prop::collection::vec(any::<u8>(), 1..40), gpus_pow in 1usize..4) {
+        let g = random_graph(&ops);
+        let r = simulator(1 << (3 + gpus_pow - 1)).simulate(&g);
+        prop_assert!(r.iteration_time >= r.compute_busy.max(r.comm_busy) - 1e-12);
+        prop_assert!(r.iteration_time <= r.compute_busy + r.comm_busy + 1e-12);
+        prop_assert!(r.overlapped <= r.compute_busy.min(r.comm_busy) + 1e-12);
+        prop_assert!(r.exposed_comm() >= 0.0 && r.exposed_compute() >= 0.0);
+    }
+
+    /// Per-stream events never overlap and appear in non-decreasing start
+    /// order; every event has non-negative duration.
+    #[test]
+    fn stream_events_are_serial(ops in prop::collection::vec(any::<u8>(), 1..40)) {
+        let g = random_graph(&ops);
+        let r = simulator(16).simulate(&g);
+        for stream in [Stream::Compute, Stream::Comm] {
+            let mut last_end = 0.0f64;
+            for e in r.timeline.iter().filter(|e| e.stream == stream) {
+                prop_assert!(e.end >= e.start);
+                prop_assert!(e.start >= last_end - 1e-12, "stream events overlap");
+                last_end = e.end;
+            }
+        }
+    }
+
+    /// Determinism: identical inputs give identical reports.
+    #[test]
+    fn simulation_is_deterministic(ops in prop::collection::vec(any::<u8>(), 1..30)) {
+        let g = random_graph(&ops);
+        let a = simulator(16).simulate(&g);
+        let b = simulator(16).simulate(&g);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Events respect data dependencies: a consumer starts no earlier
+    /// than its producers end.
+    #[test]
+    fn dependencies_respected(ops in prop::collection::vec(any::<u8>(), 1..40)) {
+        let g = random_graph(&ops);
+        let r = simulator(16).simulate(&g);
+        let producers = g.producer_positions();
+        for (pos, instr) in g.instrs().iter().enumerate() {
+            for t in &instr.inputs {
+                if let Some(&p) = producers.get(t) {
+                    prop_assert!(
+                        r.timeline[pos].start >= r.timeline[p].end - 1e-12,
+                        "instr {} starts before producer {} ends", pos, p
+                    );
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,73 @@
+use std::fmt;
+
+/// Errors produced by tensor construction and kernels.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The provided data length does not match the product of the shape.
+    LengthMismatch {
+        /// Number of elements implied by the shape.
+        expected: usize,
+        /// Number of elements actually provided.
+        actual: usize,
+    },
+    /// Two operands have incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand.
+        lhs: Vec<usize>,
+        /// Shape of the right/second operand.
+        rhs: Vec<usize>,
+    },
+    /// An axis index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// A slice range was invalid (empty, reversed, or out of bounds).
+    InvalidSlice {
+        /// The offending axis.
+        axis: usize,
+        /// Requested start index.
+        start: usize,
+        /// Requested end index (exclusive).
+        end: usize,
+        /// Size of the dimension being sliced.
+        dim: usize,
+    },
+    /// The operation requires a different rank than the tensor has.
+    RankMismatch {
+        /// Name of the operation that failed.
+        op: &'static str,
+        /// Expected rank.
+        expected: usize,
+        /// Actual rank.
+        actual: usize,
+    },
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::LengthMismatch { expected, actual } => {
+                write!(f, "data length {actual} does not match shape volume {expected}")
+            }
+            TensorError::ShapeMismatch { op, lhs, rhs } => {
+                write!(f, "shape mismatch in {op}: {lhs:?} vs {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank {rank}")
+            }
+            TensorError::InvalidSlice { axis, start, end, dim } => {
+                write!(f, "invalid slice {start}..{end} on axis {axis} of size {dim}")
+            }
+            TensorError::RankMismatch { op, expected, actual } => {
+                write!(f, "rank mismatch in {op}: expected {expected}, got {actual}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TensorError {}

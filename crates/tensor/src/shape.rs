@@ -1,0 +1,153 @@
+/// A tensor shape: the extent of each dimension.
+///
+/// `Shape` is a thin, cheap-to-clone wrapper over `Vec<usize>` that provides
+/// the volume / stride helpers the kernels need.
+///
+/// # Example
+///
+/// ```
+/// use lancet_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.volume(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash, Default)]
+pub struct Shape(Vec<usize>);
+
+impl Shape {
+    /// Creates a shape from dimension extents.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape(dims)
+    }
+
+    /// Scalar shape (rank 0, volume 1).
+    pub fn scalar() -> Self {
+        Shape(Vec::new())
+    }
+
+    /// The number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// The total number of elements.
+    pub fn volume(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// The extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `axis`. Panics if out of range.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.0[axis]
+    }
+
+    /// Row-major strides (elements, not bytes).
+    pub fn strides(&self) -> Vec<usize> {
+        stride_for(&self.0)
+    }
+
+    /// Returns a new shape with dimension `axis` replaced by `extent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= rank()`.
+    pub fn with_dim(&self, axis: usize, extent: usize) -> Shape {
+        let mut dims = self.0.clone();
+        dims[axis] = extent;
+        Shape(dims)
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(v: Vec<usize>) -> Self {
+        Shape(v)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(v: &[usize]) -> Self {
+        Shape(v.to_vec())
+    }
+}
+
+impl AsRef<[usize]> for Shape {
+    fn as_ref(&self) -> &[usize] {
+        &self.0
+    }
+}
+
+impl std::fmt::Display for Shape {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.0.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+/// Row-major strides for the given dimension extents.
+///
+/// ```
+/// assert_eq!(lancet_tensor::stride_for(&[2, 3, 4]), vec![12, 4, 1]);
+/// assert_eq!(lancet_tensor::stride_for(&[]), Vec::<usize>::new());
+/// ```
+pub fn stride_for(dims: &[usize]) -> Vec<usize> {
+    let mut strides = vec![1usize; dims.len()];
+    for i in (0..dims.len().saturating_sub(1)).rev() {
+        strides[i] = strides[i + 1] * dims[i + 1];
+    }
+    strides
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn volume_and_rank() {
+        let s = Shape::new(vec![4, 5]);
+        assert_eq!(s.volume(), 20);
+        assert_eq!(s.rank(), 2);
+        assert_eq!(s.dim(1), 5);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::scalar();
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.volume(), 1);
+    }
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::new(vec![2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::new(vec![7]).strides(), vec![1]);
+    }
+
+    #[test]
+    fn with_dim_replaces_extent() {
+        let s = Shape::new(vec![2, 3]).with_dim(0, 9);
+        assert_eq!(s.dims(), &[9, 3]);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Shape::new(vec![2, 3]).to_string(), "(2, 3)");
+        assert_eq!(Shape::scalar().to_string(), "()");
+    }
+
+    #[test]
+    fn zero_extent_volume_is_zero() {
+        assert_eq!(Shape::new(vec![2, 0, 4]).volume(), 0);
+    }
+}

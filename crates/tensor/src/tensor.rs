@@ -1,0 +1,234 @@
+use crate::{Result, Shape, TensorError, DEFAULT_ATOL, DEFAULT_RTOL};
+
+/// A dense, row-major `f32` tensor.
+///
+/// The element buffer is always contiguous; all views are materialized
+/// copies. This keeps the executor simple and makes equivalence checks
+/// trivially bit-exact.
+///
+/// # Example
+///
+/// ```
+/// use lancet_tensor::Tensor;
+///
+/// let t = Tensor::zeros(vec![2, 2]);
+/// assert_eq!(t.volume(), 4);
+/// assert!(t.data().iter().all(|&x| x == 0.0));
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tensor {
+    shape: Shape,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates a tensor from a shape and an element buffer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if `data.len()` differs from
+    /// the shape volume.
+    pub fn from_vec(shape: impl Into<Shape>, data: Vec<f32>) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: data.len(),
+            });
+        }
+        Ok(Tensor { shape, data })
+    }
+
+    /// A tensor filled with zeros.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        let data = vec![0.0; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// A tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        let data = vec![value; shape.volume()];
+        Tensor { shape, data }
+    }
+
+    /// A rank-0 tensor holding a single value.
+    pub fn scalar(value: f32) -> Self {
+        Tensor { shape: Shape::scalar(), data: vec![value] }
+    }
+
+    /// The tensor's shape extents.
+    pub fn shape(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// The tensor's [`Shape`].
+    pub fn shape_obj(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.shape.rank()
+    }
+
+    /// Total element count.
+    pub fn volume(&self) -> usize {
+        self.shape.volume()
+    }
+
+    /// Read-only view of the element buffer (row-major).
+    pub fn data(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable view of the element buffer (row-major).
+    pub fn data_mut(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor, returning the element buffer.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the buffer with a new shape of equal volume.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if volumes differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor> {
+        let shape = shape.into();
+        if shape.volume() != self.data.len() {
+            return Err(TensorError::LengthMismatch {
+                expected: shape.volume(),
+                actual: self.data.len(),
+            });
+        }
+        Ok(Tensor { shape, data: self.data.clone() })
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has wrong rank or is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        assert_eq!(index.len(), self.rank(), "index rank mismatch");
+        let strides = self.shape.strides();
+        let mut off = 0usize;
+        for (i, (&ix, &st)) in index.iter().zip(&strides).enumerate() {
+            assert!(ix < self.shape.dim(i), "index out of bounds");
+            off += ix * st;
+        }
+        self.data[off]
+    }
+
+    /// Returns `true` if every element is within `atol + rtol * |other|`
+    /// of the corresponding element of `other`, and shapes match.
+    pub fn allclose(&self, other: &Tensor) -> bool {
+        self.allclose_with(other, DEFAULT_ATOL, DEFAULT_RTOL)
+    }
+
+    /// [`allclose`](Self::allclose) with explicit tolerances.
+    pub fn allclose_with(&self, other: &Tensor, atol: f32, rtol: f32) -> bool {
+        if self.shape != other.shape {
+            return false;
+        }
+        self.data
+            .iter()
+            .zip(&other.data)
+            .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
+    }
+
+    /// Maximum absolute element-wise difference; `None` if shapes differ.
+    pub fn max_abs_diff(&self, other: &Tensor) -> Option<f32> {
+        if self.shape != other.shape {
+            return None;
+        }
+        Some(
+            self.data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| (a - b).abs())
+                .fold(0.0f32, f32::max),
+        )
+    }
+}
+
+impl std::fmt::Display for Tensor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Tensor{}[", self.shape)?;
+        let n = self.data.len().min(8);
+        for (i, v) in self.data[..n].iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        if self.data.len() > n {
+            write!(f, ", …")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_vec_checks_length() {
+        assert!(Tensor::from_vec(vec![2, 2], vec![0.0; 4]).is_ok());
+        let err = Tensor::from_vec(vec![2, 2], vec![0.0; 3]).unwrap_err();
+        assert_eq!(err, TensorError::LengthMismatch { expected: 4, actual: 3 });
+    }
+
+    #[test]
+    fn zeros_and_full() {
+        assert!(Tensor::zeros(vec![3]).data().iter().all(|&x| x == 0.0));
+        assert!(Tensor::full(vec![3], 2.5).data().iter().all(|&x| x == 2.5));
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert_eq!(r.shape(), &[3, 2]);
+        assert_eq!(r.data(), t.data());
+        assert!(t.reshape(vec![4]).is_err());
+    }
+
+    #[test]
+    fn at_indexes_row_major() {
+        let t = Tensor::from_vec(vec![2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        assert_eq!(t.at(&[0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+    }
+
+    #[test]
+    fn allclose_tolerates_small_error() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 2.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![1.0 + 1e-7, 2.0 - 1e-7]).unwrap();
+        assert!(a.allclose(&b));
+        let c = Tensor::from_vec(vec![2], vec![1.1, 2.0]).unwrap();
+        assert!(!a.allclose(&c));
+    }
+
+    #[test]
+    fn max_abs_diff_reports_worst() {
+        let a = Tensor::from_vec(vec![2], vec![1.0, 5.0]).unwrap();
+        let b = Tensor::from_vec(vec![2], vec![1.5, 5.0]).unwrap();
+        assert_eq!(a.max_abs_diff(&b), Some(0.5));
+        let c = Tensor::zeros(vec![3]);
+        assert_eq!(a.max_abs_diff(&c), None);
+    }
+
+    #[test]
+    fn display_truncates() {
+        let t = Tensor::zeros(vec![20]);
+        let s = t.to_string();
+        assert!(s.contains('…'));
+    }
+}

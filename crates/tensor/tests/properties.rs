@@ -1,0 +1,111 @@
+//! Property-based tests for tensor algebra invariants.
+
+use lancet_tensor::Tensor;
+use proptest::prelude::*;
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        prop::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |data| Tensor::from_vec(vec![r, c], data).unwrap())
+    })
+}
+
+fn paired_tensors(max_dim: usize) -> impl Strategy<Value = (Tensor, Tensor)> {
+    (1..=max_dim, 1..=max_dim).prop_flat_map(|(r, c)| {
+        (
+            prop::collection::vec(-10.0f32..10.0, r * c),
+            prop::collection::vec(-10.0f32..10.0, r * c),
+        )
+            .prop_map(move |(a, b)| {
+                (
+                    Tensor::from_vec(vec![r, c], a).unwrap(),
+                    Tensor::from_vec(vec![r, c], b).unwrap(),
+                )
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn add_commutes((a, b) in paired_tensors(6)) {
+        prop_assert_eq!(a.add(&b).unwrap(), b.add(&a).unwrap());
+    }
+
+    #[test]
+    fn sub_self_is_zero(a in tensor_strategy(6)) {
+        let z = a.sub(&a).unwrap();
+        prop_assert!(z.data().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn scale_by_one_is_identity(a in tensor_strategy(6)) {
+        prop_assert_eq!(a.scale(1.0), a);
+    }
+
+    #[test]
+    fn matmul_identity_right(a in tensor_strategy(5)) {
+        let n = a.shape()[1];
+        let mut eye = Tensor::zeros(vec![n, n]);
+        for i in 0..n {
+            eye.data_mut()[i * n + i] = 1.0;
+        }
+        prop_assert!(a.matmul(&eye).unwrap().allclose(&a));
+    }
+
+    #[test]
+    fn matmul_transpose_identity(a in tensor_strategy(5), cols in 1usize..5) {
+        // (A B)^T == B^T A^T
+        let k = a.shape()[1];
+        let b = Tensor::from_vec(vec![k, cols], (0..k * cols).map(|x| (x % 7) as f32 - 3.0).collect()).unwrap();
+        let lhs = a.matmul(&b).unwrap().transpose2().unwrap();
+        let rhs = b.transpose2().unwrap().matmul(&a.transpose2().unwrap()).unwrap();
+        prop_assert!(lhs.allclose(&rhs));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in tensor_strategy(6)) {
+        let y = a.softmax_last();
+        let d = a.shape()[1];
+        for row in y.data().chunks(d) {
+            let sum: f32 = row.iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(row.iter().all(|&p| (0.0..=1.0 + 1e-6).contains(&p)));
+        }
+    }
+
+    #[test]
+    fn split_concat_roundtrip(a in tensor_strategy(8), parts in 1usize..4) {
+        let rows = a.shape()[0];
+        let parts = parts.min(rows);
+        let chunks = a.split_axis(0, parts).unwrap();
+        let refs: Vec<&Tensor> = chunks.iter().collect();
+        prop_assert_eq!(Tensor::concat(&refs, 0).unwrap(), a);
+    }
+
+    #[test]
+    fn sum_axis_preserves_total(a in tensor_strategy(6)) {
+        let total = a.sum();
+        prop_assert!((a.sum_axis(0).unwrap().sum() - total).abs() < 1e-3);
+        prop_assert!((a.sum_axis(1).unwrap().sum() - total).abs() < 1e-3);
+    }
+
+    #[test]
+    fn relu_is_idempotent(a in tensor_strategy(6)) {
+        let r = a.relu();
+        prop_assert_eq!(r.relu(), r);
+    }
+
+    #[test]
+    fn layer_norm_output_is_row_standardized(a in tensor_strategy(6)) {
+        let d = a.shape()[1];
+        // Skip degenerate single-column rows where variance is 0.
+        prop_assume!(d >= 2);
+        let gamma = Tensor::full(vec![d], 1.0);
+        let beta = Tensor::zeros(vec![d]);
+        let y = a.layer_norm(&gamma, &beta, 1e-5).unwrap();
+        for row in y.data().chunks(d) {
+            let mean: f32 = row.iter().sum::<f32>() / d as f32;
+            prop_assert!(mean.abs() < 1e-3);
+        }
+    }
+}

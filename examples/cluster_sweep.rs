@@ -1,0 +1,43 @@
+//! Sweeps cluster sizes and gating algorithms, reporting Lancet's speedup
+//! over the strongest baseline — a miniature of the paper's Figs. 11/12.
+//!
+//! ```text
+//! cargo run --release --example cluster_sweep
+//! ```
+
+use lancet_repro::baselines::{run_system, System};
+use lancet_repro::cost::ClusterKind;
+use lancet_repro::ir::GateKind;
+use lancet_repro::models::GptMoeConfig;
+
+fn main() {
+    println!(
+        "{:<8} {:<8} {:<8} {:>14} {:>12} {:>10}",
+        "cluster", "gate", "gpus", "best baseline", "lancet", "speedup"
+    );
+    for cluster in [ClusterKind::A100, ClusterKind::V100] {
+        for gate in [GateKind::Switch, GateKind::BatchPrioritized] {
+            for gpus in [8usize, 16, 32] {
+                let batch = if cluster == ClusterKind::A100 { 24 } else { 16 };
+                let cfg = GptMoeConfig::gpt2_s_moe(gpus, gate).with_batch(batch);
+                let mut best_baseline = f64::INFINITY;
+                for system in [System::DeepSpeed, System::Tutel, System::Raf] {
+                    let out = run_system(system, &cfg, cluster).expect("run");
+                    if !out.report.oom {
+                        best_baseline = best_baseline.min(out.report.iteration_time);
+                    }
+                }
+                let lancet = run_system(System::Lancet, &cfg, cluster).expect("run");
+                println!(
+                    "{:<8} {:<8} {:<8} {:>12.1}ms {:>10.1}ms {:>9.2}x",
+                    cluster.name(),
+                    gate.name(),
+                    gpus,
+                    best_baseline * 1e3,
+                    lancet.report.iteration_time * 1e3,
+                    best_baseline / lancet.report.iteration_time
+                );
+            }
+        }
+    }
+}

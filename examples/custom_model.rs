@@ -1,0 +1,133 @@
+//! Bring your own architecture: build a custom MoE model directly against
+//! the IR, let Lancet optimize it, and validate the optimization
+//! numerically — the workflow a downstream user of this library follows.
+//!
+//! The model here is deliberately non-GPT: a deep MLP "mixer" where every
+//! third layer is an MoE layer with top-2 routing and a shared expert.
+//!
+//! ```text
+//! cargo run --release --example custom_model
+//! ```
+
+use lancet_repro::core::{Lancet, LancetOptions};
+use lancet_repro::cost::{ClusterSpec, CommModel, ComputeModel};
+use lancet_repro::ir::{
+    build_backward, BackwardOptions, GateKind, Graph, Op, Role, TensorId,
+};
+use lancet_repro::sim::{SimConfig, Simulator};
+
+struct CustomModel {
+    graph: Graph,
+}
+
+/// An MLP-mixer-ish stack: LayerNorm → FFN blocks, with an MoE block
+/// (top-2 gate + shared expert) every third layer.
+fn build_custom(batch: usize, seq: usize, hidden: usize, layers: usize, gpus: usize) -> CustomModel {
+    let experts = 2 * gpus;
+    let cap_factor = 1.25;
+    // Top-2: each token claims two expert slots.
+    let capacity = ((cap_factor * (batch * seq * 2) as f64) / experts as f64).ceil() as usize;
+    let gate = GateKind::TopK { k: 2 };
+
+    let mut g = Graph::new();
+    let ids = g.input("ids", vec![batch, seq]);
+    let targets = g.input("targets", vec![batch, seq]);
+    let table = g.weight("embed", vec![32, hidden]);
+    let mut x = g.emit(Op::Embedding, &[table, ids], Role::Forward).expect("embed");
+
+    for layer in 0..layers {
+        let gamma = g.weight(format!("l{layer}.norm.g"), vec![hidden]);
+        let beta = g.weight(format!("l{layer}.norm.b"), vec![hidden]);
+        let xn = g.emit(Op::LayerNorm { eps: 1e-5 }, &[x, gamma, beta], Role::Forward).expect("norm");
+        let out: TensorId = if layer % 3 == 2 {
+            // --- MoE block with a shared expert ---
+            let wg = g.weight(format!("l{layer}.gate.w"), vec![hidden, experts]);
+            let w1 = g.weight(format!("l{layer}.expert.w1"), vec![2, hidden, 2 * hidden]);
+            let w2 = g.weight(format!("l{layer}.expert.w2"), vec![2, 2 * hidden, hidden]);
+            let gate_outs = g
+                .emit_multi(Op::Gate { kind: gate, experts, capacity }, &[xn, wg], Role::Forward)
+                .expect("gate");
+            let buf = g
+                .emit(Op::MoeDispatch { experts, capacity }, &[xn, gate_outs[0], gate_outs[1]], Role::Forward)
+                .expect("dispatch");
+            let buf = g.emit(Op::AllToAll, &[buf], Role::Comm).expect("a2a");
+            // Shared expert issued while the all-to-all is in flight.
+            let ws = g.weight(format!("l{layer}.shared.w"), vec![hidden, hidden]);
+            let shared = g.emit(Op::MatMul { transpose_b: false }, &[xn, ws], Role::Forward).expect("shared");
+            let loc = g.emit(Op::ExpertsLayout { gpus }, &[buf], Role::Forward).expect("layout");
+            let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).expect("w1");
+            let h = g.emit(Op::Gelu, &[h], Role::Forward).expect("gelu");
+            let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[h, w2], Role::Forward).expect("w2");
+            let back = g.emit(Op::ExpertsLayoutInv { gpus }, &[h], Role::Forward).expect("inv");
+            let back = g.emit(Op::AllToAll, &[back], Role::Comm).expect("a2a2");
+            let routed = g
+                .emit(Op::MoeGather { experts, capacity, batch, seq }, &[back, gate_outs[0], gate_outs[1]], Role::Forward)
+                .expect("gather");
+            g.emit(Op::Add, &[routed, shared], Role::Forward).expect("mix")
+        } else {
+            // --- dense FFN ---
+            let w1 = g.weight(format!("l{layer}.ffn.w1"), vec![hidden, 2 * hidden]);
+            let w2 = g.weight(format!("l{layer}.ffn.w2"), vec![2 * hidden, hidden]);
+            let h = g.emit(Op::MatMul { transpose_b: false }, &[xn, w1], Role::Forward).expect("w1");
+            let h = g.emit(Op::Gelu, &[h], Role::Forward).expect("gelu");
+            g.emit(Op::MatMul { transpose_b: false }, &[h, w2], Role::Forward).expect("w2")
+        };
+        x = g.emit(Op::Add, &[x, out], Role::Forward).expect("residual");
+    }
+    let lm = g.weight("head", vec![hidden, 32]);
+    let logits = g.emit(Op::MatMul { transpose_b: false }, &[x, lm], Role::Forward).expect("head");
+    let _ = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward).expect("loss");
+    g.validate().expect("custom model must validate");
+    CustomModel { graph: g }
+}
+
+fn main() {
+    let gpus = 16;
+    let model = build_custom(32, 256, 1024, 9, gpus);
+    println!(
+        "custom model: {} forward instructions, {:.1} M parameters\n",
+        model.graph.instrs().len(),
+        model.graph.weight_volume() as f64 / 1e6
+    );
+
+    let spec = ClusterSpec::v100(gpus / 8);
+    let lancet = Lancet::new(spec.clone(), gpus, LancetOptions::default());
+    let sim = Simulator::new(
+        ComputeModel::new(spec.device.clone()),
+        CommModel::new(spec),
+        SimConfig::new(gpus),
+    );
+
+    let mut baseline = model.graph.clone();
+    build_backward(&mut baseline, &BackwardOptions::default()).expect("autodiff");
+    let base = sim.simulate(&baseline);
+
+    let outcome = lancet.optimize(model.graph).expect("optimize");
+    let opt = sim.simulate(&outcome.graph);
+
+    println!("{:<12} {:>12} {:>16} {:>10}", "", "iter (ms)", "exposed a2a (ms)", "overlap");
+    println!(
+        "{:<12} {:>12.1} {:>16.1} {:>9.0}%",
+        "baseline",
+        base.iteration_time * 1e3,
+        base.exposed_comm() * 1e3,
+        base.overlap_ratio() * 100.0
+    );
+    println!(
+        "{:<12} {:>12.1} {:>16.1} {:>9.0}%",
+        "lancet",
+        opt.iteration_time * 1e3,
+        opt.exposed_comm() * 1e3,
+        opt.overlap_ratio() * 100.0
+    );
+    println!(
+        "\nspeedup {:.2}x; the passes needed no model-specific knowledge — \
+         the CSP inferred partition axes for the custom block structure.",
+        base.iteration_time / opt.iteration_time
+    );
+    if let Some(p) = &outcome.partition {
+        for (range, k) in &p.ranges {
+            println!("  pipelined range {range:?} into {k} chunks");
+        }
+    }
+}

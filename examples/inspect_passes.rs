@@ -1,0 +1,88 @@
+//! Developer tour: watch the Lancet passes transform a training graph.
+//!
+//! Prints the instruction mix before/after optimization, the ranges the
+//! partition DP chose, the dW-scheduling report, and a DOT dump of a tiny
+//! graph for visualization.
+//!
+//! ```text
+//! cargo run --release --example inspect_passes
+//! ```
+
+use lancet_repro::core::{Lancet, LancetOptions};
+use lancet_repro::cost::ClusterSpec;
+use lancet_repro::ir::{to_dot, GateKind, Graph, Role};
+use lancet_repro::models::{build_forward, GptMoeConfig};
+use std::collections::BTreeMap;
+
+fn op_histogram(graph: &Graph) -> BTreeMap<&'static str, usize> {
+    let mut h = BTreeMap::new();
+    for i in graph.instrs() {
+        *h.entry(i.op.name()).or_insert(0) += 1;
+    }
+    h
+}
+
+fn main() {
+    let gpus = 16;
+    let cfg = GptMoeConfig::gpt2_s_moe(gpus, GateKind::Switch).with_layers(4).with_batch(16);
+    let fwd = build_forward(&cfg).expect("build").graph;
+    println!("forward graph: {} instructions, {} tensors", fwd.instrs().len(), fwd.num_tensors());
+
+    let lancet = Lancet::new(ClusterSpec::v100(2), gpus, LancetOptions::default());
+    let outcome = lancet.optimize(fwd).expect("optimize");
+
+    if let Some(p) = &outcome.partition {
+        println!("\npartition pass: {} P(i,n,k) evaluations", p.evaluations);
+        for (range, k) in &p.ranges {
+            println!("  range {range:?} → {k} chunks");
+        }
+        println!(
+            "  estimated forward: {:.1} ms (unpartitioned {:.1} ms)",
+            p.estimated_forward_time * 1e3,
+            p.unpartitioned_forward_time * 1e3
+        );
+    }
+    if let Some(d) = &outcome.dw {
+        println!(
+            "\ndW schedule pass: {} of {} all-to-alls received dW work; {} dWs moved; {:.0}% of a2a time covered",
+            outcome.graph.all_to_all_positions().len().min(d.alltoalls),
+            d.alltoalls,
+            d.assigned,
+            d.overlap_fraction() * 100.0
+        );
+    }
+    println!("\noptimized graph: {} instructions", outcome.graph.instrs().len());
+    println!("predicted iteration time: {:.1} ms", outcome.predicted_time * 1e3);
+    println!("optimization took {:?}", outcome.optimization_time);
+
+    println!("\ninstruction mix (top 12):");
+    let hist = op_histogram(&outcome.graph);
+    let mut entries: Vec<_> = hist.into_iter().collect();
+    entries.sort_by_key(|&(_, n)| std::cmp::Reverse(n));
+    for (op, n) in entries.into_iter().take(12) {
+        println!("  {op:<22} ×{n}");
+    }
+
+    let roles = outcome.graph.instrs().iter().fold([0usize; 5], |mut acc, i| {
+        let idx = match i.role {
+            Role::Forward => 0,
+            Role::ActGrad => 1,
+            Role::WeightGrad => 2,
+            Role::Comm => 3,
+            Role::Optimizer => 4,
+        };
+        acc[idx] += 1;
+        acc
+    });
+    println!(
+        "\nroles: forward {} / dX {} / dW {} / comm {} / optimizer {}",
+        roles[0], roles[1], roles[2], roles[3], roles[4]
+    );
+
+    // DOT dump of a miniature graph (the full one is unreadable).
+    let tiny = build_forward(&GptMoeConfig::tiny(2, GateKind::Switch).with_layers(2)).expect("build").graph;
+    let dot = to_dot(&tiny);
+    std::fs::create_dir_all("results").expect("mkdir");
+    std::fs::write("results/tiny_forward.dot", &dot).expect("write");
+    println!("\nwrote results/tiny_forward.dot ({} bytes) — render with `dot -Tsvg`", dot.len());
+}

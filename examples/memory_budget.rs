@@ -1,0 +1,76 @@
+//! Fitting a model into a memory budget: combine Lancet's overlap with
+//! FSDP weight sharding and activation recomputation, and watch the
+//! memory/time tradeoff on the simulated cluster.
+//!
+//! ```text
+//! cargo run --release --example memory_budget
+//! ```
+
+use lancet_repro::core::{recompute_segments, Lancet, LancetOptions};
+use lancet_repro::cost::{ClusterSpec, CommModel, ComputeModel};
+use lancet_repro::ir::{build_backward, BackwardOptions, GateKind, Graph};
+use lancet_repro::models::{block_boundaries, build_forward, GptMoeConfig};
+use lancet_repro::sim::{render_gantt, SimConfig, Simulator};
+
+fn main() {
+    let gpus = 16;
+    let spec = ClusterSpec::a100(gpus / 8);
+    let sim = Simulator::new(
+        ComputeModel::new(spec.device.clone()),
+        CommModel::new(spec.clone()),
+        SimConfig::new(gpus),
+    );
+    println!(
+        "GPT2-L-MoE, batch 48/GPU on {gpus} A100s (80 GB) — memory vs time:\n"
+    );
+    println!(
+        "{:<44} {:>12} {:>12} {:>9}",
+        "configuration", "iter (ms)", "peak mem", "fits?"
+    );
+
+    let build = |fsdp: bool, ckpt: bool, lancet_on: bool| -> Graph {
+        let cfg = GptMoeConfig::gpt2_l_moe(gpus, GateKind::Switch)
+            .with_batch(48)
+            .with_fsdp(fsdp);
+        let fwd = build_forward(&cfg).expect("build").graph;
+        let mut g = if lancet_on {
+            let lancet = Lancet::new(spec.clone(), gpus, LancetOptions::default());
+            lancet.optimize(fwd).expect("optimize").graph
+        } else {
+            let mut g = fwd;
+            build_backward(&mut g, &BackwardOptions::default()).expect("autodiff");
+            g
+        };
+        if ckpt {
+            let segments = block_boundaries(&g);
+            recompute_segments(&mut g, &segments).expect("recompute");
+        }
+        g
+    };
+
+    let mut last = None;
+    for (label, fsdp, ckpt, lancet_on) in [
+        ("baseline (replicated, no checkpointing)", false, false, false),
+        ("+ Lancet overlap", false, false, true),
+        ("+ activation recomputation", false, true, false),
+        ("+ FSDP sharding", true, false, false),
+        ("+ FSDP + recomputation", true, true, false),
+        ("+ FSDP + recomputation + Lancet", true, true, true),
+    ] {
+        let g = build(fsdp, ckpt, lancet_on);
+        let report = sim.simulate(&g);
+        println!(
+            "{:<44} {:>12.1} {:>9.1} GB {:>9}",
+            label,
+            report.iteration_time * 1e3,
+            report.peak_memory as f64 / 1e9,
+            if report.oom { "NO" } else { "yes" }
+        );
+        last = Some(report);
+    }
+
+    if let Some(report) = last {
+        println!("\ntimeline of the final configuration:\n");
+        print!("{}", render_gantt(&report, 72));
+    }
+}

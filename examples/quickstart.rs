@@ -1,0 +1,49 @@
+//! Quickstart: optimize an MoE training graph with Lancet and measure the
+//! speedup on the simulated cluster.
+//!
+//! ```text
+//! cargo run --release --example quickstart
+//! ```
+
+use lancet_repro::baselines::{run_system, System};
+use lancet_repro::cost::ClusterKind;
+use lancet_repro::ir::GateKind;
+use lancet_repro::models::GptMoeConfig;
+
+fn main() {
+    // GPT2-S-MoE on 16 simulated V100s (2 nodes), Switch gating —
+    // one of the paper's benchmark configurations.
+    let gpus = 16;
+    let cfg = GptMoeConfig::gpt2_s_moe(gpus, GateKind::Switch).with_batch(16);
+    println!(
+        "Model: {} — {} layers, hidden {}, {} experts on {gpus} GPUs, batch {}/GPU\n",
+        cfg.name, cfg.layers, cfg.hidden, cfg.experts(), cfg.batch
+    );
+
+    println!("{:<12} {:>12} {:>16} {:>14}", "system", "iter (ms)", "exposed a2a (ms)", "overlap");
+    let mut baseline_ms = None;
+    for system in System::headline() {
+        let out = run_system(system, &cfg, ClusterKind::V100).expect("run");
+        let r = &out.report;
+        println!(
+            "{:<12} {:>12.1} {:>16.1} {:>13.0}%",
+            system.name(),
+            r.iteration_time * 1e3,
+            r.exposed_comm() * 1e3,
+            r.overlap_ratio() * 100.0
+        );
+        if system == System::Raf {
+            baseline_ms = Some(r.iteration_time);
+        }
+        if system == System::Lancet {
+            if let (Some(base), Some(pred)) = (baseline_ms, out.predicted) {
+                println!(
+                    "\nLancet speedup vs RAF: {:.2}x  (cost model predicted {:.1} ms, error {:.1}%)",
+                    base / r.iteration_time,
+                    pred * 1e3,
+                    (pred - r.iteration_time).abs() / r.iteration_time * 100.0
+                );
+            }
+        }
+    }
+}

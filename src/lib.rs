@@ -1,0 +1,25 @@
+//! Facade crate for the Lancet reproduction workspace.
+//!
+//! Re-exports every sub-crate under a single name so the examples and
+//! integration tests can `use lancet_repro::…`. See the individual crates
+//! for documentation:
+//!
+//! * [`ir`] — training-graph IR, dependency analysis, autodiff
+//! * [`core`] — the Lancet compiler passes (dW scheduling, partitioning)
+//! * [`cost`] — op profiler and communication cost model
+//! * [`sim`] — discrete-event cluster simulator
+//! * [`moe`] — MoE data plane (gating, irregular all-to-all)
+//! * [`exec`] — numerical multi-device executor
+//! * [`models`] — GPT-2 MoE benchmark models
+//! * [`baselines`] — DeepSpeed/Tutel/RAF-style baseline schedules
+//! * [`tensor`] — dense tensor math
+
+pub use lancet_baselines as baselines;
+pub use lancet_core as core;
+pub use lancet_cost as cost;
+pub use lancet_exec as exec;
+pub use lancet_ir as ir;
+pub use lancet_models as models;
+pub use lancet_moe as moe;
+pub use lancet_sim as sim;
+pub use lancet_tensor as tensor;
