@@ -15,6 +15,7 @@ fn main() {
     all.extend(figs::fig13::run(quick));
     all.extend(figs::fig14::run(quick));
     all.extend(figs::fig15::run(quick));
+    all.extend(figs::fig15::run_engine(quick));
     all.extend(figs::fig16::run(quick));
     lancet_bench::save_json("results/all_figures.json", &all).expect("write results");
     println!("\n{} records written to results/all_figures.json in {:.1?}", all.len(), started.elapsed());

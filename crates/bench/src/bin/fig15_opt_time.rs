@@ -1,6 +1,9 @@
-//! Regenerates paper Fig. 15 (optimization time).
+//! Regenerates paper Fig. 15 (optimization time), plus the
+//! partition-search-engine before/after supplement (sequential vs
+//! parallel vs memoized — the EXPERIMENTS.md optimization-time table).
 fn main() {
     let quick = lancet_bench::figs::quick_flag();
-    let records = lancet_bench::figs::fig15::run(quick);
+    let mut records = lancet_bench::figs::fig15::run(quick);
+    records.extend(lancet_bench::figs::fig15::run_engine(quick));
     lancet_bench::save_json("results/fig15.json", &records).expect("write results");
 }

@@ -146,6 +146,7 @@ pub fn hyperparams(quick: bool) -> Vec<Record> {
                 max_partitions: rho,
                 groups_per_gap: gamma,
                 max_range_groups: iota,
+                ..Default::default()
             },
             backward: BackwardOptions::default(),
             prefetch_lookahead: 1,

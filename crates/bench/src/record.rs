@@ -1,10 +1,14 @@
 //! Machine-readable experiment records.
+//!
+//! Records serialize to JSON with a small hand-rolled writer/parser (the
+//! build sandbox cannot fetch serde); the flat, scalar-only shape of
+//! [`Record`] keeps that trivial and the on-disk format identical to the
+//! previous serde output.
 
-use serde::{Deserialize, Serialize};
 use std::path::Path;
 
 /// One measured data point, serialized for EXPERIMENTS.md bookkeeping.
-#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Record {
     /// Which paper figure this point belongs to ("fig11", …).
     pub figure: String,
@@ -70,19 +74,211 @@ impl Record {
         }
         self
     }
+
+    /// Serializes the record as a pretty-printed JSON object, indented by
+    /// `indent` spaces.
+    pub fn to_json(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let inner = " ".repeat(indent + 2);
+        let mut fields: Vec<String> = Vec::new();
+        let push_str = |name: &str, v: &str, fields: &mut Vec<String>| {
+            fields.push(format!("{inner}\"{name}\": \"{}\"", escape_json(v)));
+        };
+        push_str("figure", &self.figure, &mut fields);
+        push_str("model", &self.model, &mut fields);
+        push_str("cluster", &self.cluster, &mut fields);
+        fields.push(format!("{inner}\"gpus\": {}", self.gpus));
+        push_str("system", &self.system, &mut fields);
+        push_str("gate", &self.gate, &mut fields);
+        let opt_f64 = |v: Option<f64>| v.map_or("null".to_string(), fmt_f64);
+        fields.push(format!("{inner}\"iteration_ms\": {}", opt_f64(self.iteration_ms)));
+        fields.push(format!("{inner}\"exposed_comm_ms\": {}", opt_f64(self.exposed_comm_ms)));
+        fields.push(format!("{inner}\"exposed_compute_ms\": {}", opt_f64(self.exposed_compute_ms)));
+        fields.push(format!("{inner}\"overlapped_ms\": {}", opt_f64(self.overlapped_ms)));
+        fields.push(format!("{inner}\"predicted_ms\": {}", opt_f64(self.predicted_ms)));
+        fields.push(format!("{inner}\"opt_time_s\": {}", opt_f64(self.opt_time_s)));
+        fields.push(format!(
+            "{inner}\"tutel_degree\": {}",
+            self.tutel_degree.map_or("null".to_string(), |d| d.to_string())
+        ));
+        fields.push(format!("{inner}\"extra\": {}", opt_f64(self.extra)));
+        format!("{pad}{{\n{}\n{pad}}}", fields.join(",\n"))
+    }
+
+    /// Parses a record from the JSON produced by [`Record::to_json`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn from_json(json: &str) -> Result<Record, String> {
+        let obj = parse_flat_object(json)?;
+        let get_str = |name: &str| -> Result<String, String> {
+            match obj.get(name) {
+                Some(JsonValue::Str(s)) => Ok(s.clone()),
+                other => Err(format!("field {name}: expected string, got {other:?}")),
+            }
+        };
+        let get_opt_f64 = |name: &str| -> Result<Option<f64>, String> {
+            match obj.get(name) {
+                Some(JsonValue::Null) | None => Ok(None),
+                Some(JsonValue::Num(n)) => Ok(Some(*n)),
+                other => Err(format!("field {name}: expected number or null, got {other:?}")),
+            }
+        };
+        Ok(Record {
+            figure: get_str("figure")?,
+            model: get_str("model")?,
+            cluster: get_str("cluster")?,
+            gpus: match obj.get("gpus") {
+                Some(JsonValue::Num(n)) => *n as usize,
+                other => return Err(format!("field gpus: expected number, got {other:?}")),
+            },
+            system: get_str("system")?,
+            gate: get_str("gate")?,
+            iteration_ms: get_opt_f64("iteration_ms")?,
+            exposed_comm_ms: get_opt_f64("exposed_comm_ms")?,
+            exposed_compute_ms: get_opt_f64("exposed_compute_ms")?,
+            overlapped_ms: get_opt_f64("overlapped_ms")?,
+            predicted_ms: get_opt_f64("predicted_ms")?,
+            opt_time_s: get_opt_f64("opt_time_s")?,
+            tutel_degree: get_opt_f64("tutel_degree")?.map(|n| n as usize),
+            extra: get_opt_f64("extra")?,
+        })
+    }
+}
+
+/// Formats an `f64` so it parses back to the same value (shortest via
+/// Rust's float formatter, which is round-trip exact).
+fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // Ensure a decimal point or exponent so the value reads as float.
+        if s.contains('.') || s.contains('e') || s.contains('E') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+fn escape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum JsonValue {
+    Str(String),
+    Num(f64),
+    Null,
+}
+
+/// Parses a flat JSON object of string / number / null fields (the only
+/// shape [`Record::to_json`] emits).
+fn parse_flat_object(json: &str) -> Result<std::collections::HashMap<String, JsonValue>, String> {
+    let mut map = std::collections::HashMap::new();
+    let body_start = json.find('{').ok_or("no object start")?;
+    let body_end = json.rfind('}').ok_or("no object end")?;
+    if body_end < body_start {
+        return Err("mismatched braces".into());
+    }
+    let body = &json[body_start + 1..body_end];
+    for field in split_top_level(body) {
+        let field = field.trim();
+        if field.is_empty() {
+            continue;
+        }
+        let colon = field.find(':').ok_or_else(|| format!("no colon in {field:?}"))?;
+        let name = field[..colon].trim().trim_matches('"').to_string();
+        let raw = field[colon + 1..].trim();
+        let value = if raw == "null" {
+            JsonValue::Null
+        } else if let Some(stripped) = raw.strip_prefix('"') {
+            let inner = stripped.strip_suffix('"').ok_or_else(|| format!("unterminated string {raw:?}"))?;
+            JsonValue::Str(unescape_json(inner))
+        } else {
+            JsonValue::Num(raw.parse::<f64>().map_err(|e| format!("bad number {raw:?}: {e}"))?)
+        };
+        map.insert(name, value);
+    }
+    Ok(map)
+}
+
+/// Splits an object body at commas that are not inside strings.
+fn split_top_level(body: &str) -> Vec<&str> {
+    let mut parts = Vec::new();
+    let mut start = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_string => escaped = true,
+            '"' => in_string = !in_string,
+            ',' if !in_string => {
+                parts.push(&body[start..i]);
+                start = i + 1;
+            }
+            _ => {}
+        }
+    }
+    parts.push(&body[start..]);
+    parts
+}
+
+fn unescape_json(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c != '\\' {
+            out.push(c);
+            continue;
+        }
+        match chars.next() {
+            Some('n') => out.push('\n'),
+            Some('t') => out.push('\t'),
+            Some('r') => out.push('\r'),
+            Some('u') => {
+                let hex: String = (0..4).filter_map(|_| chars.next()).collect();
+                if let Some(c) = u32::from_str_radix(&hex, 16).ok().and_then(char::from_u32) {
+                    out.push(c);
+                }
+            }
+            Some(other) => out.push(other),
+            None => {}
+        }
+    }
+    out
 }
 
 /// Writes records as pretty JSON, creating parent directories.
 ///
 /// # Errors
 ///
-/// Returns I/O or serialization errors.
+/// Returns I/O errors.
 pub fn save_json(path: impl AsRef<Path>, records: &[Record]) -> std::io::Result<()> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         std::fs::create_dir_all(parent)?;
     }
-    let json = serde_json::to_string_pretty(records)?;
+    let body: Vec<String> = records.iter().map(|r| r.to_json(2)).collect();
+    let json = format!("[\n{}\n]", body.join(",\n"));
     std::fs::write(path, json)
 }
 
@@ -95,8 +291,28 @@ mod tests {
         let mut r = Record::new("fig11");
         r.model = "GPT2-S-MoE".into();
         r.iteration_ms = Some(123.4);
-        let json = serde_json::to_string(&r).unwrap();
-        let back: Record = serde_json::from_str(&json).unwrap();
+        r.gpus = 32;
+        r.tutel_degree = Some(2);
+        let json = r.to_json(0);
+        let back = Record::from_json(&json).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn awkward_floats_roundtrip() {
+        let mut r = Record::new("fig15");
+        r.opt_time_s = Some(0.123456789012345);
+        r.extra = Some(1e-9);
+        r.predicted_ms = Some(3.0);
+        let back = Record::from_json(&r.to_json(0)).unwrap();
+        assert_eq!(back, r);
+    }
+
+    #[test]
+    fn strings_escape_and_roundtrip() {
+        let mut r = Record::new("fig\"quoted\"");
+        r.model = "line\nbreak\\slash".into();
+        let back = Record::from_json(&r.to_json(0)).unwrap();
         assert_eq!(back, r);
     }
 
@@ -107,6 +323,8 @@ mod tests {
         save_json(&path, &[Record::new("fig02")]).unwrap();
         let content = std::fs::read_to_string(&path).unwrap();
         assert!(content.contains("fig02"));
+        assert!(content.trim_start().starts_with('['));
+        assert!(content.trim_end().ends_with(']'));
         let _ = std::fs::remove_dir_all(dir);
     }
 

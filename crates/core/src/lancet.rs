@@ -2,8 +2,8 @@
 //! prediction.
 
 use crate::{
-    partition_pass, prefetch_allgathers, schedule_weight_gradients, DwScheduleReport,
-    PartitionOptions, PartitionReport, PrefetchReport, TimeEstimator,
+    partition_pass_with, prefetch_allgathers, schedule_weight_gradients, DwScheduleReport,
+    PartitionMemo, PartitionOptions, PartitionReport, PrefetchReport, TimeEstimator,
 };
 use lancet_cost::{CachingOpProfiler, ClusterSpec, CommCostModel, CommModel, ComputeModel};
 use lancet_ir::{build_backward, BackwardOptions, Graph, Result};
@@ -37,6 +37,40 @@ impl Default for LancetOptions {
     }
 }
 
+/// Where the optimizer's wall-clock time went and how effective the
+/// search caches were — the measurement behind the paper's Fig. 15
+/// optimization-time story (see `fig15_opt_time` in `lancet-bench`).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct OptimizerStats {
+    /// Wall time spent in the partition pass (dominates optimization).
+    pub partition_time: Duration,
+    /// Wall time spent in autodiff + prefetch placement.
+    pub backward_time: Duration,
+    /// Wall time spent in dW scheduling.
+    pub dw_time: Duration,
+    /// `P(i, n, k)` pricings the partition DP had to materialize and
+    /// estimate (memo misses).
+    pub candidates_evaluated: usize,
+    /// Pricings answered by the structural memo — including hits against
+    /// evaluations from *earlier* [`Lancet::optimize`] calls, since the
+    /// memo lives on the [`Lancet`] instance.
+    pub candidates_cached: usize,
+    /// Worker threads the partition search ran with.
+    pub workers: usize,
+}
+
+impl OptimizerStats {
+    /// Fraction of DP pricings answered from the memo, in `[0, 1]`.
+    pub fn cache_ratio(&self) -> f64 {
+        let total = self.candidates_evaluated + self.candidates_cached;
+        if total == 0 {
+            0.0
+        } else {
+            self.candidates_cached as f64 / total as f64
+        }
+    }
+}
+
 /// Result of optimizing one model.
 #[derive(Debug)]
 pub struct OptimizeOutcome {
@@ -54,6 +88,8 @@ pub struct OptimizeOutcome {
     pub prefetch: PrefetchReport,
     /// Wall-clock time the optimization took (paper Fig. 15).
     pub optimization_time: Duration,
+    /// Per-pass timing and search-cache effectiveness.
+    pub stats: OptimizerStats,
 }
 
 /// The Lancet optimizer: compiler passes wired to a cluster's cost
@@ -62,6 +98,7 @@ pub struct OptimizeOutcome {
 pub struct Lancet {
     estimator: TimeEstimator,
     options: LancetOptions,
+    memo: PartitionMemo,
 }
 
 impl Lancet {
@@ -72,12 +109,24 @@ impl Lancet {
         let truth = CommModel::new(spec.clone());
         let a2a = CommCostModel::build(&truth, 1 << 30, gpus);
         let profiler = CachingOpProfiler::new(ComputeModel::new(spec.device.clone()));
-        Lancet { estimator: TimeEstimator::new(profiler, a2a, truth, gpus), options }
+        Lancet {
+            estimator: TimeEstimator::new(profiler, a2a, truth, gpus),
+            options,
+            memo: PartitionMemo::new(),
+        }
     }
 
     /// The compiler-side time estimator.
     pub fn estimator(&self) -> &TimeEstimator {
         &self.estimator
+    }
+
+    /// The structural memo shared by every [`optimize`](Self::optimize)
+    /// call on this instance: repeated optimizations of structurally
+    /// similar graphs (ablation sweeps, figure regeneration) reuse each
+    /// other's partition-candidate evaluations.
+    pub fn partition_memo(&self) -> &PartitionMemo {
+        &self.memo
     }
 
     /// Optimizes a *forward* graph into a full training iteration:
@@ -89,19 +138,29 @@ impl Lancet {
     /// Propagates IR/estimation failures from the passes.
     pub fn optimize(&self, forward: Graph) -> Result<OptimizeOutcome> {
         let started = Instant::now();
+        let mut stats = OptimizerStats::default();
         let (mut graph, partition) = if self.options.disable_partition {
             (forward, None)
         } else {
-            let (g, report) = partition_pass(&forward, &self.estimator, &self.options.partition)?;
+            let (g, report) =
+                partition_pass_with(&forward, &self.estimator, &self.options.partition, &self.memo)?;
+            stats.partition_time = started.elapsed();
+            stats.candidates_evaluated = report.memo_misses;
+            stats.candidates_cached = report.memo_hits;
+            stats.workers = report.workers;
             (g, Some(report))
         };
+        let backward_started = Instant::now();
         build_backward(&mut graph, &self.options.backward)?;
         let prefetch = prefetch_allgathers(&mut graph, self.options.prefetch_lookahead)?;
+        stats.backward_time = backward_started.elapsed();
+        let dw_started = Instant::now();
         let dw = if self.options.disable_dw_schedule {
             None
         } else {
             Some(schedule_weight_gradients(&mut graph, &self.estimator)?)
         };
+        stats.dw_time = dw_started.elapsed();
         let predicted_time = self.estimator.estimate(&graph)?.total;
         Ok(OptimizeOutcome {
             graph,
@@ -110,6 +169,7 @@ impl Lancet {
             dw,
             prefetch,
             optimization_time: started.elapsed(),
+            stats,
         })
     }
 
@@ -131,6 +191,7 @@ impl Lancet {
             dw: None,
             prefetch: PrefetchReport { moved: 0 },
             optimization_time: started.elapsed(),
+            stats: OptimizerStats::default(),
         })
     }
 }
@@ -184,5 +245,28 @@ mod tests {
         let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
         let out = lancet.optimize(forward(GateKind::Switch)).unwrap();
         assert!(out.optimization_time.as_nanos() > 0);
+        assert!(out.stats.partition_time.as_nanos() > 0);
+        assert!(out.stats.workers >= 1);
+        let report = out.partition.unwrap();
+        assert_eq!(out.stats.candidates_cached, report.memo_hits);
+        assert_eq!(out.stats.candidates_evaluated, report.memo_misses);
+    }
+
+    /// The memo lives on the `Lancet` instance: re-optimizing the same
+    /// model is answered (almost) entirely from cache, with identical
+    /// results.
+    #[test]
+    fn repeat_optimize_hits_partition_memo() {
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+        let first = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        let second = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        assert_eq!(second.stats.candidates_evaluated, 0, "second optimize must be fully cached");
+        assert!(second.stats.cache_ratio() > 0.99);
+        assert_eq!(second.predicted_time, first.predicted_time);
+        assert_eq!(
+            second.partition.as_ref().unwrap().ranges,
+            first.partition.as_ref().unwrap().ranges
+        );
+        assert!(!lancet.partition_memo().is_empty());
     }
 }

@@ -37,6 +37,8 @@
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
+#![warn(missing_docs)]
+
 mod dw;
 mod estimate;
 mod lancet;
@@ -46,10 +48,10 @@ mod recompute;
 
 pub use dw::{schedule_weight_gradients, DwScheduleReport};
 pub use estimate::{EstimateReport, TimeEstimator};
-pub use lancet::{Lancet, LancetOptions, OptimizeOutcome};
+pub use lancet::{Lancet, LancetOptions, OptimizeOutcome, OptimizerStats};
 pub use prefetch::{prefetch_allgathers, PrefetchReport};
 pub use recompute::{recompute_segments, RecomputeReport};
 pub use partition::{
-    apply_partitions, infer_axes, partition_pass, AxisSolution, PartAxis, PartitionOptions,
-    PartitionReport, PartitionSpec,
+    apply_partitions, infer_axes, partition_pass, partition_pass_with, AxisSolution, PartAxis,
+    PartitionMemo, PartitionOptions, PartitionReport, PartitionSpec,
 };

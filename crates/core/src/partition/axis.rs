@@ -7,6 +7,21 @@
 //! domain follows the paper: not-partitioned, a real axis (batch for
 //! token tensors, capacity for expert buffers), or the special irregular
 //! axis `A_irr` for the capacity-passing MoE pipeline.
+//!
+//! Solved as a finite-domain CSP by constraint propagation with
+//! backtracking ([`infer_axes`]): each op contributes its admissible
+//! (input-axes, output-axes) combinations (the `combos` table — e.g. a
+//! batch-split gate is only admissible for gate kinds that tolerate
+//! partial batches, and the MoE gather never accepts the capacity axis),
+//! weights are pinned replicated, and boundary tensors are restricted to
+//! axes with a well-defined slice/concat. Infeasibility is a *result*,
+//! not an error: the DP simply skips unpartitionable candidates, which is
+//! how e.g. "BPR models only partition after the MoE layer" emerges
+//! without a special case.
+//!
+//! `infer_axes` is a pure function of the graph and range; the search
+//! engine in `dp` calls it from multiple worker threads and memoizes
+//! whole-candidate evaluations around it.
 
 use lancet_ir::{Graph, Op, TensorId, TensorKind};
 use std::collections::{HashMap, HashSet};

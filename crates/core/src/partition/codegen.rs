@@ -7,6 +7,14 @@
 //! chunk instructions are emitted in *stage-major* order (all partitions
 //! of stage 0, then stage 1, …) so the two-stream execution naturally
 //! forms the computation-communication pipeline of paper Fig. 9.
+//!
+//! [`apply_partitions`] is the single entry point; it is called twice per
+//! DP run — once per candidate evaluation on an isolated segment graph
+//! (where its cost is the reason candidate pricing is worth memoizing,
+//! see the `dp` module), and once at the end on the real graph for each
+//! chosen range. Like axis inference it is a pure function of its
+//! inputs, which is what lets the search engine share one immutable
+//! source graph across worker threads.
 
 use crate::{AxisSolution, PartAxis};
 use lancet_ir::{Graph, Instr, IrError, Op, Result, TensorId, TensorKind};

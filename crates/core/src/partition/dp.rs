@@ -1,5 +1,7 @@
 //! Dynamic-programming partition-range selection (paper §5.1).
 //!
+//! # The search
+//!
 //! `T(n) = min_{i,k} { T(i) + P(i, n, k) }` over instruction *groups*:
 //! consecutive non-MoE instructions are coalesced into time-balanced
 //! groups (the paper's group-size knob γ), MoE-related instructions stay
@@ -7,14 +9,41 @@
 //! `P` is evaluated by materializing the candidate pipeline (axis
 //! inference + codegen) and pricing it with the estimator's two-stream
 //! sweep — the pipeline scheduler of paper §5.3.
+//!
+//! # The search engine
+//!
+//! The paper reports this search dominating Lancet's compile time
+//! (Fig. 15), and mitigates it with a cached profiler. This module goes
+//! further, in two independent ways:
+//!
+//! * **Parallel candidate evaluation.** For a DP frontier `j`, the
+//!   candidate costs `P(i, n, k)` for different `i` are independent: each
+//!   builds its own scratch segment graph, so the frontier's candidates
+//!   are priced concurrently by a small [`std::thread::scope`] worker
+//!   pool ([`PartitionOptions::workers`]). Determinism is preserved
+//!   because pricing is pure and the min-reduction happens sequentially
+//!   in ascending `(i, k)` order — the parallel search selects exactly
+//!   the ranges the sequential search selects, enforced by tests.
+//! * **Structural memoization.** A [`PartitionMemo`] caches `P` by a
+//!   content hash of the candidate segment (ops, shapes, boundary
+//!   tensor kinds and escapes), the partition count `k`, and the device
+//!   configuration — *not* by instruction positions. Transformer layers
+//!   repeat, so the evaluations of layer 1 answer layers 2..L across DP
+//!   frontiers, and — when the memo is shared via
+//!   [`partition_pass_with`], as [`crate::Lancet`] does — across
+//!   repeated `optimize` calls (ablation sweeps, figure regeneration).
 
 use crate::partition::{apply_partitions, infer_axes, PartitionSpec};
-use crate::TimeEstimator;
+use crate::{EstimateReport, TimeEstimator};
 use lancet_ir::{Graph, Instr, Op, Result, TensorId, TensorKind};
 use std::collections::HashMap;
+use std::hash::{Hash, Hasher};
 use std::ops::Range;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::RwLock;
 
-/// Hyper-parameters of the partition pass (paper §6: ρ, γ, ι).
+/// Hyper-parameters of the partition pass (paper §6: ρ, γ, ι) plus the
+/// search-engine knobs.
 #[derive(Debug, Clone, PartialEq)]
 pub struct PartitionOptions {
     /// ρ — maximum number of partitions per range (paper default 8).
@@ -24,6 +53,15 @@ pub struct PartitionOptions {
     pub groups_per_gap: usize,
     /// ι — maximum partition-range length, in groups.
     pub max_range_groups: usize,
+    /// Worker threads pricing DP candidates concurrently. `0` picks the
+    /// machine's available parallelism (capped at 8); `1` runs the
+    /// search sequentially on the calling thread. Any value produces
+    /// bit-identical results — see the module docs.
+    pub workers: usize,
+    /// Whether to reuse structurally identical `P(i, n, k)` evaluations
+    /// through the [`PartitionMemo`]. Disable only to benchmark the
+    /// unmemoized search (e.g. `fig15_opt_time`).
+    pub memoize: bool,
 }
 
 /// Multiplier on per-chunk compute overhead charged for the (equally
@@ -32,7 +70,24 @@ const BACKWARD_CHUNK_FACTOR: f64 = 2.0;
 
 impl Default for PartitionOptions {
     fn default() -> Self {
-        PartitionOptions { max_partitions: 8, groups_per_gap: 5, max_range_groups: 24 }
+        PartitionOptions {
+            max_partitions: 8,
+            groups_per_gap: 5,
+            max_range_groups: 24,
+            workers: 0,
+            memoize: true,
+        }
+    }
+}
+
+impl PartitionOptions {
+    /// The worker count `workers` resolves to on this machine.
+    pub fn effective_workers(&self) -> usize {
+        if self.workers == 0 {
+            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
+        } else {
+            self.workers
+        }
     }
 }
 
@@ -46,12 +101,87 @@ pub struct PartitionReport {
     pub estimated_forward_time: f64,
     /// DP-estimated time of the unpartitioned forward region (baseline).
     pub unpartitioned_forward_time: f64,
-    /// Number of `P(i, n, k)` evaluations performed.
+    /// Number of `P(i, n, k)` pricings the DP requested (cached or not).
     pub evaluations: usize,
+    /// Pricings answered by the structural memo table.
+    pub memo_hits: usize,
+    /// Pricings that had to materialize and estimate a pipeline.
+    pub memo_misses: usize,
+    /// Worker threads the search ran with.
+    pub workers: usize,
+}
+
+impl PartitionReport {
+    /// Fraction of pricings answered from the memo, in `[0, 1]`.
+    pub fn memo_hit_ratio(&self) -> f64 {
+        let total = self.memo_hits + self.memo_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.memo_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Structural cache of `P(i, n, k)` evaluations, shareable across
+/// [`partition_pass_with`] calls (and threads).
+///
+/// Keys are content hashes of the candidate segment — see the module
+/// docs. The value is `None` when the segment admits no `k`-way
+/// partition (axis inference or codegen rejected it), so infeasibility
+/// is remembered too.
+#[derive(Debug, Default)]
+pub struct PartitionMemo {
+    table: RwLock<HashMap<u64, Option<EstimateReport>>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl PartitionMemo {
+    /// An empty memo table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.table.read().expect("memo poisoned").len()
+    }
+
+    /// Whether the memo holds no entries yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Lifetime (hits, misses) over all passes sharing this memo.
+    pub fn stats(&self) -> (usize, usize) {
+        (self.hits.load(Ordering::Relaxed), self.misses.load(Ordering::Relaxed))
+    }
+
+    /// Looks up `key`, or computes, records, and returns it via `eval`.
+    /// The boolean is `true` on a cache hit.
+    fn get_or_eval(
+        &self,
+        key: u64,
+        eval: impl FnOnce() -> Result<Option<EstimateReport>>,
+    ) -> Result<(Option<EstimateReport>, bool)> {
+        if let Some(&cached) = self.table.read().expect("memo poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok((cached, true));
+        }
+        let value = eval()?;
+        self.table.write().expect("memo poisoned").insert(key, value);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        Ok((value, false))
+    }
 }
 
 /// Runs the partition pass on a *forward* graph (apply before autodiff;
 /// see crate docs) and returns the rewritten graph plus a report.
+///
+/// Uses a fresh [`PartitionMemo`], so memoization helps only within this
+/// one search; use [`partition_pass_with`] (as [`crate::Lancet`] does) to
+/// reuse evaluations across calls.
 ///
 /// # Errors
 ///
@@ -80,9 +210,43 @@ pub fn partition_pass(
     estimator: &TimeEstimator,
     opts: &PartitionOptions,
 ) -> Result<(Graph, PartitionReport)> {
+    partition_pass_with(graph, estimator, opts, &PartitionMemo::new())
+}
+
+/// One DP candidate-evaluation unit: every `(i, k)` sharing a range
+/// start `i` at the current frontier (the plain estimate is shared by
+/// all its partition counts).
+struct CandidateTask {
+    i: usize,
+    prange: Range<usize>,
+}
+
+/// Priced candidate costs for one task, in ascending `k` order.
+struct CandidateCosts {
+    i: usize,
+    /// `(k, DP cost)` for every feasible candidate.
+    costs: Vec<(usize, f64)>,
+    requested: usize,
+    hits: usize,
+    misses: usize,
+}
+
+/// [`partition_pass`] with a caller-provided memo table, so structurally
+/// repeated evaluations are shared across searches.
+///
+/// # Errors
+///
+/// Propagates estimator/codegen failures.
+pub fn partition_pass_with(
+    graph: &Graph,
+    estimator: &TimeEstimator,
+    opts: &PartitionOptions,
+    memo: &PartitionMemo,
+) -> Result<(Graph, PartitionReport)> {
     let fwd_end = forward_end(graph);
     let groups = build_groups(graph, estimator, fwd_end, opts.groups_per_gap)?;
     let n = groups.len();
+    let workers = opts.effective_workers().max(1);
 
     // Candidate partition counts: 1 plus powers of two up to ρ.
     let mut ks = vec![1usize];
@@ -92,56 +256,44 @@ pub fn partition_pass(
         k *= 2;
     }
 
+    // Fingerprint of the pricing context: estimates depend on the device
+    // and collective models, so memo entries must not leak across
+    // clusters when a memo is shared that widely.
+    let device_fp = {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        format!("{:?}", estimator.profiler().model()).hash(&mut h);
+        estimator.gpus().hash(&mut h);
+        h.finish()
+    };
+    // `memoize: false` prices every candidate directly — the pre-engine
+    // behavior, kept as the measurable baseline for `fig15_opt_time`.
+    let memo = opts.memoize.then_some(memo);
+
     let mut evaluations = 0usize;
-    // Memoized per-(i,j) segment graphs are cheap enough to rebuild; the
-    // op profiler underneath caches per-shape times.
+    let mut memo_hits = 0usize;
+    let mut memo_misses = 0usize;
     let mut t = vec![f64::INFINITY; n + 1];
     t[0] = 0.0;
     let mut parent: Vec<Option<(usize, usize)>> = vec![None; n + 1];
-    let mut plain_cost: HashMap<(usize, usize), crate::EstimateReport> = HashMap::new();
 
     for j in 1..=n {
         let lo = j.saturating_sub(opts.max_range_groups);
-        for i in lo..j {
-            let prange = groups[i].start..groups[j - 1].end;
-            let plain = *match plain_cost.entry((i, j)) {
-                std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
-                std::collections::hash_map::Entry::Vacant(e) => {
-                    evaluations += 1;
-                    let (seg, _) = segment_graph(graph, prange.clone())?;
-                    e.insert(estimator.estimate(&seg)?)
-                }
-            };
-            for &k in &ks {
-                let cost = if k == 1 {
-                    plain.total
-                } else {
-                    // Partitioning a segment without an all-to-all can
-                    // only add overhead; skip the evaluation.
-                    if !segment_has_a2a(graph, &prange) {
-                        continue;
-                    }
-                    evaluations += 1;
-                    match evaluate_partitioned(graph, estimator, prange.clone(), k) {
-                        Some(part) => {
-                            // The backward of a partitioned forward is
-                            // chunked the same way (autodiff runs after
-                            // this pass) and pays roughly twice the
-                            // forward's per-chunk overhead (dX and dW),
-                            // without the forward pipeline's overlap
-                            // guarantee. Charge it so the DP does not
-                            // over-partition (paper Fig. 6's tradeoff,
-                            // extended to the whole iteration).
-                            let chunk_overhead =
-                                (part.compute_busy - plain.compute_busy).max(0.0);
-                            part.total + BACKWARD_CHUNK_FACTOR * chunk_overhead
-                        }
-                        None => continue,
-                    }
-                };
-                if t[i] + cost < t[j] {
-                    t[j] = t[i] + cost;
-                    parent[j] = Some((i, k));
+        let tasks: Vec<CandidateTask> = (lo..j)
+            .map(|i| CandidateTask { i, prange: groups[i].start..groups[j - 1].end })
+            .collect();
+        let priced = price_frontier(graph, estimator, memo, device_fp, &ks, tasks, workers)?;
+
+        // Sequential min-reduction in ascending (i, k) order with a
+        // strict `<`: ties resolve to the lowest (i, k), independent of
+        // how many workers priced the candidates.
+        for cand in priced {
+            evaluations += cand.requested;
+            memo_hits += cand.hits;
+            memo_misses += cand.misses;
+            for &(k, cost) in &cand.costs {
+                if t[cand.i] + cost < t[j] {
+                    t[j] = t[cand.i] + cost;
+                    parent[j] = Some((cand.i, k));
                 }
             }
         }
@@ -184,8 +336,152 @@ pub fn partition_pass(
             estimated_forward_time: t[n],
             unpartitioned_forward_time: unpartitioned,
             evaluations,
+            memo_hits,
+            memo_misses,
+            workers,
         },
     ))
+}
+
+/// Prices every candidate task of one DP frontier, fanning the tasks out
+/// over `workers` scoped threads (or inline when 1 suffices). Results
+/// come back in task order; the first evaluation error (in task order)
+/// is propagated.
+fn price_frontier(
+    graph: &Graph,
+    estimator: &TimeEstimator,
+    memo: Option<&PartitionMemo>,
+    device_fp: u64,
+    ks: &[usize],
+    tasks: Vec<CandidateTask>,
+    workers: usize,
+) -> Result<Vec<CandidateCosts>> {
+    let price = |task: &CandidateTask| price_candidates(graph, estimator, memo, device_fp, ks, task);
+    let mut results: Vec<Option<Result<CandidateCosts>>> = Vec::new();
+    if workers <= 1 || tasks.len() <= 1 {
+        results.extend(tasks.iter().map(|t| Some(price(t))));
+    } else {
+        results.resize_with(tasks.len(), || None);
+        let chunk = tasks.len().div_ceil(workers);
+        let price = &price;
+        std::thread::scope(|scope| {
+            for (task_chunk, slot_chunk) in tasks.chunks(chunk).zip(results.chunks_mut(chunk)) {
+                scope.spawn(move || {
+                    for (slot, task) in slot_chunk.iter_mut().zip(task_chunk) {
+                        *slot = Some(price(task));
+                    }
+                });
+            }
+        });
+    }
+    results
+        .into_iter()
+        .map(|slot| slot.expect("every task chunk was priced"))
+        .collect()
+}
+
+/// Prices `P(i, n, k)` for every `k` of one candidate range, through the
+/// memo. Infeasible `k` are omitted from the result.
+fn price_candidates(
+    graph: &Graph,
+    estimator: &TimeEstimator,
+    memo: Option<&PartitionMemo>,
+    device_fp: u64,
+    ks: &[usize],
+    task: &CandidateTask,
+) -> Result<CandidateCosts> {
+    let prange = task.prange.clone();
+    // Fingerprinting costs a span walk; the unmemoized baseline skips it.
+    let span_fp = memo.map(|_| segment_fingerprint(graph, &prange, device_fp)).unwrap_or(0);
+    let mut out = CandidateCosts { i: task.i, costs: Vec::new(), requested: 0, hits: 0, misses: 0 };
+    let mut lookup = |k: usize, eval: &dyn Fn() -> Result<Option<EstimateReport>>| {
+        out.requested += 1;
+        let Some(memo) = memo else {
+            out.misses += 1;
+            return eval();
+        };
+        let key = {
+            let mut h = std::collections::hash_map::DefaultHasher::new();
+            span_fp.hash(&mut h);
+            k.hash(&mut h);
+            h.finish()
+        };
+        let (value, hit) = memo.get_or_eval(key, eval)?;
+        if hit {
+            out.hits += 1;
+        } else {
+            out.misses += 1;
+        }
+        Ok::<_, lancet_ir::IrError>(value)
+    };
+
+    let plain = lookup(1, &|| {
+        let (seg, _) = segment_graph(graph, prange.clone())?;
+        estimator.estimate(&seg).map(Some)
+    })?
+    .expect("plain estimate is always feasible");
+    out.costs.push((1, plain.total));
+
+    // Partitioning a segment without an all-to-all can only add
+    // overhead; skip those evaluations entirely.
+    if segment_has_a2a(graph, &prange) {
+        for &k in ks.iter().filter(|&&k| k > 1) {
+            let part = lookup(k, &|| Ok(evaluate_partitioned(graph, estimator, prange.clone(), k)))?;
+            if let Some(part) = part {
+                // The backward of a partitioned forward is chunked the
+                // same way (autodiff runs after this pass) and pays
+                // roughly twice the forward's per-chunk overhead (dX and
+                // dW), without the forward pipeline's overlap guarantee.
+                // Charge it so the DP does not over-partition (paper
+                // Fig. 6's tradeoff, extended to the whole iteration).
+                let chunk_overhead = (part.compute_busy - plain.compute_busy).max(0.0);
+                out.costs.push((k, part.total + BACKWARD_CHUNK_FACTOR * chunk_overhead));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Content hash of a candidate segment: everything `P(i, n, k)` depends
+/// on besides `k` — the ops, every input/output shape, boundary-tensor
+/// kinds, which outputs escape the range, and the pricing context
+/// (device fingerprint). Instruction *positions* are deliberately
+/// excluded so structurally repeated layers share entries.
+fn segment_fingerprint(graph: &Graph, range: &Range<usize>, device_fp: u64) -> u64 {
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    device_fp.hash(&mut h);
+    let instrs = &graph.instrs()[range.clone()];
+    let users = graph.user_positions();
+    // Stable local ids for produced tensors so dataflow (not raw tensor
+    // ids) is hashed.
+    let mut local: HashMap<TensorId, usize> = HashMap::new();
+    for instr in instrs {
+        format!("{:?}", instr.op).hash(&mut h);
+        instr.role.hash(&mut h);
+        for &t in &instr.inputs {
+            let def = graph.tensor(t);
+            def.shape.dims().hash(&mut h);
+            def.kind.hash(&mut h);
+            match local.get(&t) {
+                Some(&id) => (0u8, id).hash(&mut h),
+                None => 1u8.hash(&mut h), // boundary input
+            }
+        }
+        for &t in &instr.outputs {
+            let def = graph.tensor(t);
+            def.shape.dims().hash(&mut h);
+            let id = local.len();
+            local.insert(t, id);
+            // Whether this output escapes the range constrains axis
+            // inference (boundary tensors must stay sliceable).
+            let escapes = users
+                .get(&t)
+                .map(|ps| ps.iter().any(|&p| p >= range.end))
+                .unwrap_or(false);
+            escapes.hash(&mut h);
+        }
+    }
+    h.finish()
 }
 
 /// Position one past the last partitionable forward instruction (the
@@ -301,7 +597,7 @@ fn evaluate_partitioned(
     estimator: &TimeEstimator,
     range: Range<usize>,
     k: usize,
-) -> Option<crate::EstimateReport> {
+) -> Option<EstimateReport> {
     // Infer axes on the *original* graph so boundary constraints include
     // consumers outside the segment, then map the solution into the
     // isolated segment for codegen and pricing.
@@ -418,5 +714,73 @@ mod tests {
         let (out, report) = partition_pass(&g, &est, &PartitionOptions::default()).unwrap();
         assert!(report.ranges.is_empty());
         assert_eq!(out.instrs().len(), g.instrs().len());
+    }
+
+    /// The determinism guarantee: any worker count returns bit-identical
+    /// results (same ranges, same estimate) as the sequential search,
+    /// memoized or not.
+    #[test]
+    fn parallel_search_matches_sequential() {
+        let g = small_model(GateKind::Switch, 16);
+        let est = estimator(16, 2);
+        let sequential = PartitionOptions { workers: 1, memoize: false, ..Default::default() };
+        let (_, base) = partition_pass(&g, &est, &sequential).unwrap();
+        for workers in [2, 4, 7] {
+            for memoize in [false, true] {
+                let opts = PartitionOptions { workers, memoize, ..Default::default() };
+                let (out, report) = partition_pass(&g, &est, &opts).unwrap();
+                assert_eq!(report.ranges, base.ranges, "workers={workers} memoize={memoize}");
+                assert_eq!(
+                    report.estimated_forward_time, base.estimated_forward_time,
+                    "workers={workers} memoize={memoize}"
+                );
+                assert!(out.validate().is_ok());
+            }
+        }
+    }
+
+    /// Repeated transformer layers make the memo effective even within a
+    /// single search, and a second search over the same graph is almost
+    /// entirely cache hits.
+    #[test]
+    fn memo_reuses_repeated_layers_and_repeat_searches() {
+        let g = small_model(GateKind::Switch, 16);
+        let est = estimator(16, 2);
+        let memo = PartitionMemo::new();
+        let opts = PartitionOptions::default();
+        let (_, first) = partition_pass_with(&g, &est, &opts, &memo).unwrap();
+        assert!(first.memo_hits > 0, "4 identical layers must share evaluations");
+        assert!(first.memo_misses > 0);
+        assert_eq!(first.memo_hits + first.memo_misses, first.evaluations);
+
+        let (_, second) = partition_pass_with(&g, &est, &opts, &memo).unwrap();
+        assert_eq!(second.ranges, first.ranges);
+        assert_eq!(second.estimated_forward_time, first.estimated_forward_time);
+        assert_eq!(second.memo_misses, 0, "second search must be fully cached");
+        assert_eq!(second.memo_hits, second.evaluations);
+        assert!(second.memo_hit_ratio() > 0.99);
+    }
+
+    /// Memo entries must not collide across device configurations.
+    #[test]
+    fn memo_distinguishes_clusters() {
+        let g = small_model(GateKind::Switch, 16);
+        let memo = PartitionMemo::new();
+        let opts = PartitionOptions::default();
+        let est_a = estimator(16, 2);
+        let (_, first) = partition_pass_with(&g, &est_a, &opts, &memo).unwrap();
+        // Same graph, different cluster: nothing may be answered from the
+        // other cluster's entries.
+        let est_b = estimator(32, 4);
+        let (_, second) = partition_pass_with(&g, &est_b, &opts, &memo).unwrap();
+        assert_eq!(second.memo_misses, first.memo_misses, "cross-cluster hits would be wrong");
+    }
+
+    #[test]
+    fn estimator_and_memo_are_sync() {
+        fn assert_sync<T: Sync>() {}
+        assert_sync::<TimeEstimator>();
+        assert_sync::<PartitionMemo>();
+        assert_sync::<Graph>();
     }
 }

@@ -42,6 +42,7 @@ proptest! {
                 max_partitions: 1 << rho_pow,
                 groups_per_gap: 5,
                 max_range_groups: iota,
+                ..Default::default()
             },
             ..Default::default()
         };

@@ -83,7 +83,12 @@ fn options() -> LancetOptions {
     LancetOptions {
         disable_dw_schedule: false,
         disable_partition: false,
-        partition: PartitionOptions { max_partitions: 2, groups_per_gap: 3, max_range_groups: 24 },
+        partition: PartitionOptions {
+            max_partitions: 2,
+            groups_per_gap: 3,
+            max_range_groups: 24,
+            ..Default::default()
+        },
         backward: BackwardOptions { sgd_lr: Some(0.05), optimizer: Default::default(), allreduce_grads: false },
         prefetch_lookahead: 1,
     }

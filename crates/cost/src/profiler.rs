@@ -6,11 +6,21 @@
 //! kernel launches, but the cache structure — and the optimization-time
 //! benefit it provides to the partition pass, which evaluates many
 //! overlapping ranges — is the same.
+//!
+//! # Thread safety
+//!
+//! The partition pass prices candidate pipelines from a pool of worker
+//! threads (see `lancet_core::partition_pass`), all sharing one profiler.
+//! The cache therefore uses a read-mostly [`RwLock`]: after the first few
+//! DP frontiers nearly every query is a hit, and hits take only the read
+//! lock, so workers do not serialize on the cache. Hit/miss counters are
+//! relaxed atomics — they feed reports, not synchronization.
 
 use crate::ComputeModel;
 use lancet_ir::{Op, Shape};
-use parking_lot::Mutex;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::RwLock;
 
 /// Cache statistics, for optimization-time accounting (paper Fig. 15).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -53,14 +63,20 @@ impl ProfilerStats {
 #[derive(Debug)]
 pub struct CachingOpProfiler {
     model: ComputeModel,
-    cache: Mutex<HashMap<String, f64>>,
-    stats: Mutex<ProfilerStats>,
+    cache: RwLock<HashMap<String, f64>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
 }
 
 impl CachingOpProfiler {
     /// Builds a profiler over the given compute model.
     pub fn new(model: ComputeModel) -> Self {
-        CachingOpProfiler { model, cache: Mutex::new(HashMap::new()), stats: Mutex::new(ProfilerStats::default()) }
+        CachingOpProfiler {
+            model,
+            cache: RwLock::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+        }
     }
 
     /// The underlying compute model.
@@ -75,26 +91,29 @@ impl CachingOpProfiler {
     /// Propagates [`lancet_ir::IrError`] if the op rejects the shapes.
     pub fn profile(&self, op: &Op, ins: &[&Shape]) -> lancet_ir::Result<f64> {
         let key = profile_key(op, ins);
-        if let Some(&t) = self.cache.lock().get(&key) {
-            self.stats.lock().hits += 1;
+        if let Some(&t) = self.cache.read().expect("profiler cache poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(t);
         }
         let outs = op.infer_shapes(ins)?;
         let out_refs: Vec<&Shape> = outs.iter().collect();
         let t = self.model.op_time(op, ins, &out_refs);
-        self.cache.lock().insert(key, t);
-        self.stats.lock().misses += 1;
+        self.cache.write().expect("profiler cache poisoned").insert(key, t);
+        self.misses.fetch_add(1, Ordering::Relaxed);
         Ok(t)
     }
 
     /// Current cache statistics.
     pub fn stats(&self) -> ProfilerStats {
-        *self.stats.lock()
+        ProfilerStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
     }
 
     /// Number of distinct (op, shapes) entries profiled.
     pub fn cache_size(&self) -> usize {
-        self.cache.lock().len()
+        self.cache.read().expect("profiler cache poisoned").len()
     }
 }
 
@@ -150,5 +169,21 @@ mod tests {
     #[test]
     fn hit_ratio_empty_is_one() {
         assert_eq!(profiler().stats().hit_ratio(), 1.0);
+    }
+
+    #[test]
+    fn concurrent_queries_agree() {
+        let p = profiler();
+        let shape = Shape::new(vec![96, 96]);
+        let times: Vec<f64> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..8)
+                .map(|_| scope.spawn(|| p.profile(&Op::Gelu, &[&shape]).unwrap()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        assert!(times.windows(2).all(|w| w[0] == w[1]));
+        let stats = p.stats();
+        assert_eq!(stats.hits + stats.misses, 8);
+        assert_eq!(p.cache_size(), 1);
     }
 }

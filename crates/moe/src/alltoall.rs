@@ -4,11 +4,10 @@
 //! The irregular variant implements the paper's Fig. 10 protocol: a first
 //! exchange communicates per-destination sizes, a second exchange moves
 //! only the actual payload — padding is never put on the wire. Payloads
-//! travel as [`bytes::Bytes`] messages so the byte accounting matches what
-//! a real transport would see.
+//! travel as owned byte messages so the byte accounting matches what a
+//! real transport would see.
 
 use crate::{DispatchedChunk, MoeError, Result};
-use bytes::Bytes;
 use lancet_tensor::Tensor;
 
 /// Byte-level accounting of one irregular all-to-all.
@@ -105,7 +104,7 @@ pub fn all_to_all_uniform(bufs: &[Tensor]) -> Result<Vec<Tensor>> {
 ///
 /// `chunks[d]` holds device `d`'s densely packed `(E, C, M)` buffer and
 /// actual per-expert counts. Phase one exchanges the counts; phase two
-/// moves only `counts` rows per (source, expert) pair as [`Bytes`]
+/// moves only `counts` rows per (source, expert) pair as byte
 /// messages. Returns the received buffers (same indexing as
 /// [`all_to_all_uniform`]) and the byte accounting.
 ///
@@ -155,7 +154,7 @@ pub fn all_to_all_irregular(chunks: &[DispatchedChunk]) -> Result<(Vec<Dispatche
                 let src = (d * el + l) * row;
                 let payload: &[f32] = &chunks[s].buf.data()[src..src + n * m];
                 // Serialize to a wire message, as NCCL send/recv would.
-                let msg = Bytes::copy_from_slice(as_wire_bytes(payload));
+                let msg: Vec<u8> = as_wire_bytes(payload).to_vec();
                 stats.payload_bytes += msg.len() as u64;
                 let dst = (s * el + l) * row;
                 let floats = from_wire_bytes(&msg);

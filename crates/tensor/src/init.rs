@@ -1,10 +1,10 @@
 //! Deterministic random initialization for tensors.
 
 use crate::Tensor;
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
 
-/// A seeded random number generator for reproducible tensor initialization.
+/// A seeded random number generator for reproducible tensor
+/// initialization (SplitMix64 under the hood — no external dependency,
+/// identical streams on every platform).
 ///
 /// # Example
 ///
@@ -17,15 +17,23 @@ use rand::{Rng, SeedableRng};
 /// let b = rng2.uniform(vec![2, 2], -1.0, 1.0);
 /// assert_eq!(a, b); // same seed, same tensor
 /// ```
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TensorRng {
-    rng: SmallRng,
+    state: u64,
 }
 
 impl TensorRng {
     /// Creates a generator from a 64-bit seed.
     pub fn seed(seed: u64) -> Self {
-        TensorRng { rng: SmallRng::seed_from_u64(seed) }
+        TensorRng { state: seed }
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
     }
 
     /// Uniformly distributed elements in `[lo, hi)`.
@@ -36,7 +44,7 @@ impl TensorRng {
     pub fn uniform(&mut self, shape: impl Into<crate::Shape>, lo: f32, hi: f32) -> Tensor {
         assert!(lo < hi, "uniform requires lo < hi");
         let shape = shape.into();
-        let data = (0..shape.volume()).map(|_| self.rng.gen_range(lo..hi)).collect();
+        let data = (0..shape.volume()).map(|_| lo + (hi - lo) * self.sample()).collect();
         Tensor::from_vec(shape, data).expect("volume matches by construction")
     }
 
@@ -46,7 +54,7 @@ impl TensorRng {
         let shape = shape.into();
         let data = (0..shape.volume())
             .map(|_| {
-                let s: f32 = (0..12).map(|_| self.rng.gen_range(0.0f32..1.0)).sum();
+                let s: f32 = (0..12).map(|_| self.sample()).sum();
                 (s - 6.0) * std
             })
             .collect();
@@ -55,7 +63,7 @@ impl TensorRng {
 
     /// A raw `f32` sample in `[0, 1)`.
     pub fn sample(&mut self) -> f32 {
-        self.rng.gen_range(0.0..1.0)
+        ((self.next_u64() >> 40) as f32) / (1u64 << 24) as f32
     }
 
     /// A uniformly random integer in `[0, n)`.
@@ -65,7 +73,7 @@ impl TensorRng {
     /// Panics if `n == 0`.
     pub fn below(&mut self, n: usize) -> usize {
         assert!(n > 0, "below requires n > 0");
-        self.rng.gen_range(0..n)
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
     }
 }
 

@@ -1,0 +1,19 @@
+#!/usr/bin/env sh
+# Full verification gate (see README "Running the test suite").
+# Hermetic: no network access required — external dev-deps are vendored.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "==> cargo test --doc --workspace"
+cargo test --doc --workspace -q
+
+echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
+
+echo "==> verify OK"

@@ -1,0 +1,188 @@
+//! A minimal, dependency-free stand-in for the [`criterion`] crate.
+//!
+//! The build sandbox for this repository cannot reach the crates
+//! registry, so the workspace vendors the slice of the Criterion API its
+//! benches use: [`Criterion::bench_function`], benchmark groups with
+//! [`BenchmarkGroup::bench_with_input`], [`BenchmarkId`], [`black_box`],
+//! and the [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! Instead of Criterion's statistical analysis, each benchmark is run
+//! for a fixed number of timed iterations (after warmup) and the mean
+//! and minimum wall-clock time per iteration are printed. That is enough
+//! to compare hot paths before and after a change in this repository.
+//!
+//! [`criterion`]: https://docs.rs/criterion
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Measures closures handed to it by a benchmark body.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    target: usize,
+    samples: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Times `f`, recording one sample per invocation.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // Warmup: one untimed call.
+        black_box(f());
+        let iters = self.target.max(1);
+        for _ in 0..iters {
+            let start = Instant::now();
+            black_box(f());
+            self.samples.push(start.elapsed());
+        }
+    }
+
+    fn report(&self, name: &str) {
+        if self.samples.is_empty() {
+            println!("{name:<44} (no samples)");
+            return;
+        }
+        let total: Duration = self.samples.iter().sum();
+        let mean = total / self.samples.len() as u32;
+        let min = self.samples.iter().min().expect("non-empty");
+        println!("{name:<44} mean {:>12?}   min {:>12?}", mean, min);
+    }
+}
+
+/// Names a benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// A two-part id: `function_name/parameter`.
+    pub fn new(function_name: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    /// An id that is just the parameter.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId { id: parameter.to_string() }
+    }
+}
+
+impl std::fmt::Display for BenchmarkId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// The benchmark driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    sample_size: usize,
+}
+
+impl Criterion {
+    /// Runs and reports one named benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        run_one(name, self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { parent: self, name: name.to_string(), sample_size: 0 }
+    }
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 { 10 } else { self.sample_size }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    parent: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Overrides the per-benchmark sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs and reports one benchmark in the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
+        let full = format!("{}/{}", self.name, name);
+        run_one(&full, self.effective_samples(), &mut f);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let full = format!("{}/{}", self.name, id);
+        let samples = self.effective_samples();
+        run_one(&full, samples, &mut |b: &mut Bencher| f(b, input));
+        self
+    }
+
+    /// Ends the group (report is printed as benchmarks run).
+    pub fn finish(self) {}
+
+    fn effective_samples(&self) -> usize {
+        if self.sample_size == 0 { self.parent.effective_samples() } else { self.sample_size }
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+    let mut bencher = Bencher { target: samples, samples: Vec::with_capacity(samples) };
+    f(&mut bencher);
+    bencher.report(name);
+}
+
+/// Bundles benchmark functions into a single runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the given benchmark groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut group = c.benchmark_group("grouped");
+        group.sample_size(3);
+        group.bench_with_input(BenchmarkId::new("sq", 4), &4u64, |b, &n| b.iter(|| n * n));
+        group.bench_with_input(BenchmarkId::from_parameter(7), &7u64, |b, &n| b.iter(|| n + n));
+        group.finish();
+    }
+
+    criterion_group!(benches, sample_bench);
+
+    #[test]
+    fn harness_runs() {
+        benches();
+    }
+}
