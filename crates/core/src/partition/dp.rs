@@ -53,9 +53,11 @@ pub struct PartitionOptions {
     pub groups_per_gap: usize,
     /// ι — maximum partition-range length, in groups.
     pub max_range_groups: usize,
-    /// Worker threads pricing DP candidates concurrently. `0` picks the
-    /// machine's available parallelism (capped at 8); `1` runs the
-    /// search sequentially on the calling thread. Any value produces
+    /// Worker threads pricing DP candidates concurrently. `0` defers to
+    /// `LANCET_WORKERS` when set, else the machine's available
+    /// parallelism (capped at 8) — the same resolution the tensor
+    /// backend's thread pool uses, so one env var governs both. `1` runs
+    /// the search sequentially on the calling thread. Any value produces
     /// bit-identical results — see the module docs.
     pub workers: usize,
     /// Whether to reuse structurally identical `P(i, n, k)` evaluations
@@ -81,13 +83,11 @@ impl Default for PartitionOptions {
 }
 
 impl PartitionOptions {
-    /// The worker count `workers` resolves to on this machine.
+    /// The worker count `workers` resolves to on this machine:
+    /// `LANCET_WORKERS` / available parallelism for `0`, via the shared
+    /// resolution in [`lancet_tensor::pool`].
     pub fn effective_workers(&self) -> usize {
-        if self.workers == 0 {
-            std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1).min(8)
-        } else {
-            self.workers
-        }
+        lancet_tensor::pool::resolve_workers(self.workers)
     }
 }
 

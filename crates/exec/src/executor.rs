@@ -65,18 +65,17 @@ impl<'g> Executor<'g> {
                 self.run_collective(instr, &mut bindings)?;
             } else {
                 for d in 0..self.devices {
-                    let inputs: Vec<Tensor> = instr
-                        .inputs
-                        .iter()
-                        .map(|&t| {
-                            bindings
-                                .get_required(d, t, &self.graph.tensor(t).name)
-                                .cloned()
-                        })
-                        .collect::<Result<_>>()?;
-                    let input_refs: Vec<&Tensor> = inputs.iter().collect();
-                    let outs = kernels::eval(&instr.op, &input_refs, self.devices)
-                        .map_err(|e| wrap(e, instr))?;
+                    // Kernels take borrowed inputs; the borrow ends before
+                    // outputs are inserted, so no input is cloned.
+                    let outs = {
+                        let input_refs: Vec<&Tensor> = instr
+                            .inputs
+                            .iter()
+                            .map(|&t| bindings.get_required(d, t, &self.graph.tensor(t).name))
+                            .collect::<Result<_>>()?;
+                        kernels::eval(&instr.op, &input_refs, self.devices)
+                            .map_err(|e| wrap(e, instr))?
+                    };
                     debug_assert_eq!(outs.len(), instr.outputs.len());
                     for (&tid, v) in instr.outputs.iter().zip(outs) {
                         bindings.insert(d, tid, v);

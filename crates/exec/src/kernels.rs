@@ -1,7 +1,14 @@
 //! Per-instruction numeric kernels (single device).
+//!
+//! Matmuls route through `lancet-tensor`'s packed GEMM engine; the
+//! attention kernels below chunk their independent (batch, head) /
+//! batch units over the same shared thread pool. Every kernel keeps a
+//! fixed per-element accumulation order, so results are bit-identical
+//! for any worker count.
 
 use lancet_ir::{GateKind, Op};
 use lancet_moe::{route, CapacityState, Routing};
+use lancet_tensor::pool::{par_ranges, SharedSliceMut};
 use lancet_tensor::{Tensor, TensorError};
 
 /// Internal kernel failure, wrapped with instruction context by the
@@ -78,8 +85,14 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         }
         Op::BatchedMatMul { transpose_b } => {
             let x = ins[0];
-            let w = if *transpose_b { ins[1].permute(&[0, 2, 1])? } else { ins[1].clone() };
-            Ok(vec![x.batched_matmul(&w)?])
+            let wt;
+            let w = if *transpose_b {
+                wt = ins[1].permute(&[0, 2, 1])?;
+                &wt
+            } else {
+                ins[1]
+            };
+            Ok(vec![x.batched_matmul(w)?])
         }
         Op::BatchedMatMulDw => {
             // (E,C,K)^T (E,C,N) per expert -> (E,K,N)
@@ -163,143 +176,180 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         Op::AttnScores { heads, causal } => {
             let (q, k) = (ins[0], ins[1]);
             let (b, s, h) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+            let (heads, causal) = (*heads, *causal);
             let dh = h / heads;
             let scale = 1.0 / (dh as f32).sqrt();
-            let mut out = Tensor::zeros(vec![b, *heads, s, s]);
-            for bi in 0..b {
-                for hd in 0..*heads {
+            let mut out = Tensor::zeros(vec![b, heads, s, s]);
+            let (qd, kd) = (q.data(), k.data());
+            let view = SharedSliceMut::new(out.data_mut());
+            par_ranges(b * heads, 0, |units| {
+                for u in units {
+                    let (bi, hd) = (u / heads, u % heads);
+                    // SAFETY: each (batch, head) unit owns its score plane.
+                    let plane = unsafe { view.range_mut(u * s * s..(u + 1) * s * s) };
                     for i in 0..s {
                         for j in 0..s {
-                            let val = if *causal && j > i {
+                            plane[i * s + j] = if causal && j > i {
                                 -1e9
                             } else {
                                 let mut acc = 0.0f32;
                                 for d in 0..dh {
-                                    acc += q.data()[(bi * s + i) * h + hd * dh + d]
-                                        * k.data()[(bi * s + j) * h + hd * dh + d];
+                                    acc += qd[(bi * s + i) * h + hd * dh + d]
+                                        * kd[(bi * s + j) * h + hd * dh + d];
                                 }
                                 acc * scale
                             };
-                            out.data_mut()[((bi * heads + hd) * s + i) * s + j] = val;
                         }
                     }
                 }
-            }
+            });
             Ok(vec![out])
         }
         Op::AttnScoresGradQ { heads, causal } => {
             let (k, dy) = (ins[0], ins[1]);
             let (b, s, h) = (k.shape()[0], k.shape()[1], k.shape()[2]);
+            let (heads, causal) = (*heads, *causal);
             let dh = h / heads;
             let scale = 1.0 / (dh as f32).sqrt();
             let mut dq = Tensor::zeros(vec![b, s, h]);
-            for bi in 0..b {
-                for hd in 0..*heads {
-                    for i in 0..s {
-                        for j in 0..s {
-                            if *causal && j > i {
-                                continue;
-                            }
-                            let g = dy.data()[((bi * heads + hd) * s + i) * s + j] * scale;
-                            for d in 0..dh {
-                                dq.data_mut()[(bi * s + i) * h + hd * dh + d] +=
-                                    g * k.data()[(bi * s + j) * h + hd * dh + d];
+            let (kd, dyd) = (k.data(), dy.data());
+            let view = SharedSliceMut::new(dq.data_mut());
+            par_ranges(b, 0, |batches| {
+                for bi in batches {
+                    // SAFETY: each batch owns its (s, h) gradient block.
+                    let blk = unsafe { view.range_mut(bi * s * h..(bi + 1) * s * h) };
+                    for hd in 0..heads {
+                        for i in 0..s {
+                            for j in 0..s {
+                                if causal && j > i {
+                                    continue;
+                                }
+                                let g = dyd[((bi * heads + hd) * s + i) * s + j] * scale;
+                                for d in 0..dh {
+                                    blk[i * h + hd * dh + d] +=
+                                        g * kd[(bi * s + j) * h + hd * dh + d];
+                                }
                             }
                         }
                     }
                 }
-            }
+            });
             Ok(vec![dq])
         }
         Op::AttnScoresGradK { heads, causal } => {
             let (q, dy) = (ins[0], ins[1]);
             let (b, s, h) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+            let (heads, causal) = (*heads, *causal);
             let dh = h / heads;
             let scale = 1.0 / (dh as f32).sqrt();
             let mut dk = Tensor::zeros(vec![b, s, h]);
-            for bi in 0..b {
-                for hd in 0..*heads {
-                    for i in 0..s {
-                        for j in 0..s {
-                            if *causal && j > i {
-                                continue;
-                            }
-                            let g = dy.data()[((bi * heads + hd) * s + i) * s + j] * scale;
-                            for d in 0..dh {
-                                dk.data_mut()[(bi * s + j) * h + hd * dh + d] +=
-                                    g * q.data()[(bi * s + i) * h + hd * dh + d];
+            let (qd, dyd) = (q.data(), dy.data());
+            let view = SharedSliceMut::new(dk.data_mut());
+            par_ranges(b, 0, |batches| {
+                for bi in batches {
+                    // SAFETY: each batch owns its (s, h) gradient block.
+                    let blk = unsafe { view.range_mut(bi * s * h..(bi + 1) * s * h) };
+                    for hd in 0..heads {
+                        for i in 0..s {
+                            for j in 0..s {
+                                if causal && j > i {
+                                    continue;
+                                }
+                                let g = dyd[((bi * heads + hd) * s + i) * s + j] * scale;
+                                for d in 0..dh {
+                                    blk[j * h + hd * dh + d] +=
+                                        g * qd[(bi * s + i) * h + hd * dh + d];
+                                }
                             }
                         }
                     }
                 }
-            }
+            });
             Ok(vec![dk])
         }
         Op::AttnContext { heads } => {
             let (p, v) = (ins[0], ins[1]);
             let (b, s, h) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+            let heads = *heads;
             let dh = h / heads;
             let mut out = Tensor::zeros(vec![b, s, h]);
-            for bi in 0..b {
-                for hd in 0..*heads {
-                    for i in 0..s {
-                        for j in 0..s {
-                            let w = p.data()[((bi * heads + hd) * s + i) * s + j];
-                            if w == 0.0 {
-                                continue;
-                            }
-                            for d in 0..dh {
-                                out.data_mut()[(bi * s + i) * h + hd * dh + d] +=
-                                    w * v.data()[(bi * s + j) * h + hd * dh + d];
+            let (pd, vd) = (p.data(), v.data());
+            let view = SharedSliceMut::new(out.data_mut());
+            par_ranges(b, 0, |batches| {
+                for bi in batches {
+                    // SAFETY: each batch owns its (s, h) output block.
+                    let blk = unsafe { view.range_mut(bi * s * h..(bi + 1) * s * h) };
+                    for hd in 0..heads {
+                        for i in 0..s {
+                            for j in 0..s {
+                                // No w == 0.0 short-circuit: 0·inf and
+                                // 0·NaN must propagate per IEEE 754.
+                                let w = pd[((bi * heads + hd) * s + i) * s + j];
+                                for d in 0..dh {
+                                    blk[i * h + hd * dh + d] +=
+                                        w * vd[(bi * s + j) * h + hd * dh + d];
+                                }
                             }
                         }
                     }
                 }
-            }
+            });
             Ok(vec![out])
         }
         Op::AttnContextGradP { heads } => {
             let (v, dy) = (ins[0], ins[1]);
             let (b, s, h) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+            let heads = *heads;
             let dh = h / heads;
-            let mut dp = Tensor::zeros(vec![b, *heads, s, s]);
-            for bi in 0..b {
-                for hd in 0..*heads {
+            let mut dp = Tensor::zeros(vec![b, heads, s, s]);
+            let (vd, dyd) = (v.data(), dy.data());
+            let view = SharedSliceMut::new(dp.data_mut());
+            par_ranges(b * heads, 0, |units| {
+                for u in units {
+                    let (bi, hd) = (u / heads, u % heads);
+                    // SAFETY: each (batch, head) unit owns its plane.
+                    let plane = unsafe { view.range_mut(u * s * s..(u + 1) * s * s) };
                     for i in 0..s {
                         for j in 0..s {
                             let mut acc = 0.0f32;
                             for d in 0..dh {
-                                acc += dy.data()[(bi * s + i) * h + hd * dh + d]
-                                    * v.data()[(bi * s + j) * h + hd * dh + d];
+                                acc += dyd[(bi * s + i) * h + hd * dh + d]
+                                    * vd[(bi * s + j) * h + hd * dh + d];
                             }
-                            dp.data_mut()[((bi * heads + hd) * s + i) * s + j] = acc;
+                            plane[i * s + j] = acc;
                         }
                     }
                 }
-            }
+            });
             Ok(vec![dp])
         }
         Op::AttnContextGradV { heads } => {
             let (p, dy) = (ins[0], ins[1]);
             let (b, s, h) = (dy.shape()[0], dy.shape()[1], dy.shape()[2]);
+            let heads = *heads;
             let dh = h / heads;
             let mut dv = Tensor::zeros(vec![b, s, h]);
-            for bi in 0..b {
-                for hd in 0..*heads {
-                    for i in 0..s {
-                        for j in 0..s {
-                            let w = p.data()[((bi * heads + hd) * s + i) * s + j];
-                            if w == 0.0 {
-                                continue;
-                            }
-                            for d in 0..dh {
-                                dv.data_mut()[(bi * s + j) * h + hd * dh + d] +=
-                                    w * dy.data()[(bi * s + i) * h + hd * dh + d];
+            let (pd, dyd) = (p.data(), dy.data());
+            let view = SharedSliceMut::new(dv.data_mut());
+            par_ranges(b, 0, |batches| {
+                for bi in batches {
+                    // SAFETY: each batch owns its (s, h) gradient block.
+                    let blk = unsafe { view.range_mut(bi * s * h..(bi + 1) * s * h) };
+                    for hd in 0..heads {
+                        for i in 0..s {
+                            for j in 0..s {
+                                // No w == 0.0 short-circuit: 0·inf and
+                                // 0·NaN must propagate per IEEE 754.
+                                let w = pd[((bi * heads + hd) * s + i) * s + j];
+                                for d in 0..dh {
+                                    blk[j * h + hd * dh + d] +=
+                                        w * dyd[(bi * s + i) * h + hd * dh + d];
+                                }
                             }
                         }
                     }
                 }
-            }
+            });
             Ok(vec![dv])
         }
         Op::CrossEntropy => {

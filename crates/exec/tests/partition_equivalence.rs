@@ -3,7 +3,7 @@
 //! mathematical-equivalence claim (Fig. 5c), tested bit-for-bit at the IR
 //! level. These graphs are exactly what the partition pass emits.
 
-use lancet_exec::{init_weights, Bindings, Executor};
+use lancet_exec::{init_weights, Executor};
 use lancet_ir::{GateKind, Graph, Op, Role, TensorId};
 use lancet_tensor::{Tensor, TensorRng};
 

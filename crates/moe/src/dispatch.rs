@@ -1,7 +1,17 @@
 //! Token dispatch to expert buffers and gather back to token order.
+//!
+//! Large dispatch/gather calls chunk over the shared tensor thread pool:
+//! dispatch writes disjoint `(expert, position)` rows and gather writes
+//! disjoint token rows (accumulating each token's slots in ascending slot
+//! order), so results are bit-identical for any worker count.
 
 use crate::{MoeError, Result, Routing};
+use lancet_tensor::pool::{par_ranges, SharedSliceMut};
 use lancet_tensor::Tensor;
+
+/// Below this many moved elements the row copies run inline; pool
+/// scheduling overhead would dominate.
+const PAR_MIN_ELEMS: usize = 32 * 1024;
 
 /// Per-expert buffer position of every kept slot, assigned first-come in
 /// slot order (−1 for dropped slots). Dispatch and gather both derive
@@ -70,18 +80,29 @@ pub fn dispatch_dense(x: &Tensor, routing: &Routing, experts: usize, capacity: u
     let (_t, h) = check_tokens(x, routing)?;
     let k = routing.k.max(1);
     let slot = slots(routing, experts);
-    let mut buf = Tensor::zeros(vec![experts, capacity, h]);
-    for (idx, (&e, &s)) in routing.assign.iter().zip(&slot).enumerate() {
-        if e < 0 {
-            continue;
+    // Validate before fanning out; a panic must not unwind a pool worker.
+    for (&e, &s) in routing.assign.iter().zip(&slot) {
+        if e >= 0 {
+            assert!((s as usize) < capacity, "slot exceeds capacity; routing/capacity mismatch");
         }
-        let s = s as usize;
-        assert!(s < capacity, "slot exceeds capacity; routing/capacity mismatch");
-        let token = idx / k;
-        let dst = (e as usize * capacity + s) * h;
-        let src = token * h;
-        buf.data_mut()[dst..dst + h].copy_from_slice(&x.data()[src..src + h]);
     }
+    let mut buf = Tensor::zeros(vec![experts, capacity, h]);
+    let xd = x.data();
+    let view = SharedSliceMut::new(buf.data_mut());
+    let tasks = if routing.assign.len() * h >= PAR_MIN_ELEMS { 0 } else { 1 };
+    par_ranges(routing.assign.len(), tasks, |slot_range| {
+        for idx in slot_range {
+            let e = routing.assign[idx];
+            if e < 0 {
+                continue;
+            }
+            let token = idx / k;
+            let dst = (e as usize * capacity + slot[idx] as usize) * h;
+            // SAFETY: every kept slot owns a unique (expert, position) row.
+            unsafe { view.range_mut(dst..dst + h) }
+                .copy_from_slice(&xd[token * h..(token + 1) * h]);
+        }
+    });
     Ok(buf)
 }
 
@@ -105,18 +126,29 @@ pub fn gather_dense(buf: &Tensor, routing: &Routing, experts: usize, capacity: u
     let t = routing.tokens();
     let slot = slots(routing, experts);
     let mut y = Tensor::zeros(vec![t, h]);
-    for (idx, (&e, &s)) in routing.assign.iter().zip(&slot).enumerate() {
-        if e < 0 {
-            continue;
+    let bd = buf.data();
+    let view = SharedSliceMut::new(y.data_mut());
+    let tasks = if routing.len() * h >= PAR_MIN_ELEMS { 0 } else { 1 };
+    par_ranges(t, tasks, |token_range| {
+        // SAFETY: each task owns a contiguous block of token rows.
+        let rows = unsafe { view.range_mut(token_range.start * h..token_range.end * h) };
+        for token in token_range.clone() {
+            let dst = (token - token_range.start) * h;
+            // Slots of one token are consumed in ascending order — the
+            // same accumulation order as the sequential gather.
+            for idx in token * k..(token + 1) * k {
+                let e = routing.assign[idx];
+                if e < 0 {
+                    continue;
+                }
+                let src = (e as usize * capacity + slot[idx] as usize) * h;
+                let w = routing.scale[idx];
+                for i in 0..h {
+                    rows[dst + i] += w * bd[src + i];
+                }
+            }
         }
-        let token = idx / k;
-        let src = (e as usize * capacity + s as usize) * h;
-        let dst = token * h;
-        let w = routing.scale[idx];
-        for i in 0..h {
-            y.data_mut()[dst + i] += w * buf.data()[src + i];
-        }
-    }
+    });
     Ok(y)
 }
 

@@ -1,0 +1,547 @@
+//! The packed, cache-blocked matmul engine behind [`Tensor::matmul`],
+//! [`Tensor::matmul_t`] and [`Tensor::batched_matmul`].
+//!
+//! # Why packing
+//!
+//! The seed kernel walked `a_at`/`b_at` index closures per element — a
+//! branch and a strided load per multiply, and no cache reuse: each output
+//! row re-streamed the whole `B` matrix from memory. This module instead
+//! follows the classic GotoBLAS/BLIS structure:
+//!
+//! 1. **Pack `B` once** into `KC × NC` panels of `NR`-wide column strips
+//!    (transposes are resolved during packing, so the micro-kernel only
+//!    ever streams contiguous data).
+//! 2. **Pack `A`** per `MC × KC` block into a worker-local buffer,
+//!    interleaved in `MR`-row groups.
+//! 3. A **register-tiled micro-kernel** updates an `MR × NR` output tile
+//!    with the accumulators held in registers across the whole `KC`
+//!    depth — one output load and one store per tile instead of one per
+//!    `k` step. On x86-64 an AVX-512 or AVX2-compiled copy of the kernel
+//!    is selected at runtime (vectorizing across *independent* output
+//!    elements only, so lane width never changes results; no FMA
+//!    contraction is used).
+//!
+//! # Determinism contract
+//!
+//! Every kernel in this module accumulates each output element in **the
+//! same order: `k` ascending** (`KC` blocks ascending, offsets ascending
+//! inside a block — exactly the reference kernel's order). Workers split
+//! the *output* by row blocks, so each element is written by one task.
+//! Consequently [`matmul_tiled`] is bit-identical to [`matmul_reference`]
+//! for every shape, transpose combination, worker count, and SIMD path —
+//! enforced by `tests/backend_props.rs` and relied on by the fig05
+//! equivalence harness.
+//!
+//! Unlike the seed kernel, no `a == 0.0` short-circuit is applied: skipping
+//! a zero multiplicand silently dropped `0 · ∞` and `0 · NaN`
+//! contributions, diverging from IEEE semantics on non-finite inputs.
+
+use crate::pool::{self, SharedSliceMut};
+use crate::{Result, Tensor, TensorError};
+
+/// Rows per packed `A` block (output rows processed per task step).
+pub const MC: usize = 64;
+/// Depth of a packed panel (the `k`-blocking factor).
+pub const KC: usize = 256;
+/// Columns per packed `B` panel.
+pub const NC: usize = 512;
+/// Output rows per register tile.
+const MR: usize = 4;
+/// Output columns per register tile (the width of a packed `B` strip).
+/// `MR × NR` accumulators fit the 16 AVX2 vector registers; with AVX-512
+/// each row is a single 16-lane register.
+const NR: usize = 16;
+
+/// Problems smaller than this many multiply-adds skip packing and run the
+/// reference kernel directly (identical bits, less setup).
+const SMALL_GEMM: usize = 32 * 32 * 32;
+
+/// Validates rank-2 shapes and resolves virtual transposes to `(m, k, n)`.
+fn matmul_dims(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<(usize, usize, usize)> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: a.rank() });
+    }
+    if b.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: b.rank() });
+    }
+    let (ar, ac) = (a.shape()[0], a.shape()[1]);
+    let (br, bc) = (b.shape()[0], b.shape()[1]);
+    let (m, ka) = if ta { (ac, ar) } else { (ar, ac) };
+    let (kb, n) = if tb { (bc, br) } else { (br, bc) };
+    if ka != kb {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    Ok((m, ka, n))
+}
+
+/// The retained naive kernel: a per-element triple loop over index
+/// closures, kept as the executable specification the tiled engine is
+/// tested against (and as the benchmark baseline).
+///
+/// Accumulation order per output element is `k` ascending. No zero
+/// short-circuit: `0 · ∞ = NaN` propagates per IEEE 754.
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul_t`].
+pub fn matmul_reference(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Tensor> {
+    let (m, k, n) = matmul_dims(a, b, ta, tb)?;
+    let mut out = vec![0.0f32; m * n];
+    reference_into(m, k, n, a.data(), a.shape()[1], ta, b.data(), b.shape()[1], tb, &mut out);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+fn reference_into(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ac: usize,
+    ta: bool,
+    b: &[f32],
+    bc: usize,
+    tb: bool,
+    out: &mut [f32],
+) {
+    let a_at = |i: usize, p: usize| if ta { a[p * ac + i] } else { a[i * ac + p] };
+    let b_at = |p: usize, j: usize| if tb { b[j * bc + p] } else { b[p * bc + j] };
+    for i in 0..m {
+        for p in 0..k {
+            let av = a_at(i, p);
+            for j in 0..n {
+                out[i * n + j] += av * b_at(p, j);
+            }
+        }
+    }
+}
+
+/// The packed, cache-blocked, multi-threaded matmul.
+///
+/// `workers = 0` auto-sizes from the shared pool
+/// ([`pool::default_workers`]); `workers = 1` runs sequentially on the
+/// calling thread. Any value is bit-identical to [`matmul_reference`].
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul_t`].
+pub fn matmul_tiled(a: &Tensor, b: &Tensor, ta: bool, tb: bool, workers: usize) -> Result<Tensor> {
+    let (m, k, n) = matmul_dims(a, b, ta, tb)?;
+    if m * k * n <= SMALL_GEMM {
+        return matmul_reference(a, b, ta, tb);
+    }
+    let mut out = vec![0.0f32; m * n];
+    let w = pool::resolve_workers(workers);
+    let bpack = pack_b(k, n, b.data(), b.shape()[1], tb, w);
+    gemm_packed(m, k, n, a.data(), a.shape()[1], ta, &bpack, &mut out, w);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Reference batched matmul `(B, M, K) x (B, K, N)`: the naive loop, one
+/// expert at a time, no zero short-circuit.
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::batched_matmul`].
+pub fn batched_matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
+    let (bt, m, k, n) = batched_dims(a, b)?;
+    let mut out = vec![0.0f32; bt * m * n];
+    for bi in 0..bt {
+        reference_into(
+            m,
+            k,
+            n,
+            &a.data()[bi * m * k..(bi + 1) * m * k],
+            k,
+            false,
+            &b.data()[bi * k * n..(bi + 1) * k * n],
+            n,
+            false,
+            &mut out[bi * m * n..(bi + 1) * m * n],
+        );
+    }
+    Tensor::from_vec(vec![bt, m, n], out)
+}
+
+/// Tiled batched matmul, parallelized over the leading (expert) axis.
+///
+/// Each expert's product runs the packed kernel sequentially inside its
+/// task, so results are bit-identical to [`batched_matmul_reference`]
+/// for any `workers` (`0` = auto).
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::batched_matmul`].
+pub fn batched_matmul_tiled(a: &Tensor, b: &Tensor, workers: usize) -> Result<Tensor> {
+    let (bt, m, k, n) = batched_dims(a, b)?;
+    if bt == 0 || m * k * n <= SMALL_GEMM {
+        return batched_matmul_reference(a, b);
+    }
+    let mut out = vec![0.0f32; bt * m * n];
+    let w = pool::resolve_workers(workers);
+    if bt == 1 {
+        // A single expert cannot use the batch axis; split rows instead.
+        let bpack = pack_b(k, n, b.data(), n, false, w);
+        gemm_packed(m, k, n, a.data(), k, false, &bpack, &mut out, w);
+        return Tensor::from_vec(vec![bt, m, n], out);
+    }
+    let view = SharedSliceMut::new(&mut out);
+    let (a_data, b_data) = (a.data(), b.data());
+    pool::par_ranges(bt, w, |experts| {
+        for bi in experts {
+            // SAFETY: expert output ranges are disjoint across tasks.
+            let out_e = unsafe { view.range_mut(bi * m * n..(bi + 1) * m * n) };
+            let bpack = pack_b(k, n, &b_data[bi * k * n..(bi + 1) * k * n], n, false, 1);
+            gemm_packed(m, k, n, &a_data[bi * m * k..(bi + 1) * m * k], k, false, &bpack, out_e, 1);
+        }
+    });
+    Tensor::from_vec(vec![bt, m, n], out)
+}
+
+fn batched_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize, usize)> {
+    if a.rank() != 3 || b.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "batched_matmul",
+            expected: 3,
+            actual: if a.rank() != 3 { a.rank() } else { b.rank() },
+        });
+    }
+    let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    let (b2, k2, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+    if bt != b2 || k != k2 {
+        return Err(TensorError::ShapeMismatch {
+            op: "batched_matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.shape().to_vec(),
+        });
+    }
+    Ok((bt, m, k, n))
+}
+
+/// Packs `B` (resolving a virtual transpose) into `KC × NC` panels laid
+/// out panel-major: panel `(kci, nci)` starts at `(kci * num_nc + nci) *
+/// KC * NC`. Within a panel, columns are grouped into `NR`-wide strips;
+/// strip `s` starts at `s * kcb * NR`, is `pp`-major and contiguous, so
+/// the micro-kernel streams `B` linearly while sweeping `k`.
+fn pack_b(k: usize, n: usize, b: &[f32], bc: usize, tb: bool, workers: usize) -> Vec<f32> {
+    let num_kc = k.div_ceil(KC);
+    let num_nc = n.div_ceil(NC);
+    let mut pack = vec![0.0f32; num_kc * num_nc * KC * NC];
+    let view = SharedSliceMut::new(&mut pack);
+    pool::par_ranges(num_kc * num_nc, workers, |panels| {
+        for panel in panels {
+            let (kci, nci) = (panel / num_nc, panel % num_nc);
+            let (p0, j0) = (kci * KC, nci * NC);
+            let kcb = KC.min(k - p0);
+            let ncb = NC.min(n - j0);
+            let base = panel * KC * NC;
+            // SAFETY: panel ranges are disjoint across tasks.
+            let dst = unsafe { view.range_mut(base..base + kcb * ncb) };
+            for (s, strip) in dst.chunks_mut(kcb * NR).enumerate() {
+                let c0 = s * NR;
+                let w = NR.min(ncb - c0);
+                for pp in 0..kcb {
+                    let row = &mut strip[pp * w..pp * w + w];
+                    if tb {
+                        for (c, x) in row.iter_mut().enumerate() {
+                            *x = b[(j0 + c0 + c) * bc + (p0 + pp)];
+                        }
+                    } else {
+                        let src = (p0 + pp) * bc + j0 + c0;
+                        row.copy_from_slice(&b[src..src + w]);
+                    }
+                }
+            }
+        }
+    });
+    pack
+}
+
+/// Arguments threaded through the blocked kernels.
+struct Gemm<'a> {
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &'a [f32],
+    /// Stored column count of `a` (stride between stored rows).
+    ac: usize,
+    ta: bool,
+    bpack: &'a [f32],
+    num_nc: usize,
+    out: SharedSliceMut<'a>,
+}
+
+/// Runs the packed kernel over `out`, splitting `MC` row blocks across at
+/// most `workers` tasks.
+fn gemm_packed(
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    ac: usize,
+    ta: bool,
+    bpack: &[f32],
+    out: &mut [f32],
+    workers: usize,
+) {
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let g = Gemm { m, k, n, a, ac, ta, bpack, num_nc: n.div_ceil(NC), out: SharedSliceMut::new(out) };
+    let num_mc = m.div_ceil(MC);
+    pool::par_ranges(num_mc, workers, |blocks| compute_blocks(&g, blocks));
+}
+
+/// Dispatches a block range to the widest kernel the CPU supports. The
+/// AVX-512/AVX2 copies differ only in codegen (16/8-lane vectorization of
+/// the same loops, across independent output elements) — results are
+/// bit-identical.
+fn compute_blocks(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
+    #[cfg(target_arch = "x86_64")]
+    {
+        use std::sync::OnceLock;
+        #[derive(Clone, Copy)]
+        enum Isa {
+            Avx512,
+            Avx2,
+            Portable,
+        }
+        static ISA: OnceLock<Isa> = OnceLock::new();
+        let isa = *ISA.get_or_init(|| {
+            if std::arch::is_x86_feature_detected!("avx512f") {
+                Isa::Avx512
+            } else if std::arch::is_x86_feature_detected!("avx2") {
+                Isa::Avx2
+            } else {
+                Isa::Portable
+            }
+        });
+        match isa {
+            // SAFETY: the matching CPU feature was verified at runtime.
+            Isa::Avx512 => return unsafe { compute_blocks_avx512(g, blocks) },
+            // SAFETY: as above.
+            Isa::Avx2 => return unsafe { compute_blocks_avx2(g, blocks) },
+            Isa::Portable => {}
+        }
+    }
+    compute_blocks_portable(g, blocks);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f")]
+unsafe fn compute_blocks_avx512(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
+    compute_blocks_impl(g, blocks);
+}
+
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx2")]
+unsafe fn compute_blocks_avx2(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
+    compute_blocks_impl(g, blocks);
+}
+
+fn compute_blocks_portable(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
+    compute_blocks_impl(g, blocks);
+}
+
+/// The blocked loop nest for a contiguous range of `MC` row blocks.
+/// `#[inline(always)]` so each dispatch wrapper compiles its own copy
+/// with its own target features.
+#[inline(always)]
+fn compute_blocks_impl(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
+    let mut apack = vec![0.0f32; MC * KC];
+    for blk in blocks {
+        let i0 = blk * MC;
+        let mcb = MC.min(g.m - i0);
+        // SAFETY: `MC` row-block ranges are disjoint across tasks.
+        let out_rows = unsafe { g.out.range_mut(i0 * g.n..(i0 + mcb) * g.n) };
+        for kci in 0..g.k.div_ceil(KC) {
+            let p0 = kci * KC;
+            let kcb = KC.min(g.k - p0);
+            pack_a(g, i0, mcb, p0, kcb, &mut apack);
+            for nci in 0..g.num_nc {
+                let j0 = nci * NC;
+                let ncb = NC.min(g.n - j0);
+                let base = (kci * g.num_nc + nci) * (KC * NC);
+                let panel = &g.bpack[base..base + kcb * ncb];
+                macro_tile(out_rows, g.n, j0, mcb, kcb, ncb, &apack[..mcb * kcb], panel);
+            }
+        }
+    }
+}
+
+/// Copies the `mcb × kcb` block of `A` at `(i0, p0)` into `apack`,
+/// resolving a virtual transpose. Rows are interleaved in `MR`-row
+/// groups: group `g` starts at `g * MR * kcb`, is `pp`-major with its
+/// `rows` values contiguous per `k` step, matching the micro-kernel's
+/// broadcast order.
+#[inline(always)]
+fn pack_a(g: &Gemm<'_>, i0: usize, mcb: usize, p0: usize, kcb: usize, apack: &mut [f32]) {
+    for (grp, chunk) in apack[..mcb * kcb].chunks_mut(MR * kcb).enumerate() {
+        let r0 = grp * MR;
+        let rows = MR.min(mcb - r0);
+        for pp in 0..kcb {
+            for r in 0..rows {
+                let (i, p) = (i0 + r0 + r, p0 + pp);
+                chunk[pp * rows + r] = if g.ta { g.a[p * g.ac + i] } else { g.a[i * g.ac + p] };
+            }
+        }
+    }
+}
+
+/// Accumulates an `mcb × ncb` output tile as a grid of `MR × NR` register
+/// tiles; edge tiles (row or column remainders) fall back to an
+/// order-identical scalar path. The `out` slice covers rows
+/// `i0..i0+mcb` of the full output (stride `n`); columns `j0` onward are
+/// updated.
+#[inline(always)]
+fn macro_tile(
+    out: &mut [f32],
+    n: usize,
+    j0: usize,
+    mcb: usize,
+    kcb: usize,
+    ncb: usize,
+    apack: &[f32],
+    panel: &[f32],
+) {
+    for (grp, astrip) in apack.chunks(MR * kcb).enumerate() {
+        let r0 = grp * MR;
+        let rows = MR.min(mcb - r0);
+        for (s, bstrip) in panel.chunks(kcb * NR).enumerate() {
+            let c0 = s * NR;
+            let w = NR.min(ncb - c0);
+            let off = r0 * n + j0 + c0;
+            if rows == MR && w == NR {
+                tile_full(out, n, off, kcb, astrip, bstrip);
+            } else {
+                tile_edge(out, n, off, rows, kcb, w, astrip, bstrip);
+            }
+        }
+    }
+}
+
+/// The register-tiled inner kernel: an `MR × NR` accumulator grid loaded
+/// once, swept over the whole `kcb` depth (`k` ascending, left-associated
+/// adds — the reference accumulation order), stored once. The fixed-size
+/// `NR` loops vectorize across independent output elements; there is no
+/// reduction, so lane width cannot change results.
+#[inline(always)]
+fn tile_full(out: &mut [f32], n: usize, off: usize, kcb: usize, astrip: &[f32], bstrip: &[f32]) {
+    let mut acc = [[0.0f32; NR]; MR];
+    for (r, accr) in acc.iter_mut().enumerate() {
+        accr.copy_from_slice(&out[off + r * n..off + r * n + NR]);
+    }
+    for pp in 0..kcb {
+        let b: &[f32; NR] = bstrip[pp * NR..pp * NR + NR].try_into().expect("strip width");
+        let a = &astrip[pp * MR..pp * MR + MR];
+        for (r, accr) in acc.iter_mut().enumerate() {
+            let ar = a[r];
+            for (o, &bv) in accr.iter_mut().zip(b) {
+                *o += ar * bv;
+            }
+        }
+    }
+    for (r, accr) in acc.iter().enumerate() {
+        out[off + r * n..off + r * n + NR].copy_from_slice(accr);
+    }
+}
+
+/// Remainder tiles (< `MR` rows or < `NR` columns): same `k`-ascending
+/// per-element order, operand widths from the packed layouts.
+#[inline(always)]
+fn tile_edge(
+    out: &mut [f32],
+    n: usize,
+    off: usize,
+    rows: usize,
+    kcb: usize,
+    w: usize,
+    astrip: &[f32],
+    bstrip: &[f32],
+) {
+    for pp in 0..kcb {
+        let b = &bstrip[pp * w..pp * w + w];
+        let a = &astrip[pp * rows..pp * rows + rows];
+        for (r, &av) in a.iter().enumerate() {
+            let orow = &mut out[off + r * n..off + r * n + w];
+            for (o, &bv) in orow.iter_mut().zip(b) {
+                *o += av * bv;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::TensorRng;
+
+    fn close(a: &Tensor, b: &Tensor) {
+        assert_eq!(a.shape(), b.shape());
+        assert_eq!(a.data(), b.data(), "tiled must be bit-identical to reference");
+    }
+
+    #[test]
+    fn tiled_matches_reference_beyond_block_bounds() {
+        let mut rng = TensorRng::seed(11);
+        // Shapes straddling MC/KC/NC boundaries, including remainders.
+        for (m, k, n) in [(1, 1, 1), (5, 7, 3), (64, 256, 512), (65, 257, 513), (130, 300, 70)] {
+            let a = rng.uniform(vec![m, k], -1.0, 1.0);
+            let b = rng.uniform(vec![k, n], -1.0, 1.0);
+            let reference = matmul_reference(&a, &b, false, false).unwrap();
+            for workers in [1, 2, 0] {
+                close(&matmul_tiled(&a, &b, false, false, workers).unwrap(), &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn transposed_operands_match_reference() {
+        let mut rng = TensorRng::seed(12);
+        let (m, k, n) = (70, 90, 110);
+        for (ta, tb) in [(false, true), (true, false), (true, true)] {
+            let a_dims = if ta { vec![k, m] } else { vec![m, k] };
+            let b_dims = if tb { vec![n, k] } else { vec![k, n] };
+            let a = rng.uniform(a_dims, -1.0, 1.0);
+            let b = rng.uniform(b_dims, -1.0, 1.0);
+            let reference = matmul_reference(&a, &b, ta, tb).unwrap();
+            close(&matmul_tiled(&a, &b, ta, tb, 0).unwrap(), &reference);
+        }
+    }
+
+    #[test]
+    fn batched_matches_reference() {
+        let mut rng = TensorRng::seed(13);
+        for (bt, m, k, n) in [(1, 40, 50, 60), (3, 33, 65, 40), (8, 16, 64, 48)] {
+            let a = rng.uniform(vec![bt, m, k], -1.0, 1.0);
+            let b = rng.uniform(vec![bt, k, n], -1.0, 1.0);
+            let reference = batched_matmul_reference(&a, &b).unwrap();
+            for workers in [1, 2, 0] {
+                close(&batched_matmul_tiled(&a, &b, workers).unwrap(), &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn non_finite_inputs_propagate() {
+        // 0 · ∞ must be NaN (the seed kernel's zero short-circuit dropped it).
+        let a = Tensor::from_vec(vec![1, 2], vec![0.0, 1.0]).unwrap();
+        let b = Tensor::from_vec(vec![2, 1], vec![f32::INFINITY, 2.0]).unwrap();
+        let y = matmul_reference(&a, &b, false, false).unwrap();
+        assert!(y.data()[0].is_nan(), "0·∞ + 1·2 must be NaN, got {}", y.data()[0]);
+        let yt = matmul_tiled(&a, &b, false, false, 0).unwrap();
+        assert!(yt.data()[0].is_nan());
+    }
+
+    #[test]
+    fn shape_errors_match_api() {
+        let a = Tensor::zeros(vec![2, 3]);
+        let b = Tensor::zeros(vec![2, 3]);
+        assert!(matmul_tiled(&a, &b, false, false, 0).is_err());
+        assert!(matmul_tiled(&a, &b, false, true, 0).is_ok());
+        assert!(matmul_reference(&a, &Tensor::zeros(vec![3]), false, false).is_err());
+    }
+}

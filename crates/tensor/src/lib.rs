@@ -3,10 +3,12 @@
 //! This crate is the numerical substrate for the [IR executor]: a small,
 //! dependency-free n-dimensional array library with exactly the kernels a
 //! Transformer-with-MoE model needs (matmul, softmax, layer norm, GELU,
-//! elementwise arithmetic, axis slicing/concatenation). It favours clarity
-//! and determinism over raw speed — the executor runs tiny model configs to
-//! check mathematical equivalence of compiler transformations, it does not
-//! train real models.
+//! elementwise arithmetic, axis slicing/concatenation). Matmuls run on a
+//! packed, cache-blocked engine ([`gemm`]) parallelized over a persistent
+//! shared thread pool ([`pool`]); every kernel keeps a fixed per-element
+//! accumulation order, so results are bit-identical for any worker count —
+//! the executor runs tiny model configs to check mathematical equivalence of
+//! compiler transformations, and that check demands determinism.
 //!
 //! [IR executor]: https://docs.rs/lancet-exec
 //!
@@ -24,8 +26,10 @@
 //! ```
 
 mod error;
+pub mod gemm;
 mod init;
 mod ops;
+pub mod pool;
 mod shape;
 mod tensor;
 

@@ -2,11 +2,86 @@
 //!
 //! All kernels allocate their output; inputs are never mutated. Shapes are
 //! validated and mismatches reported via [`TensorError`].
+//!
+//! Dense matrix products run on the packed, cache-blocked engine in
+//! [`crate::gemm`]; elementwise maps and row-wise reductions chunk over
+//! the shared [`crate::pool`] once tensors are large enough to pay for
+//! it. Both are bit-identical at any worker count (module docs carry the
+//! determinism contract).
 
+use crate::pool::{self, SharedSliceMut};
 use crate::{Result, Shape, Tensor, TensorError};
 
+/// Elementwise kernels on tensors smaller than this run inline; chunking
+/// tiny maps over the pool costs more in handoff than it saves.
+const PAR_ELEMENTWISE_MIN: usize = 32 * 1024;
+
+/// Maps `f` over `src` into a new buffer, chunk-parallel for large inputs.
+fn unary_map(src: &[f32], f: impl Fn(f32) -> f32 + Sync) -> Vec<f32> {
+    let mut out = vec![0.0f32; src.len()];
+    if src.len() < PAR_ELEMENTWISE_MIN {
+        for (o, &s) in out.iter_mut().zip(src) {
+            *o = f(s);
+        }
+    } else {
+        let view = SharedSliceMut::new(&mut out);
+        pool::par_ranges(src.len(), 0, |r| {
+            // SAFETY: `par_ranges` ranges are disjoint.
+            let dst = unsafe { view.range_mut(r.clone()) };
+            for (o, &s) in dst.iter_mut().zip(&src[r]) {
+                *o = f(s);
+            }
+        });
+    }
+    out
+}
+
+/// Zips `f` over two equal-length buffers, chunk-parallel for large inputs.
+fn binary_map(a: &[f32], b: &[f32], f: impl Fn(f32, f32) -> f32 + Sync) -> Vec<f32> {
+    debug_assert_eq!(a.len(), b.len());
+    let mut out = vec![0.0f32; a.len()];
+    if a.len() < PAR_ELEMENTWISE_MIN {
+        for (o, (&x, &y)) in out.iter_mut().zip(a.iter().zip(b)) {
+            *o = f(x, y);
+        }
+    } else {
+        let view = SharedSliceMut::new(&mut out);
+        pool::par_ranges(a.len(), 0, |r| {
+            // SAFETY: `par_ranges` ranges are disjoint.
+            let dst = unsafe { view.range_mut(r.clone()) };
+            for (o, (&x, &y)) in dst.iter_mut().zip(a[r.clone()].iter().zip(&b[r])) {
+                *o = f(x, y);
+            }
+        });
+    }
+    out
+}
+
+/// Applies `f` to each contiguous `d`-element row, chunk-parallel over
+/// rows for large inputs. `src` and the output have identical layout.
+fn rowwise_map(src: &[f32], d: usize, f: impl Fn(&[f32], &mut [f32]) + Sync) -> Vec<f32> {
+    let d = d.max(1);
+    let rows = src.len() / d;
+    let mut out = vec![0.0f32; src.len()];
+    if src.len() < PAR_ELEMENTWISE_MIN || rows <= 1 {
+        for (srow, orow) in src.chunks(d).zip(out.chunks_mut(d)) {
+            f(srow, orow);
+        }
+    } else {
+        let view = SharedSliceMut::new(&mut out);
+        pool::par_ranges(rows, 0, |r| {
+            // SAFETY: row ranges from `par_ranges` are disjoint.
+            let dst = unsafe { view.range_mut(r.start * d..r.end * d) };
+            for (srow, orow) in src[r.start * d..r.end * d].chunks(d).zip(dst.chunks_mut(d)) {
+                f(srow, orow);
+            }
+        });
+    }
+    out
+}
+
 impl Tensor {
-    fn zip_elementwise(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32) -> Result<Tensor> {
+    fn zip_elementwise(&self, other: &Tensor, op: &'static str, f: impl Fn(f32, f32) -> f32 + Sync) -> Result<Tensor> {
         if self.shape() != other.shape() {
             return Err(TensorError::ShapeMismatch {
                 op,
@@ -14,12 +89,7 @@ impl Tensor {
                 rhs: other.shape().to_vec(),
             });
         }
-        let data = self
-            .data()
-            .iter()
-            .zip(other.data())
-            .map(|(&a, &b)| f(a, b))
-            .collect();
+        let data = binary_map(self.data(), other.data(), f);
         Tensor::from_vec(self.shape().to_vec(), data)
     }
 
@@ -52,7 +122,7 @@ impl Tensor {
 
     /// Multiplies every element by `s`.
     pub fn scale(&self, s: f32) -> Tensor {
-        let data = self.data().iter().map(|&a| a * s).collect();
+        let data = unary_map(self.data(), |a| a * s);
         Tensor::from_vec(self.shape().to_vec(), data).expect("same volume")
     }
 
@@ -98,99 +168,35 @@ impl Tensor {
     /// Matrix product with optional transposes applied to either operand.
     ///
     /// `transpose_a`/`transpose_b` interpret the stored `(R, C)` buffer as
-    /// its transpose without materializing it.
+    /// its transpose without materializing it. Runs on the packed tiled
+    /// engine ([`crate::gemm`]) over the shared thread pool; results are
+    /// bit-identical for any worker count and follow IEEE semantics on
+    /// non-finite inputs.
     ///
     /// # Errors
     ///
     /// Same conditions as [`Tensor::matmul`].
     pub fn matmul_t(&self, other: &Tensor, transpose_a: bool, transpose_b: bool) -> Result<Tensor> {
-        if self.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: self.rank() });
-        }
-        if other.rank() != 2 {
-            return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: other.rank() });
-        }
-        let (ar, ac) = (self.shape()[0], self.shape()[1]);
-        let (br, bc) = (other.shape()[0], other.shape()[1]);
-        let (m, ka) = if transpose_a { (ac, ar) } else { (ar, ac) };
-        let (kb, n) = if transpose_b { (bc, br) } else { (br, bc) };
-        if ka != kb {
-            return Err(TensorError::ShapeMismatch {
-                op: "matmul",
-                lhs: self.shape().to_vec(),
-                rhs: other.shape().to_vec(),
-            });
-        }
-        let k = ka;
-        let a = self.data();
-        let b = other.data();
-        let mut out = vec![0.0f32; m * n];
-        // Index helpers honouring the virtual transpose.
-        let a_at = |i: usize, p: usize| if transpose_a { a[p * ac + i] } else { a[i * ac + p] };
-        let b_at = |p: usize, j: usize| if transpose_b { b[j * bc + p] } else { b[p * bc + j] };
-        for i in 0..m {
-            for p in 0..k {
-                let av = a_at(i, p);
-                if av == 0.0 {
-                    continue;
-                }
-                for j in 0..n {
-                    out[i * n + j] += av * b_at(p, j);
-                }
-            }
-        }
-        Tensor::from_vec(vec![m, n], out)
+        crate::gemm::matmul_tiled(self, other, transpose_a, transpose_b, 0)
     }
 
     /// Batched matrix product: `(B, M, K) x (B, K, N) -> (B, M, N)`.
     ///
     /// Used for per-expert FFN computation where the leading axis indexes
-    /// experts.
+    /// experts; the shared thread pool parallelizes over that axis with
+    /// bit-identical results at any worker count (see [`crate::gemm`]).
     ///
     /// # Errors
     ///
     /// Returns [`TensorError::RankMismatch`]/[`TensorError::ShapeMismatch`]
     /// on malformed inputs.
     pub fn batched_matmul(&self, other: &Tensor) -> Result<Tensor> {
-        if self.rank() != 3 || other.rank() != 3 {
-            return Err(TensorError::RankMismatch {
-                op: "batched_matmul",
-                expected: 3,
-                actual: if self.rank() != 3 { self.rank() } else { other.rank() },
-            });
-        }
-        let (b, m, k) = (self.shape()[0], self.shape()[1], self.shape()[2]);
-        let (b2, k2, n) = (other.shape()[0], other.shape()[1], other.shape()[2]);
-        if b != b2 || k != k2 {
-            return Err(TensorError::ShapeMismatch {
-                op: "batched_matmul",
-                lhs: self.shape().to_vec(),
-                rhs: other.shape().to_vec(),
-            });
-        }
-        let mut out = vec![0.0f32; b * m * n];
-        for bi in 0..b {
-            let a_off = bi * m * k;
-            let b_off = bi * k * n;
-            let o_off = bi * m * n;
-            for i in 0..m {
-                for p in 0..k {
-                    let av = self.data()[a_off + i * k + p];
-                    if av == 0.0 {
-                        continue;
-                    }
-                    for j in 0..n {
-                        out[o_off + i * n + j] += av * other.data()[b_off + p * n + j];
-                    }
-                }
-            }
-        }
-        Tensor::from_vec(vec![b, m, n], out)
+        crate::gemm::batched_matmul_tiled(self, other, 0)
     }
 
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
-        let data = self.data().iter().map(|&x| x.max(0.0)).collect();
+        let data = unary_map(self.data(), |x| x.max(0.0));
         Tensor::from_vec(self.shape().to_vec(), data).expect("same volume")
     }
 
@@ -205,7 +211,7 @@ impl Tensor {
 
     /// GELU activation (tanh approximation, as used by GPT-2).
     pub fn gelu(&self) -> Tensor {
-        let data = self.data().iter().map(|&x| gelu_scalar(x)).collect();
+        let data = unary_map(self.data(), gelu_scalar);
         Tensor::from_vec(self.shape().to_vec(), data).expect("same volume")
     }
 
@@ -219,14 +225,14 @@ impl Tensor {
     }
 
     /// Softmax over the last dimension, numerically stabilized.
+    /// Rows are independent, so large inputs chunk over the shared pool.
     pub fn softmax_last(&self) -> Tensor {
         let d = *self.shape().last().unwrap_or(&1);
-        let mut out = self.clone();
-        for row in out.data_mut().chunks_mut(d.max(1)) {
-            let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+        let data = rowwise_map(self.data(), d, |src, row| {
+            let max = src.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
             let mut sum = 0.0f32;
-            for x in row.iter_mut() {
-                *x = (*x - max).exp();
+            for (x, &s) in row.iter_mut().zip(src) {
+                *x = (s - max).exp();
                 sum += *x;
             }
             if sum > 0.0 {
@@ -234,8 +240,8 @@ impl Tensor {
                     *x /= sum;
                 }
             }
-        }
-        out
+        });
+        Tensor::from_vec(self.shape().to_vec(), data).expect("same volume")
     }
 
     /// Gradient of [`Tensor::softmax_last`].
@@ -808,7 +814,7 @@ mod permute_tests {
 impl Tensor {
     /// SiLU (swish) activation: `x · sigmoid(x)`.
     pub fn silu(&self) -> Tensor {
-        let data = self.data().iter().map(|&x| silu_scalar(x)).collect();
+        let data = unary_map(self.data(), silu_scalar);
         Tensor::from_vec(self.shape().to_vec(), data).expect("same volume")
     }
 

@@ -1,0 +1,122 @@
+//! Property tests for the packed GEMM backend's determinism contract.
+//!
+//! The tiled engine ([`lancet_tensor::gemm`]) must be **bit-identical** to
+//! the retained naive reference kernel — not merely close — for every
+//! shape, operand transpose, and worker count. These tests sample random
+//! problems whose dimensions straddle the blocking constants
+//! (`MR`/`NR`/`MC`/`KC`/`NC`), so packed-edge and full-tile code paths are
+//! both exercised, and compare `Tensor::data()` exactly.
+
+use lancet_tensor::{gemm, Tensor, TensorRng};
+use proptest::prelude::*;
+
+/// Worker counts the contract quantifies over: sequential, two-way, auto.
+const WORKER_COUNTS: [usize; 3] = [1, 2, 0];
+
+fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
+    TensorRng::seed(seed).uniform(shape, -2.0, 2.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+    /// Tiled output equals the reference bit for bit across random shapes
+    /// spanning the micro/macro tile edges, both transposes, and all
+    /// worker counts.
+    #[test]
+    fn tiled_matmul_is_bit_identical(
+        dims in (1usize..80, 1usize..300, 1usize..560),
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = dims;
+        let a = if ta {
+            random_tensor(vec![k, m], seed)
+        } else {
+            random_tensor(vec![m, k], seed)
+        };
+        let b = if tb {
+            random_tensor(vec![n, k], seed ^ 0x9E37_79B9)
+        } else {
+            random_tensor(vec![k, n], seed ^ 0x9E37_79B9)
+        };
+        let reference = gemm::matmul_reference(&a, &b, ta, tb).unwrap();
+        for workers in WORKER_COUNTS {
+            let tiled = gemm::matmul_tiled(&a, &b, ta, tb, workers).unwrap();
+            prop_assert_eq!(reference.shape(), tiled.shape());
+            prop_assert!(
+                reference.data() == tiled.data(),
+                "matmul diverged from reference: m={m} k={k} n={n} ta={ta} tb={tb} workers={workers}"
+            );
+        }
+    }
+
+    /// The batched (per-expert) engine is bit-identical to the reference
+    /// for every expert count and worker count.
+    #[test]
+    fn tiled_batched_matmul_is_bit_identical(
+        dims in (1usize..5, 1usize..40, 1usize..70, 1usize..90),
+        seed in any::<u64>(),
+    ) {
+        let (e, m, k, n) = dims;
+        let a = random_tensor(vec![e, m, k], seed);
+        let b = random_tensor(vec![e, k, n], seed ^ 0x5EED);
+        let reference = gemm::batched_matmul_reference(&a, &b).unwrap();
+        for workers in WORKER_COUNTS {
+            let tiled = gemm::batched_matmul_tiled(&a, &b, workers).unwrap();
+            prop_assert!(
+                reference.data() == tiled.data(),
+                "batched_matmul diverged from reference: e={e} m={m} k={k} n={n} workers={workers}"
+            );
+        }
+    }
+
+    /// The public `Tensor::matmul_t` API routes through the tiled engine
+    /// and therefore also matches the reference exactly.
+    #[test]
+    fn public_matmul_api_matches_reference(
+        dims in (1usize..40, 1usize..40, 1usize..40),
+        ta in any::<bool>(),
+        tb in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = dims;
+        let a_shape = if ta { vec![k, m] } else { vec![m, k] };
+        let b_shape = if tb { vec![n, k] } else { vec![k, n] };
+        let a = random_tensor(a_shape, seed);
+        let b = random_tensor(b_shape, seed.wrapping_add(1));
+        let reference = gemm::matmul_reference(&a, &b, ta, tb).unwrap();
+        let api = a.matmul_t(&b, ta, tb).unwrap();
+        prop_assert!(reference.data() == api.data());
+    }
+}
+
+/// Regression test for the IEEE-754 zero-skip bug: a kernel that skips
+/// `a == 0.0` terms silently converts `0 · inf` and `0 · NaN` (which are
+/// NaN) into `0`. Non-finite values must propagate identically through
+/// the reference and the tiled engine at every worker count.
+#[test]
+fn non_finite_operands_propagate_through_all_paths() {
+    let m = 9;
+    let k = 70; // crosses MR and NR edges with a remainder
+    let n = 33;
+    let mut a = random_tensor(vec![m, k], 7);
+    let mut b = random_tensor(vec![k, n], 8);
+    // A zero in A facing an inf and a NaN in B: the products are NaN and
+    // must not be skipped.
+    a.data_mut()[3 * k + 5] = 0.0;
+    b.data_mut()[5 * n + 2] = f32::INFINITY;
+    b.data_mut()[5 * n + 7] = f32::NAN;
+    let reference = gemm::matmul_reference(&a, &b, false, false).unwrap();
+    assert!(reference.data()[3 * n + 2].is_nan(), "0 * inf must be NaN");
+    assert!(reference.data()[3 * n + 7].is_nan(), "0 * NaN must be NaN");
+    for workers in WORKER_COUNTS {
+        let tiled = gemm::matmul_tiled(&a, &b, false, false, workers).unwrap();
+        for (i, (r, t)) in reference.data().iter().zip(tiled.data()).enumerate() {
+            assert!(
+                r.to_bits() == t.to_bits(),
+                "element {i}: reference {r:?} vs tiled {t:?} (workers={workers})"
+            );
+        }
+    }
+}

@@ -16,4 +16,10 @@ cargo test --doc --workspace -q
 echo "==> RUSTDOCFLAGS=\"-D warnings\" cargo doc --no-deps"
 RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 
+echo "==> cargo bench -p lancet-bench --bench kernels -- --quick"
+# Smoke run of the compute-backend benchmark: asserts the tiled engine is
+# bit-identical to the naive reference and still beats it by the floor in
+# ISSUE/EXPERIMENTS (no artifact is written in --quick mode).
+cargo bench -p lancet-bench --bench kernels -- --quick
+
 echo "==> verify OK"

@@ -37,16 +37,40 @@ impl Bencher {
         }
     }
 
-    fn report(&self, name: &str) {
+    fn report(&self, name: &str) -> Summary {
         if self.samples.is_empty() {
             println!("{name:<44} (no samples)");
-            return;
+            return Summary { name: name.to_string(), mean_ns: 0.0, min_ns: 0.0, samples: 0 };
         }
         let total: Duration = self.samples.iter().sum();
         let mean = total / self.samples.len() as u32;
-        let min = self.samples.iter().min().expect("non-empty");
+        let min = *self.samples.iter().min().expect("non-empty");
         println!("{name:<44} mean {:>12?}   min {:>12?}", mean, min);
+        Summary {
+            name: name.to_string(),
+            mean_ns: mean.as_secs_f64() * 1e9,
+            min_ns: min.as_secs_f64() * 1e9,
+            samples: self.samples.len(),
+        }
     }
+}
+
+/// Recorded result of one benchmark: per-iteration wall-clock statistics.
+///
+/// Summaries accumulate on the [`Criterion`] driver
+/// ([`Criterion::summaries`]) so a custom `main` can compute derived
+/// quantities (speedup ratios) and write machine-readable artifacts —
+/// real Criterion exposes this through its JSON output directory instead.
+#[derive(Debug, Clone)]
+pub struct Summary {
+    /// Full benchmark name (`group/id` for grouped benchmarks).
+    pub name: String,
+    /// Mean wall-clock time per iteration, in nanoseconds.
+    pub mean_ns: f64,
+    /// Minimum wall-clock time per iteration, in nanoseconds.
+    pub min_ns: f64,
+    /// Number of timed iterations.
+    pub samples: usize,
 }
 
 /// Names a benchmark within a group.
@@ -77,18 +101,36 @@ impl std::fmt::Display for BenchmarkId {
 #[derive(Debug, Default)]
 pub struct Criterion {
     sample_size: usize,
+    summaries: Vec<Summary>,
 }
 
 impl Criterion {
+    /// Overrides the default per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n;
+        self
+    }
+
     /// Runs and reports one named benchmark.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
-        run_one(name, self.effective_samples(), &mut f);
+        let s = run_one(name, self.effective_samples(), &mut f);
+        self.summaries.push(s);
         self
     }
 
     /// Opens a named group of related benchmarks.
     pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
         BenchmarkGroup { parent: self, name: name.to_string(), sample_size: 0 }
+    }
+
+    /// All summaries recorded so far, in execution order.
+    pub fn summaries(&self) -> &[Summary] {
+        &self.summaries
+    }
+
+    /// The summary of the named benchmark, if it ran.
+    pub fn summary(&self, name: &str) -> Option<&Summary> {
+        self.summaries.iter().find(|s| s.name == name)
     }
 
     fn effective_samples(&self) -> usize {
@@ -114,7 +156,8 @@ impl BenchmarkGroup<'_> {
     /// Runs and reports one benchmark in the group.
     pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut f: F) -> &mut Self {
         let full = format!("{}/{}", self.name, name);
-        run_one(&full, self.effective_samples(), &mut f);
+        let s = run_one(&full, self.effective_samples(), &mut f);
+        self.parent.summaries.push(s);
         self
     }
 
@@ -127,7 +170,8 @@ impl BenchmarkGroup<'_> {
     ) -> &mut Self {
         let full = format!("{}/{}", self.name, id);
         let samples = self.effective_samples();
-        run_one(&full, samples, &mut |b: &mut Bencher| f(b, input));
+        let s = run_one(&full, samples, &mut |b: &mut Bencher| f(b, input));
+        self.parent.summaries.push(s);
         self
     }
 
@@ -139,10 +183,10 @@ impl BenchmarkGroup<'_> {
     }
 }
 
-fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) {
+fn run_one<F: FnMut(&mut Bencher)>(name: &str, samples: usize, f: &mut F) -> Summary {
     let mut bencher = Bencher { target: samples, samples: Vec::with_capacity(samples) };
     f(&mut bencher);
-    bencher.report(name);
+    bencher.report(name)
 }
 
 /// Bundles benchmark functions into a single runner function.
@@ -184,5 +228,19 @@ mod tests {
     #[test]
     fn harness_runs() {
         benches();
+    }
+
+    #[test]
+    fn summaries_are_recorded() {
+        let mut c = Criterion::default();
+        c.sample_size(2);
+        c.bench_function("a", |b| b.iter(|| 1 + 1));
+        let mut g = c.benchmark_group("g");
+        g.bench_function("b", |b| b.iter(|| 2 + 2));
+        g.finish();
+        assert_eq!(c.summaries().len(), 2);
+        assert_eq!(c.summary("a").unwrap().samples, 2);
+        assert!(c.summary("g/b").is_some());
+        assert!(c.summary("g/b").unwrap().min_ns <= c.summary("g/b").unwrap().mean_ns);
     }
 }

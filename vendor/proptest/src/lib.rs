@@ -254,6 +254,42 @@ pub mod prop {
     }
 }
 
+/// A test-case failure or rejection, mirroring proptest's `TestCaseError`
+/// closely enough that helper functions can return
+/// `Result<(), TestCaseError>` and be `?`-chained from a [`proptest!`]
+/// body.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// The case's inputs did not satisfy an assumption; the case is
+    /// skipped, not failed.
+    Reject(String),
+    /// The property does not hold.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// A rejection (skipped case).
+    pub fn reject(reason: impl Into<String>) -> Self {
+        TestCaseError::Reject(reason.into())
+    }
+
+    /// A failure.
+    pub fn fail(reason: impl Into<String>) -> Self {
+        TestCaseError::Fail(reason.into())
+    }
+}
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TestCaseError::Reject(r) => write!(f, "case rejected: {r}"),
+            TestCaseError::Fail(r) => write!(f, "property failed: {r}"),
+        }
+    }
+}
+
+impl std::error::Error for TestCaseError {}
+
 /// Per-test configuration (only the case count is honoured).
 #[derive(Debug, Clone)]
 pub struct ProptestConfig {
@@ -329,11 +365,19 @@ macro_rules! __proptest_items {
             for case in 0..runner.cases() {
                 let mut rng = runner.next_rng();
                 $(let $pat = $crate::Strategy::sample(&($strat), &mut rng);)+
-                // An immediately invoked closure so `prop_assume!` can
-                // skip the case with `return`.
-                let run = move || { $body };
-                run();
-                let _ = case;
+                // An immediately invoked closure returning a `Result` so
+                // bodies can `?`-chain helpers and `prop_assume!` can skip
+                // the case with an early `return`.
+                let run = move || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    Ok(())
+                };
+                match run() {
+                    Ok(()) | Err($crate::TestCaseError::Reject(_)) => {}
+                    Err($crate::TestCaseError::Fail(reason)) => {
+                        panic!("case {case}: {reason}");
+                    }
+                }
             }
         }
         $crate::__proptest_items! { cfg = $cfg; $($rest)* }
@@ -364,12 +408,12 @@ macro_rules! prop_assert_ne {
 macro_rules! prop_assume {
     ($cond:expr) => {
         if !($cond) {
-            return;
+            return Err($crate::TestCaseError::reject(stringify!($cond)));
         }
     };
     ($cond:expr, $($fmt:tt)*) => {
         if !($cond) {
-            return;
+            return Err($crate::TestCaseError::reject(format!($($fmt)*)));
         }
     };
 }
@@ -378,7 +422,7 @@ macro_rules! prop_assume {
 pub mod prelude {
     pub use crate::{
         any, prop, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary,
-        ProptestConfig, Strategy, TestRng, TestRunner,
+        ProptestConfig, Strategy, TestCaseError, TestRng, TestRunner,
     };
 }
 
