@@ -1,0 +1,20 @@
+//! TEMPORARY review stress test: concurrent submitters to the global pool.
+use lancet_tensor::{gemm, TensorRng};
+
+#[test]
+fn concurrent_matmuls_from_many_threads() {
+    let mut rng = TensorRng::seed(42);
+    let a = rng.uniform(vec![130, 300], -1.0, 1.0);
+    let b = rng.uniform(vec![300, 170], -1.0, 1.0);
+    let reference = gemm::matmul_reference(&a, &b, false, false).unwrap();
+    std::thread::scope(|s| {
+        for _ in 0..8 {
+            s.spawn(|| {
+                for _ in 0..30 {
+                    let y = gemm::matmul_tiled(&a, &b, false, false, 0).unwrap();
+                    assert_eq!(y.data(), reference.data(), "tiled diverged under concurrency");
+                }
+            });
+        }
+    });
+}

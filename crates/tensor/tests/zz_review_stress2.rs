@@ -1,0 +1,60 @@
+//! TEMPORARY review stress: overlapping par_ranges jobs from two threads.
+use lancet_tensor::pool::{self, SharedSliceMut};
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+#[test]
+fn overlapping_jobs_complete_all_tasks() {
+    for round in 0..200 {
+        let counters: Vec<Vec<AtomicUsize>> = (0..2)
+            .map(|_| (0..64).map(|_| AtomicUsize::new(0)).collect())
+            .collect();
+        std::thread::scope(|s| {
+            for t in 0..2 {
+                let c = &counters[t];
+                s.spawn(move || {
+                    pool::par_ranges(64, 8, |r| {
+                        for i in r {
+                            std::thread::sleep(std::time::Duration::from_micros(50));
+                            c[i].fetch_add(1, Ordering::Relaxed);
+                        }
+                    });
+                });
+            }
+        });
+        for (t, c) in counters.iter().enumerate() {
+            for (i, x) in c.iter().enumerate() {
+                assert_eq!(
+                    x.load(Ordering::Relaxed),
+                    1,
+                    "round {round}: submitter {t} task {i} ran wrong number of times"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn overlapping_writes_are_complete() {
+    for round in 0..200 {
+        let mut bufs = vec![vec![0.0f32; 4096]; 2];
+        let (b0, b1) = bufs.split_at_mut(1);
+        std::thread::scope(|s| {
+            for (t, buf) in [&mut b0[0], &mut b1[0]].into_iter().enumerate() {
+                s.spawn(move || {
+                    let view = SharedSliceMut::new(buf.as_mut_slice());
+                    pool::par_ranges(4096, 8, |r| {
+                        let chunk = unsafe { view.range_mut(r.clone()) };
+                        for (off, x) in chunk.iter_mut().enumerate() {
+                            *x = (r.start + off + t) as f32 + 1.0;
+                        }
+                    });
+                });
+            }
+        });
+        for (t, buf) in bufs.iter().enumerate() {
+            for (i, &x) in buf.iter().enumerate() {
+                assert_eq!(x, (i + t) as f32 + 1.0, "round {round} submitter {t} elem {i}");
+            }
+        }
+    }
+}
