@@ -173,6 +173,47 @@ impl Lancet {
         })
     }
 
+    /// Optimizes a *forward* graph for inference serving: the operator
+    /// partition pass (paper §5) and the time estimate, with no autodiff,
+    /// prefetch, or dW scheduling — none of which exist at serving time.
+    ///
+    /// This is the plan-building half of a serving runtime: the returned
+    /// outcome is deterministic for a given graph and optimizer, so a
+    /// plan cache (`lancet-serve`) can key it by model/batch/cluster and
+    /// replay it for every request. Partition-candidate pricing reuses
+    /// the same [`PartitionMemo`] as [`optimize`](Self::optimize), and
+    /// the search/caching measurements land in the same
+    /// [`OptimizerStats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates IR/estimation failures from the passes.
+    pub fn optimize_forward(&self, forward: Graph) -> Result<OptimizeOutcome> {
+        let started = Instant::now();
+        let mut stats = OptimizerStats::default();
+        let (graph, partition) = if self.options.disable_partition {
+            (forward, None)
+        } else {
+            let (g, report) =
+                partition_pass_with(&forward, &self.estimator, &self.options.partition, &self.memo)?;
+            stats.partition_time = started.elapsed();
+            stats.candidates_evaluated = report.memo_misses;
+            stats.candidates_cached = report.memo_hits;
+            stats.workers = report.workers;
+            (g, Some(report))
+        };
+        let predicted_time = self.estimator.estimate(&graph)?.total;
+        Ok(OptimizeOutcome {
+            graph,
+            predicted_time,
+            partition,
+            dw: None,
+            prefetch: PrefetchReport { moved: 0 },
+            optimization_time: started.elapsed(),
+            stats,
+        })
+    }
+
     /// Builds the unoptimized training graph (autodiff only) and predicts
     /// its iteration time — the RAF baseline.
     ///
@@ -250,6 +291,30 @@ mod tests {
         let report = out.partition.unwrap();
         assert_eq!(out.stats.candidates_cached, report.memo_hits);
         assert_eq!(out.stats.candidates_evaluated, report.memo_misses);
+    }
+
+    /// `optimize_forward` is the serving-side flow: no backward pass in
+    /// the result, deterministic across calls (the plan-cache contract),
+    /// and it shares the instance's partition memo with `optimize`.
+    #[test]
+    fn optimize_forward_is_deterministic_and_forward_only() {
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+        let first = lancet.optimize_forward(forward(GateKind::Switch)).unwrap();
+        assert!(first.dw.is_none());
+        assert_eq!(first.prefetch.moved, 0);
+        assert!(first.graph.validate().is_ok());
+        // Forward-only: autodiff never ran, so no weight-gradient instrs.
+        assert!(first.graph.weight_grad_positions().is_empty());
+
+        let second = lancet.optimize_forward(forward(GateKind::Switch)).unwrap();
+        assert_eq!(second.predicted_time, first.predicted_time);
+        assert_eq!(
+            lancet_ir::to_text(&second.graph),
+            lancet_ir::to_text(&first.graph),
+            "plan building must be deterministic"
+        );
+        // The second build is answered from the shared partition memo.
+        assert_eq!(second.stats.candidates_evaluated, 0);
     }
 
     /// The memo lives on the `Lancet` instance: re-optimizing the same

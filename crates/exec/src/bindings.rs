@@ -4,16 +4,24 @@ use crate::{ExecError, Result};
 use lancet_ir::{Graph, TensorId, TensorKind};
 use lancet_tensor::{Tensor, TensorRng};
 use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tensor values for every device participating in an execution.
 ///
 /// Inputs and weights must be bound before [`Executor::run`]; activations
 /// are filled in during execution and can be read afterwards.
 ///
+/// Values are reference-counted internally: cloning `Bindings` (or
+/// replicating one tensor across devices with [`Bindings::set_all`])
+/// shares element buffers instead of copying them. A serving loop can
+/// therefore keep one weight-bound `Bindings` per model and clone it for
+/// every request without re-allocating any weight storage — see
+/// [`Bindings::shares_value`] for the observable guarantee.
+///
 /// [`Executor::run`]: crate::Executor::run
 #[derive(Debug, Clone)]
 pub struct Bindings {
-    per_device: Vec<HashMap<TensorId, Tensor>>,
+    per_device: Vec<HashMap<TensorId, Arc<Tensor>>>,
 }
 
 impl Bindings {
@@ -34,29 +42,44 @@ impl Bindings {
 
     /// Binds `value` on a single device.
     pub fn set(&mut self, device: usize, tensor: TensorId, value: Tensor) {
-        self.per_device[device].insert(tensor, value);
+        self.per_device[device].insert(tensor, Arc::new(value));
     }
 
     /// Binds the same value on every device (replicated weights/inputs).
+    /// The element buffer is shared, not copied per device.
     pub fn set_all(&mut self, tensor: TensorId, value: Tensor) {
+        let value = Arc::new(value);
         for d in &mut self.per_device {
-            d.insert(tensor, value.clone());
+            d.insert(tensor, Arc::clone(&value));
         }
     }
 
     /// Reads a tensor value from a device, if present.
     pub fn get(&self, device: usize, tensor: TensorId) -> Option<&Tensor> {
-        self.per_device[device].get(&tensor)
+        self.per_device[device].get(&tensor).map(Arc::as_ref)
+    }
+
+    /// Whether `self` and `other` bind the *same allocation* for `tensor`
+    /// on `device` (not merely equal values). This is the executor-reuse
+    /// guarantee serving relies on: cloning weight bindings per request
+    /// shares buffers, so steady-state serving allocates nothing per call
+    /// for weights.
+    pub fn shares_value(&self, other: &Bindings, device: usize, tensor: TensorId) -> bool {
+        match (self.per_device[device].get(&tensor), other.per_device[device].get(&tensor)) {
+            (Some(a), Some(b)) => Arc::ptr_eq(a, b),
+            _ => false,
+        }
     }
 
     pub(crate) fn get_required(&self, device: usize, tensor: TensorId, name: &str) -> Result<&Tensor> {
         self.per_device[device]
             .get(&tensor)
+            .map(Arc::as_ref)
             .ok_or_else(|| ExecError::Unbound { name: name.to_string() })
     }
 
     pub(crate) fn insert(&mut self, device: usize, tensor: TensorId, value: Tensor) {
-        self.per_device[device].insert(tensor, value);
+        self.per_device[device].insert(tensor, Arc::new(value));
     }
 }
 
@@ -123,5 +146,26 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_panics() {
         let _ = Bindings::new(0);
+    }
+
+    #[test]
+    fn clone_and_set_all_share_allocations() {
+        let mut b = Bindings::new(2);
+        let t = TensorId(0);
+        b.set_all(t, Tensor::full(vec![16], 1.0));
+        // Replication shares one buffer across devices…
+        assert_eq!(
+            b.get(0, t).unwrap().data().as_ptr(),
+            b.get(1, t).unwrap().data().as_ptr()
+        );
+        // …and cloning the bindings shares it with the clone.
+        let c = b.clone();
+        assert!(c.shares_value(&b, 0, t));
+        assert!(c.shares_value(&b, 1, t));
+        // Rebinding on the clone leaves the original untouched.
+        let mut c2 = c.clone();
+        c2.set(0, t, Tensor::full(vec![16], 2.0));
+        assert!(!c2.shares_value(&b, 0, t));
+        assert_eq!(b.get(0, t).unwrap().data()[0], 1.0);
     }
 }

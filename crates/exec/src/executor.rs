@@ -28,6 +28,15 @@ impl<'g> Executor<'g> {
         Ok(Executor { graph, devices })
     }
 
+    /// Prepares an executor for a graph that is already known to be valid
+    /// (e.g. it was validated once when a serving plan was built and is
+    /// now executed for every request). Skips re-validation, which on a
+    /// large model graph is per-call overhead the serving hot path cannot
+    /// afford; execution behaves identically to [`Executor::new`]'s.
+    pub fn new_prevalidated(graph: &'g Graph, devices: usize) -> Self {
+        Executor { graph, devices }
+    }
+
     /// Runs the program, consuming input bindings and returning bindings
     /// extended with every produced tensor.
     ///

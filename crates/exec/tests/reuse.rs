@@ -1,0 +1,62 @@
+//! Executor reuse: the serving hot path runs one graph many times from a
+//! single weight-bound `Bindings`. These tests pin the no-per-call-
+//! allocation guarantee that makes that loop cheap: cloning bindings
+//! shares weight buffers, so repeated runs never re-allocate or copy
+//! weight storage, and results are unchanged.
+
+use lancet_exec::{init_weights, Executor};
+use lancet_ir::GateKind;
+use lancet_models::{build_forward, GptMoeConfig};
+use lancet_tensor::Tensor;
+
+#[test]
+fn repeated_runs_share_weight_allocations() {
+    let cfg = GptMoeConfig::tiny(1, GateKind::Switch);
+    let model = build_forward(&cfg).unwrap();
+    let g = &model.graph;
+    let mut base = init_weights(g, 1, 7);
+    let ids = Tensor::from_vec(vec![cfg.batch, cfg.seq], vec![1.0; cfg.tokens()]).unwrap();
+    base.set_all(model.ids, ids.clone());
+    base.set_all(model.targets, ids);
+
+    let exec = Executor::new(g, 1).unwrap();
+    let out1 = exec.run(base.clone()).unwrap();
+    let out2 = exec.run(base.clone()).unwrap();
+
+    // Every weight binding in both runs is the *same allocation* as the
+    // base bindings' — no weight buffer was copied or re-allocated on
+    // either call.
+    let weights = g.weights();
+    assert!(!weights.is_empty());
+    for &w in &weights {
+        assert!(out1.shares_value(&base, 0, w), "run 1 re-allocated weight {:?}", g.tensor(w).name);
+        assert!(out2.shares_value(&base, 0, w), "run 2 re-allocated weight {:?}", g.tensor(w).name);
+        assert_eq!(
+            out1.get(0, w).unwrap().data().as_ptr(),
+            out2.get(0, w).unwrap().data().as_ptr(),
+            "weight {:?} differs between runs",
+            g.tensor(w).name
+        );
+    }
+
+    // And the computed loss is bit-identical between the two runs.
+    assert_eq!(out1.get(0, model.loss).unwrap().data(), out2.get(0, model.loss).unwrap().data());
+}
+
+#[test]
+fn prevalidated_executor_matches_validated() {
+    let cfg = GptMoeConfig::tiny(1, GateKind::Switch);
+    let model = build_forward(&cfg).unwrap();
+    let g = &model.graph;
+    let mut base = init_weights(g, 1, 7);
+    let ids = Tensor::from_vec(vec![cfg.batch, cfg.seq], vec![2.0; cfg.tokens()]).unwrap();
+    base.set_all(model.ids, ids.clone());
+    base.set_all(model.targets, ids);
+
+    let checked = Executor::new(g, 1).unwrap().run(base.clone()).unwrap();
+    let trusted = Executor::new_prevalidated(g, 1).run(base).unwrap();
+    assert_eq!(
+        checked.get(0, model.loss).unwrap().data(),
+        trusted.get(0, model.loss).unwrap().data()
+    );
+}

@@ -142,6 +142,30 @@ impl GptMoeConfig {
         self
     }
 
+    /// Overrides the sequence length (builder style), e.g. for
+    /// serving-scaled replicas of the paper models.
+    pub fn with_seq(mut self, seq: usize) -> Self {
+        self.seq = seq;
+        self
+    }
+
+    /// Overrides the vocabulary size (builder style). Serving benchmarks
+    /// shrink the vocabulary so the LM head fits a CPU executor budget.
+    pub fn with_vocab(mut self, vocab: usize) -> Self {
+        self.vocab = vocab;
+        self
+    }
+
+    /// Overrides the GShard capacity factor (builder style). A serving
+    /// runtime sets this to the expert count, which makes every expert
+    /// able to absorb every token: routing becomes drop-free, so a
+    /// token's output is independent of what else shares its micro-batch
+    /// (the transparent-batching contract in `lancet-serve`).
+    pub fn with_capacity_factor(mut self, factor: f64) -> Self {
+        self.capacity_factor = factor;
+        self
+    }
+
     /// Overrides the gate (builder style).
     pub fn with_gate(mut self, gate: GateKind) -> Self {
         self.gate = gate;

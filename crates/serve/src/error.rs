@@ -1,0 +1,56 @@
+//! Serving errors, including the typed admission-control rejections.
+
+/// Why a request was rejected or failed.
+///
+/// `Overloaded` and `DeadlineExceeded` are *load-shedding* outcomes — the
+/// deliberate product of admission control, delivered instead of letting
+/// queues grow without bound. Everything else is a genuine failure.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The request named a model that was never registered.
+    UnknownModel(String),
+    /// The request's input tensors don't fit the model (shape/volume).
+    BadRequest(String),
+    /// The admission queue is full: the runtime sheds the request at the
+    /// door rather than queueing it beyond the configured depth.
+    Overloaded {
+        /// The queue depth at rejection time (the configured bound).
+        depth: usize,
+    },
+    /// The request waited in the queue longer than its latency budget and
+    /// was shed before execution (running it would deliver a useless,
+    /// already-late response while delaying everyone behind it).
+    DeadlineExceeded {
+        /// How long the request had waited when it was shed, in ms.
+        waited_ms: f64,
+    },
+    /// The runtime is shutting down and no longer accepts work.
+    ShuttingDown,
+    /// Plan construction failed (graph build / optimization error).
+    Plan(String),
+    /// Graph execution failed.
+    Exec(String),
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::UnknownModel(m) => write!(f, "unknown model `{m}`"),
+            ServeError::BadRequest(why) => write!(f, "bad request: {why}"),
+            ServeError::Overloaded { depth } => {
+                write!(f, "overloaded: admission queue full at depth {depth}")
+            }
+            ServeError::DeadlineExceeded { waited_ms } => {
+                write!(f, "deadline exceeded after {waited_ms:.1} ms in queue")
+            }
+            ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::Plan(why) => write!(f, "plan construction failed: {why}"),
+            ServeError::Exec(why) => write!(f, "execution failed: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// Serving results.
+pub type Result<T> = std::result::Result<T, ServeError>;

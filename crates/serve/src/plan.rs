@@ -1,0 +1,255 @@
+//! Serving plans: an optimized forward graph plus everything needed to
+//! execute it repeatedly — pre-bound weights, input handles, and the
+//! logits output to slice responses from.
+//!
+//! A plan is built once per (model, batch bucket, cluster) key by running
+//! the Lancet forward optimizer ([`Lancet::optimize_forward`]) over the
+//! bucket-sized model graph, then bound against the model's *canonical
+//! weights*. Canonical weights are keyed by tensor **name**, not id:
+//! the optimizer may renumber tensors while partitioning, and the
+//! id-seeded weight initializer would otherwise give every bucket's plan
+//! different parameters. Binding by name guarantees all buckets of a
+//! model share one set of parameter values — the precondition for
+//! micro-batched responses being bit-identical to solo serving.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+use lancet_cost::ClusterKind;
+use lancet_core::{Lancet, OptimizerStats};
+use lancet_exec::{init_weights, Bindings, Executor};
+use lancet_ir::{Op, TensorId};
+use lancet_models::{build_forward, GptMoeConfig};
+use lancet_tensor::Tensor;
+
+use crate::{Result, ServeError};
+
+/// What makes two serving plans interchangeable: same model, same batch
+/// bucket, same cluster. Anything that changes the optimized graph or
+/// its schedule must appear here, or the cache would serve stale plans.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Registered model name.
+    pub model: String,
+    /// Micro-batch bucket size (the graph's batch dimension).
+    pub bucket: usize,
+    /// Device generation the cost models were profiled for.
+    pub cluster: ClusterKind,
+    /// Cluster size the plan was optimized for.
+    pub gpus: usize,
+}
+
+/// Per-device canonical weights for one model, keyed by tensor name.
+pub type CanonicalWeights = Vec<HashMap<String, Tensor>>;
+
+/// Materializes the canonical weights for `cfg`: one name → tensor map
+/// per device, initialized from the *batch = 1* forward graph so the
+/// values are independent of any serving bucket's tensor numbering.
+///
+/// # Errors
+///
+/// Returns [`ServeError::Plan`] if the model graph cannot be built or a
+/// weight name is not unique (the name is the cross-graph identity).
+pub fn canonical_weights(cfg: &GptMoeConfig, seed: u64) -> Result<CanonicalWeights> {
+    let model = build_forward(&cfg.clone().with_batch(1))
+        .map_err(|e| ServeError::Plan(format!("canonical graph: {e}")))?;
+    let devices = cfg.gpus;
+    let bindings = init_weights(&model.graph, devices, seed);
+    let mut per_device: CanonicalWeights = vec![HashMap::new(); devices];
+    for id in model.graph.weights() {
+        let name = model.graph.tensor(id).name.clone();
+        for (d, map) in per_device.iter_mut().enumerate() {
+            let value = bindings
+                .get(d, id)
+                .expect("init_weights binds every weight on every device")
+                .clone();
+            if map.insert(name.clone(), value).is_some() {
+                return Err(ServeError::Plan(format!(
+                    "weight name `{name}` is not unique; names key the canonical store"
+                )));
+            }
+        }
+    }
+    Ok(per_device)
+}
+
+/// An executable serving plan for one (model, bucket, cluster) key.
+#[derive(Debug)]
+pub struct Plan {
+    graph: lancet_ir::Graph,
+    /// Weights pre-bound by name; cloned (refcount bump, PR 4's
+    /// `Bindings` are `Arc`-backed) per execution.
+    weights: Bindings,
+    ids: TensorId,
+    targets: TensorId,
+    logits: TensorId,
+    /// Zero targets to satisfy the loss head; token id 0 is always valid.
+    targets_zero: Tensor,
+    devices: usize,
+    bucket: usize,
+    /// Shape of one request's response (the logits minus the batch dim).
+    response_shape: Vec<usize>,
+    /// Cost-model-predicted iteration time for the plan, seconds.
+    pub predicted_time: f64,
+    /// Wall-clock time plan construction took (graph build + optimize +
+    /// weight binding) — the cost a cache hit avoids.
+    pub build_time: Duration,
+    /// Partition-search statistics from the optimizer.
+    pub stats: OptimizerStats,
+}
+
+impl Plan {
+    /// Builds and binds the plan for `bucket` requests of `cfg`'s model.
+    ///
+    /// `cfg`'s batch is overridden by `bucket`; its other fields (and the
+    /// `lancet` optimizer's cluster) must match the key this plan will be
+    /// cached under. `canonical` must come from [`canonical_weights`] of
+    /// the same config.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::Plan`] on graph-construction or optimization
+    /// failure, or if `canonical` is missing a weight.
+    pub fn build(
+        lancet: &Lancet,
+        cfg: &GptMoeConfig,
+        bucket: usize,
+        canonical: &CanonicalWeights,
+    ) -> Result<Plan> {
+        let started = Instant::now();
+        let cfg = cfg.clone().with_batch(bucket);
+        let model = build_forward(&cfg).map_err(|e| ServeError::Plan(format!("graph: {e}")))?;
+        let out = lancet
+            .optimize_forward(model.graph)
+            .map_err(|e| ServeError::Plan(format!("optimize: {e}")))?;
+        let graph = out.graph;
+
+        let input = |name: &str| {
+            graph
+                .inputs()
+                .into_iter()
+                .find(|&t| graph.tensor(t).name == name)
+                .ok_or_else(|| ServeError::Plan(format!("optimized graph lost input `{name}`")))
+        };
+        let ids = input("ids")?;
+        let targets = input("targets")?;
+        // The partition pass never splits the loss head (it partitions
+        // the region before it), so the logits are always input 0 of the
+        // single CrossEntropy instruction.
+        let ce: Vec<_> =
+            graph.instrs().iter().filter(|i| matches!(i.op, Op::CrossEntropy)).collect();
+        let logits = match ce.as_slice() {
+            [only] => only.inputs[0],
+            other => {
+                return Err(ServeError::Plan(format!(
+                    "expected one loss instruction, found {}",
+                    other.len()
+                )))
+            }
+        };
+        let logits_shape = graph.tensor(logits).shape.dims().to_vec();
+        if logits_shape.first() != Some(&bucket) {
+            return Err(ServeError::Plan(format!(
+                "logits shape {logits_shape:?} does not lead with bucket {bucket}"
+            )));
+        }
+
+        let devices = cfg.gpus;
+        if canonical.len() != devices {
+            return Err(ServeError::Plan(format!(
+                "canonical weights cover {} devices, plan needs {devices}",
+                canonical.len()
+            )));
+        }
+        let mut weights = Bindings::new(devices);
+        for id in graph.weights() {
+            let def = graph.tensor(id);
+            for (d, map) in canonical.iter().enumerate() {
+                let value = map.get(&def.name).ok_or_else(|| {
+                    ServeError::Plan(format!("no canonical weight named `{}`", def.name))
+                })?;
+                if value.shape() != def.shape.dims() {
+                    return Err(ServeError::Plan(format!(
+                        "weight `{}`: canonical shape {:?} != plan shape {:?}",
+                        def.name,
+                        value.shape(),
+                        def.shape.dims()
+                    )));
+                }
+                weights.set(d, id, value.clone());
+            }
+        }
+
+        Ok(Plan {
+            targets_zero: Tensor::zeros(graph.tensor(targets).shape.dims()),
+            response_shape: logits_shape[1..].to_vec(),
+            weights,
+            ids,
+            targets,
+            logits,
+            devices,
+            bucket,
+            predicted_time: out.predicted_time,
+            build_time: started.elapsed(),
+            stats: out.stats,
+            graph,
+        })
+    }
+
+    /// The batch bucket this plan serves.
+    pub fn bucket(&self) -> usize {
+        self.bucket
+    }
+
+    /// The shape of one request's logits response.
+    pub fn response_shape(&self) -> &[usize] {
+        &self.response_shape
+    }
+
+    /// The optimized plan graph, printable via [`lancet_ir::to_text`]
+    /// (tests compare a cached plan against a cold rebuild this way).
+    pub fn graph(&self) -> &lancet_ir::Graph {
+        &self.graph
+    }
+
+    /// Executes the plan on a `[bucket, seq]` tensor of token ids and
+    /// returns the full batched logits. Weights are shared with the
+    /// canonical store (refcount bump, no copy); only the two inputs are
+    /// bound fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ServeError::BadRequest`] on an id-shape mismatch and
+    /// [`ServeError::Exec`] if the executor fails.
+    pub fn execute(&self, ids: &Tensor) -> Result<Tensor> {
+        let want = self.graph.tensor(self.ids).shape.dims();
+        if ids.shape() != want {
+            return Err(ServeError::BadRequest(format!(
+                "ids shape {:?}, plan expects {:?}",
+                ids.shape(),
+                want
+            )));
+        }
+        let mut bindings = self.weights.clone();
+        bindings.set_all(self.ids, ids.clone());
+        bindings.set_all(self.targets, self.targets_zero.clone());
+        let out = Executor::new_prevalidated(&self.graph, self.devices)
+            .run(bindings)
+            .map_err(|e| ServeError::Exec(e.to_string()))?;
+        Ok(out
+            .get(0, self.logits)
+            .expect("executor produces the logits")
+            .clone())
+    }
+
+    /// Slices request `row`'s logits out of a batched result (shape
+    /// [`Plan::response_shape`]). Rows are independent under the
+    /// drop-free routing contract, so this is exactly what solo serving
+    /// would have produced.
+    pub fn response(&self, batched: &Tensor, row: usize) -> Tensor {
+        assert!(row < self.bucket, "row {row} out of bucket {}", self.bucket);
+        let per = self.response_shape.iter().product::<usize>();
+        let data = batched.data()[row * per..(row + 1) * per].to_vec();
+        Tensor::from_vec(self.response_shape.clone(), data).expect("slice volume matches shape")
+    }
+}

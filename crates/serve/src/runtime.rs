@@ -1,0 +1,594 @@
+//! The serving runtime: admission control, deadline-bounded
+//! micro-batching, and plan-cached execution on a worker pool.
+//!
+//! # Thread topology
+//!
+//! ```text
+//! submitters ──► admission queue ──► batcher ──► exec queue ──► workers
+//!    (N)          (bounded:          (1 thread,   (bounded)      (M threads,
+//!                  Overloaded         groups by                   plan cache +
+//!                  past depth)        model into                  Executor)
+//!                                     buckets)
+//! ```
+//!
+//! Both queues are bounded, so overload surfaces as a typed
+//! [`ServeError::Overloaded`] at the door instead of unbounded memory
+//! growth, and a slow executor backpressures the batcher rather than
+//! letting batches pile up. Requests that out-wait their latency budget
+//! are shed with [`ServeError::DeadlineExceeded`] before execution —
+//! running them would spend executor time on an answer that is already
+//! useless.
+//!
+//! # Transparent batching
+//!
+//! Registration normalizes each model's capacity factor to its expert
+//! count, which makes routing *drop-free*: every expert can absorb every
+//! token, so no token's output depends on what else shares its
+//! micro-batch. Combined with the executor's fixed per-element reduction
+//! order, a batched response is bit-identical to what solo (batch = 1)
+//! serving would have produced — micro-batching is purely a throughput
+//! optimization, invisible in the output bits (covered by the
+//! `batched_responses_bit_identical_to_solo` integration test).
+
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use lancet_core::{Lancet, LancetOptions};
+use lancet_cost::{ClusterKind, ClusterSpec};
+use lancet_models::GptMoeConfig;
+use lancet_tensor::{pool, Tensor};
+
+use crate::cache::PlanCache;
+use crate::plan::{canonical_weights, CanonicalWeights, Plan, PlanKey};
+use crate::stats::{Metrics, ServeStats};
+use crate::{Result, ServeError};
+
+/// Fallback admission-queue depth when neither the config nor
+/// `LANCET_SERVE_QUEUE_DEPTH` specifies one.
+const DEFAULT_QUEUE_DEPTH: usize = 256;
+
+/// `LANCET_SERVE_QUEUE_DEPTH`, parsed per call (tests mutate it).
+/// Unset, empty, unparsable, or `0` all mean "use the default".
+fn env_queue_depth() -> Option<usize> {
+    std::env::var("LANCET_SERVE_QUEUE_DEPTH")
+        .ok()
+        .and_then(|v| v.trim().parse::<usize>().ok())
+        .filter(|&n| n > 0)
+}
+
+/// Serving-runtime knobs.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Device generation the plan optimizer's cost models target.
+    pub cluster: ClusterKind,
+    /// Admission-queue bound; requests beyond it are rejected with
+    /// [`ServeError::Overloaded`]. `0` reads `LANCET_SERVE_QUEUE_DEPTH`,
+    /// falling back to 256.
+    pub queue_depth: usize,
+    /// Most requests per micro-batch (buckets are powers of two up to
+    /// this, rounded up).
+    pub max_batch: usize,
+    /// How long the batcher waits for a full batch before dispatching a
+    /// partial one. Zero dispatches immediately (no batching delay).
+    pub batch_window: Duration,
+    /// Per-request queueing budget; requests that wait longer are shed
+    /// with [`ServeError::DeadlineExceeded`]. Zero disables shedding.
+    pub latency_budget: Duration,
+    /// Executor worker threads. `0` resolves like the compute pool's
+    /// worker knob (`LANCET_WORKERS`, then machine size).
+    pub exec_workers: usize,
+    /// Plan-cache capacity (plans, not bytes).
+    pub plan_capacity: usize,
+    /// Run the Lancet partition pass when building plans. Costs more at
+    /// plan-build time (all of it amortized by the cache), buys the
+    /// paper's overlap schedule inside each plan.
+    pub partition: bool,
+    /// Seed for canonical weight initialization.
+    pub seed: u64,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            cluster: ClusterKind::A100,
+            queue_depth: 0,
+            max_batch: 8,
+            batch_window: Duration::from_millis(2),
+            latency_budget: Duration::ZERO,
+            exec_workers: 0,
+            plan_capacity: 16,
+            partition: true,
+            seed: 0x5e4e,
+        }
+    }
+}
+
+/// One registered model: its (capacity-normalized) config, a dedicated
+/// optimizer whose partition memo is shared by every bucket's plan
+/// build, and the canonical name-keyed weights every plan binds.
+#[derive(Debug)]
+struct ModelEntry {
+    cfg: GptMoeConfig,
+    lancet: Lancet,
+    canonical: CanonicalWeights,
+}
+
+/// A request waiting in a queue.
+struct Pending {
+    model: String,
+    ids: Vec<f32>,
+    enqueued: Instant,
+    slot: Arc<ResponseSlot>,
+}
+
+/// A micro-batch handed from the batcher to an exec worker.
+struct Batch {
+    model: String,
+    bucket: usize,
+    entries: Vec<Pending>,
+}
+
+/// The write-once response cell behind a [`Ticket`].
+#[derive(Debug)]
+struct ResponseSlot {
+    state: Mutex<Option<Result<Tensor>>>,
+    ready: Condvar,
+}
+
+impl ResponseSlot {
+    fn new() -> Self {
+        ResponseSlot { state: Mutex::new(None), ready: Condvar::new() }
+    }
+
+    /// First delivery wins; returns whether this call was it.
+    fn deliver(&self, result: Result<Tensor>) -> bool {
+        let mut state = self.state.lock().expect("slot lock");
+        if state.is_some() {
+            return false;
+        }
+        *state = Some(result);
+        self.ready.notify_all();
+        true
+    }
+}
+
+/// A claim on one request's eventual response. Waiting consumes the
+/// ticket, so a response can be received at most once — together with
+/// the slot's write-once cell this gives exactly-once delivery.
+#[must_use = "an unawaited ticket discards its response"]
+#[derive(Debug)]
+pub struct Ticket {
+    slot: Arc<ResponseSlot>,
+}
+
+impl Ticket {
+    /// Blocks until the response (or rejection) arrives.
+    pub fn wait(self) -> Result<Tensor> {
+        let mut state = self.slot.state.lock().expect("slot lock");
+        loop {
+            if let Some(result) = state.take() {
+                return result;
+            }
+            state = self.slot.ready.wait(state).expect("slot lock");
+        }
+    }
+}
+
+/// State shared by submitters, the batcher, and the exec workers.
+struct Shared {
+    config: ServeConfig,
+    queue_depth: usize,
+    exec_depth: usize,
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    cache: PlanCache,
+    metrics: Metrics,
+    admission: Mutex<VecDeque<Pending>>,
+    admitted: Condvar,
+    exec: Mutex<VecDeque<Batch>>,
+    exec_not_empty: Condvar,
+    exec_not_full: Condvar,
+    shutting_down: AtomicBool,
+    batcher_done: AtomicBool,
+}
+
+/// Handles to the runtime's threads, held until shutdown.
+struct Threads {
+    batcher: JoinHandle<()>,
+    workers: Vec<JoinHandle<()>>,
+}
+
+/// A concurrent MoE inference-serving runtime.
+///
+/// See the [crate docs](crate) for an end-to-end example.
+pub struct ServeRuntime {
+    shared: Arc<Shared>,
+    threads: Mutex<Option<Threads>>,
+}
+
+impl std::fmt::Debug for ServeRuntime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ServeRuntime").field("stats", &self.stats()).finish()
+    }
+}
+
+impl ServeRuntime {
+    /// Starts the runtime: one batcher thread plus the configured number
+    /// of exec workers. Models are registered afterwards with
+    /// [`register_model`](Self::register_model).
+    pub fn start(config: ServeConfig) -> Arc<ServeRuntime> {
+        let queue_depth = if config.queue_depth > 0 {
+            config.queue_depth
+        } else {
+            env_queue_depth().unwrap_or(DEFAULT_QUEUE_DEPTH)
+        };
+        let exec_workers = pool::resolve_workers(config.exec_workers);
+        let shared = Arc::new(Shared {
+            queue_depth,
+            // Enough slack that workers rarely idle, small enough that a
+            // stalled executor backpressures the batcher quickly.
+            exec_depth: exec_workers * 2,
+            cache: PlanCache::new(config.plan_capacity),
+            metrics: Metrics::new(),
+            models: RwLock::new(HashMap::new()),
+            admission: Mutex::new(VecDeque::new()),
+            admitted: Condvar::new(),
+            exec: Mutex::new(VecDeque::new()),
+            exec_not_empty: Condvar::new(),
+            exec_not_full: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            batcher_done: AtomicBool::new(false),
+            config,
+        });
+        let batcher = {
+            let shared = Arc::clone(&shared);
+            std::thread::Builder::new()
+                .name("serve-batcher".into())
+                .spawn(move || batcher_loop(&shared))
+                .expect("spawn batcher")
+        };
+        let workers = (0..exec_workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("serve-exec-{i}"))
+                    .spawn(move || worker_loop(&shared))
+                    .expect("spawn exec worker")
+            })
+            .collect();
+        Arc::new(ServeRuntime {
+            shared,
+            threads: Mutex::new(Some(Threads { batcher, workers })),
+        })
+    }
+
+    /// Registers `cfg` under its `name`, building the canonical weights
+    /// and the model's plan optimizer. The capacity factor is normalized
+    /// to the expert count so routing is drop-free — the transparent-
+    /// batching precondition (see the module docs).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] if the name is already registered;
+    /// [`ServeError::Plan`] if the model graph cannot be built.
+    pub fn register_model(&self, cfg: GptMoeConfig) -> Result<()> {
+        let cfg = cfg.clone().with_capacity_factor(cfg.experts() as f64);
+        let canonical = canonical_weights(&cfg, self.shared.config.seed)?;
+        let lancet = Lancet::new(
+            ClusterSpec::of(self.shared.config.cluster, 1),
+            cfg.gpus,
+            LancetOptions {
+                disable_partition: !self.shared.config.partition,
+                ..LancetOptions::default()
+            },
+        );
+        let mut models = self.shared.models.write().expect("models lock");
+        if models.contains_key(&cfg.name) {
+            return Err(ServeError::BadRequest(format!(
+                "model `{}` is already registered",
+                cfg.name
+            )));
+        }
+        models.insert(cfg.name.clone(), Arc::new(ModelEntry { cfg, lancet, canonical }));
+        Ok(())
+    }
+
+    /// Submits one request — `ids` is a single sequence of token ids for
+    /// `model` — and returns a [`Ticket`] for its response.
+    ///
+    /// # Errors
+    ///
+    /// Rejects immediately with [`ServeError::UnknownModel`] /
+    /// [`ServeError::BadRequest`] on a malformed request,
+    /// [`ServeError::Overloaded`] when the admission queue is at its
+    /// bound, or [`ServeError::ShuttingDown`].
+    pub fn submit(&self, model: &str, ids: Vec<f32>) -> Result<Ticket> {
+        let shared = &self.shared;
+        if shared.shutting_down.load(Ordering::Acquire) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let entry = {
+            let models = shared.models.read().expect("models lock");
+            models.get(model).cloned().ok_or_else(|| ServeError::UnknownModel(model.into()))?
+        };
+        if ids.len() != entry.cfg.seq {
+            return Err(ServeError::BadRequest(format!(
+                "{} token ids, model `{model}` serves sequences of {}",
+                ids.len(),
+                entry.cfg.seq
+            )));
+        }
+        let vocab = entry.cfg.vocab as f32;
+        if let Some(bad) = ids.iter().find(|&&t| t < 0.0 || t >= vocab || t.fract() != 0.0) {
+            return Err(ServeError::BadRequest(format!(
+                "token id {bad} outside vocabulary of {}",
+                entry.cfg.vocab
+            )));
+        }
+
+        let slot = Arc::new(ResponseSlot::new());
+        {
+            let mut queue = shared.admission.lock().expect("admission lock");
+            if queue.len() >= shared.queue_depth {
+                shared.metrics.rejected_overload.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Overloaded { depth: shared.queue_depth });
+            }
+            queue.push_back(Pending {
+                model: model.into(),
+                ids,
+                enqueued: Instant::now(),
+                slot: Arc::clone(&slot),
+            });
+        }
+        shared.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+        shared.admitted.notify_all();
+        Ok(Ticket { slot })
+    }
+
+    /// [`submit`](Self::submit), then block for the response.
+    ///
+    /// # Errors
+    ///
+    /// Everything `submit` rejects with, plus execution-time failures.
+    pub fn submit_blocking(&self, model: &str, ids: Vec<f32>) -> Result<Tensor> {
+        self.submit(model, ids)?.wait()
+    }
+
+    /// A point-in-time statistics snapshot.
+    pub fn stats(&self) -> ServeStats {
+        let depth = self.shared.admission.lock().expect("admission lock").len();
+        self.shared.metrics.snapshot(depth, self.shared.cache.stats())
+    }
+
+    /// The plan cache (for inspection; plans are managed internally).
+    pub fn plan_cache(&self) -> &PlanCache {
+        &self.shared.cache
+    }
+
+    /// Records one request's end-to-end latency (used by `serve-bench`
+    /// to attribute the full submit→response time, including the
+    /// caller-side wait the runtime can't see).
+    #[doc(hidden)]
+    pub fn record_external_latency(&self, ms: f64) {
+        self.shared.metrics.record_latency(ms);
+    }
+
+    /// Stops admissions, drains both queues (every in-flight request
+    /// still gets its response), and joins all runtime threads.
+    /// Idempotent; also invoked by `Drop`.
+    pub fn shutdown(&self) {
+        let threads = self.threads.lock().expect("threads lock").take();
+        let Some(threads) = threads else { return };
+        self.shared.shutting_down.store(true, Ordering::Release);
+        self.shared.admitted.notify_all();
+        threads.batcher.join().expect("batcher panicked");
+        self.shared.batcher_done.store(true, Ordering::Release);
+        self.shared.exec_not_empty.notify_all();
+        for worker in threads.workers {
+            worker.join().expect("exec worker panicked");
+        }
+    }
+}
+
+impl Drop for ServeRuntime {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// The smallest power-of-two bucket that fits `n` requests.
+fn bucket_for(n: usize) -> usize {
+    n.max(1).next_power_of_two()
+}
+
+/// The batcher: groups admitted requests into per-model buckets, shedding
+/// the ones whose latency budget expired, and feeds the exec queue.
+/// Exits once shutdown is flagged *and* the admission queue is drained.
+fn batcher_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut queue = shared.admission.lock().expect("admission lock");
+            loop {
+                shed_expired(shared, &mut queue);
+                let Some(front) = queue.front() else {
+                    if shared.shutting_down.load(Ordering::Acquire) {
+                        return;
+                    }
+                    queue = shared.admitted.wait(queue).expect("admission lock");
+                    continue;
+                };
+                let model = front.model.clone();
+                let waited = front.enqueued.elapsed();
+                let matching = queue.iter().filter(|p| p.model == model).count();
+                let draining = shared.shutting_down.load(Ordering::Acquire);
+                if matching >= shared.config.max_batch
+                    || waited >= shared.config.batch_window
+                    || draining
+                {
+                    break extract(&mut queue, &model, shared.config.max_batch);
+                }
+                let (q, _) = shared
+                    .admitted
+                    .wait_timeout(queue, shared.config.batch_window - waited)
+                    .expect("admission lock");
+                queue = q;
+            }
+        };
+        push_batch(shared, batch);
+    }
+}
+
+/// Sheds queued requests that have out-waited the latency budget.
+fn shed_expired(shared: &Shared, queue: &mut VecDeque<Pending>) {
+    let budget = shared.config.latency_budget;
+    if budget.is_zero() {
+        return;
+    }
+    let mut kept = VecDeque::with_capacity(queue.len());
+    for pending in queue.drain(..) {
+        let waited = pending.enqueued.elapsed();
+        if waited > budget {
+            shared.metrics.shed_deadline.fetch_add(1, Ordering::Relaxed);
+            let delivered = pending.slot.deliver(Err(ServeError::DeadlineExceeded {
+                waited_ms: waited.as_secs_f64() * 1e3,
+            }));
+            debug_assert!(delivered, "a queued request cannot already have a response");
+        } else {
+            kept.push_back(pending);
+        }
+    }
+    *queue = kept;
+}
+
+/// Removes up to `max` requests for `model` from the queue (preserving
+/// the relative order of everything else) and wraps them in a batch.
+fn extract(queue: &mut VecDeque<Pending>, model: &str, max: usize) -> Batch {
+    let mut entries = Vec::new();
+    let mut rest = VecDeque::with_capacity(queue.len());
+    for pending in queue.drain(..) {
+        if pending.model == model && entries.len() < max {
+            entries.push(pending);
+        } else {
+            rest.push_back(pending);
+        }
+    }
+    *queue = rest;
+    Batch { model: model.into(), bucket: bucket_for(entries.len()), entries }
+}
+
+/// Blocks until the (bounded) exec queue has room, then enqueues.
+fn push_batch(shared: &Shared, batch: Batch) {
+    let mut exec = shared.exec.lock().expect("exec lock");
+    while exec.len() >= shared.exec_depth {
+        exec = shared.exec_not_full.wait(exec).expect("exec lock");
+    }
+    exec.push_back(batch);
+    drop(exec);
+    shared.exec_not_empty.notify_one();
+}
+
+/// An exec worker: pops batches, resolves their plan through the cache,
+/// executes, and delivers per-request responses. Exits once the batcher
+/// is done and the exec queue is empty.
+fn worker_loop(shared: &Shared) {
+    loop {
+        let batch = {
+            let mut exec = shared.exec.lock().expect("exec lock");
+            loop {
+                if let Some(batch) = exec.pop_front() {
+                    shared.exec_not_full.notify_one();
+                    break batch;
+                }
+                if shared.batcher_done.load(Ordering::Acquire) {
+                    return;
+                }
+                exec = shared.exec_not_empty.wait(exec).expect("exec lock");
+            }
+        };
+        run_batch(shared, batch);
+    }
+}
+
+/// Executes one micro-batch and delivers every response exactly once.
+fn run_batch(shared: &Shared, batch: Batch) {
+    let outcome = execute_batch(shared, &batch);
+    shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
+    shared.metrics.batched_requests.fetch_add(batch.entries.len() as u64, Ordering::Relaxed);
+    match outcome {
+        Ok((plan, logits)) => {
+            for (row, pending) in batch.entries.iter().enumerate() {
+                let response = plan.response(&logits, row);
+                let waited_ms = pending.enqueued.elapsed().as_secs_f64() * 1e3;
+                // Count before delivering: a waiter that wakes on this
+                // response must already see it in the stats ledger.
+                shared.metrics.completed.fetch_add(1, Ordering::Relaxed);
+                shared.metrics.record_latency(waited_ms);
+                let delivered = pending.slot.deliver(Ok(response));
+                debug_assert!(delivered, "double delivery for a batched request");
+            }
+        }
+        Err(err) => {
+            for pending in &batch.entries {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                let delivered = pending.slot.deliver(Err(err.clone()));
+                debug_assert!(delivered, "double delivery for a failed request");
+            }
+        }
+    }
+}
+
+/// Resolves the batch's plan (through the cache) and runs it over the
+/// padded `[bucket, seq]` id tensor.
+fn execute_batch(shared: &Shared, batch: &Batch) -> Result<(Arc<Plan>, Tensor)> {
+    let entry = {
+        let models = shared.models.read().expect("models lock");
+        models
+            .get(&batch.model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(batch.model.clone()))?
+    };
+    let key = PlanKey {
+        model: batch.model.clone(),
+        bucket: batch.bucket,
+        cluster: shared.config.cluster,
+        gpus: entry.cfg.gpus,
+    };
+    let plan = shared
+        .cache
+        .get_or_insert_with(&key, || Plan::build(&entry.lancet, &entry.cfg, batch.bucket, &entry.canonical))?;
+
+    let seq = entry.cfg.seq;
+    // Pad with token id 0 — rows are independent under drop-free
+    // routing, so padding never leaks into a real request's response.
+    let mut data = vec![0.0f32; batch.bucket * seq];
+    for (row, pending) in batch.entries.iter().enumerate() {
+        data[row * seq..(row + 1) * seq].copy_from_slice(&pending.ids);
+    }
+    let ids = Tensor::from_vec(vec![batch.bucket, seq], data)
+        .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    let logits = plan.execute(&ids)?;
+    Ok((plan, logits))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn buckets_are_powers_of_two() {
+        assert_eq!(bucket_for(0), 1);
+        assert_eq!(bucket_for(1), 1);
+        assert_eq!(bucket_for(3), 4);
+        assert_eq!(bucket_for(8), 8);
+        assert_eq!(bucket_for(9), 16);
+    }
+
+    #[test]
+    fn queue_depth_env_parsing() {
+        // Only exercises the parse helper (process-global env mutation
+        // is unsafe under parallel tests).
+        assert_eq!(env_queue_depth().or(Some(DEFAULT_QUEUE_DEPTH)).map(|d| d > 0), Some(true));
+    }
+}

@@ -1,0 +1,170 @@
+//! Runtime observability: counters, latency percentiles, throughput.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Instant;
+
+use crate::cache::CacheStats;
+
+/// How many latency samples the percentile window retains. Old samples
+/// are overwritten ring-buffer style, so percentiles describe *recent*
+/// behaviour on long-running servers while staying O(1) in memory.
+const LATENCY_WINDOW: usize = 8192;
+
+/// Shared mutable metric state, updated by every runtime thread.
+#[derive(Debug)]
+pub(crate) struct Metrics {
+    started: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) completed: AtomicU64,
+    pub(crate) rejected_overload: AtomicU64,
+    pub(crate) shed_deadline: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) batches: AtomicU64,
+    pub(crate) batched_requests: AtomicU64,
+    latencies: Mutex<LatencyRing>,
+}
+
+#[derive(Debug, Default)]
+struct LatencyRing {
+    samples: Vec<f64>,
+    next: usize,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started: Instant::now(),
+            submitted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            rejected_overload: AtomicU64::new(0),
+            shed_deadline: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_requests: AtomicU64::new(0),
+            latencies: Mutex::new(LatencyRing::default()),
+        }
+    }
+
+    /// Records one served request's end-to-end latency in milliseconds.
+    pub(crate) fn record_latency(&self, ms: f64) {
+        let mut ring = self.latencies.lock().expect("metrics lock");
+        if ring.samples.len() < LATENCY_WINDOW {
+            ring.samples.push(ms);
+        } else {
+            let at = ring.next;
+            ring.samples[at] = ms;
+        }
+        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    }
+
+    /// Builds a consistent snapshot.
+    pub(crate) fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServeStats {
+        let mut samples = self.latencies.lock().expect("metrics lock").samples.clone();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        ServeStats {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            completed,
+            rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
+            shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            queue_depth,
+            cache,
+            p50_ms: percentile(&samples, 0.50),
+            p95_ms: percentile(&samples, 0.95),
+            p99_ms: percentile(&samples, 0.99),
+            throughput_rps: completed as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
+            mean_batch: if batches == 0 {
+                0.0
+            } else {
+                self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
+            },
+        }
+    }
+}
+
+/// The q-th percentile (nearest-rank) of an ascending-sorted sample set;
+/// 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+/// A point-in-time view of the runtime's health — the numbers an operator
+/// watches and `serve-bench` records.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub submitted: u64,
+    /// Requests answered with a response.
+    pub completed: u64,
+    /// Requests rejected at admission because the queue was full.
+    pub rejected_overload: u64,
+    /// Requests shed from the queue after exceeding their latency budget.
+    pub shed_deadline: u64,
+    /// Requests that failed during planning or execution.
+    pub failed: u64,
+    /// Micro-batches executed.
+    pub batches: u64,
+    /// Requests waiting in the admission queue right now.
+    pub queue_depth: usize,
+    /// Plan-cache effectiveness counters.
+    pub cache: CacheStats,
+    /// Median end-to-end latency over the recent window, ms.
+    pub p50_ms: f64,
+    /// 95th-percentile latency over the recent window, ms.
+    pub p95_ms: f64,
+    /// 99th-percentile latency over the recent window, ms.
+    pub p99_ms: f64,
+    /// Completed requests per second since the runtime started.
+    pub throughput_rps: f64,
+    /// Mean requests per executed micro-batch.
+    pub mean_batch: f64,
+}
+
+impl ServeStats {
+    /// Fraction of plan lookups answered from the cache, in `[0, 1]`.
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.cache.hit_rate()
+    }
+
+    /// Requests that were admitted but never answered. Zero whenever the
+    /// runtime has drained (the exactly-once delivery invariant).
+    pub fn outstanding(&self) -> u64 {
+        self.submitted - self.completed - self.shed_deadline - self.failed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_nearest_rank() {
+        let s: Vec<f64> = (1..=100).map(|x| x as f64).collect();
+        assert_eq!(percentile(&s, 0.50), 50.0);
+        assert_eq!(percentile(&s, 0.95), 95.0);
+        assert_eq!(percentile(&s, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+        assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn latency_window_wraps() {
+        let m = Metrics::new();
+        for i in 0..(LATENCY_WINDOW + 10) {
+            m.record_latency(i as f64);
+        }
+        let ring = m.latencies.lock().unwrap();
+        assert_eq!(ring.samples.len(), LATENCY_WINDOW);
+        // The oldest 10 samples were overwritten by the newest 10.
+        assert_eq!(ring.samples[0], LATENCY_WINDOW as f64);
+        assert_eq!(ring.samples[9], (LATENCY_WINDOW + 9) as f64);
+    }
+}

@@ -14,7 +14,11 @@
 //! The submitting thread participates in its own job, so a pool sized for
 //! `n` workers spawns `n - 1` OS threads. Nested submissions (a pooled
 //! task calling [`ThreadPool::parallel_for`] again) run inline on the
-//! calling thread instead of deadlocking on the single job slot.
+//! calling thread instead of deadlocking on the single job slot, and so
+//! does a submission that finds the job slot occupied by *another*
+//! thread's job (e.g. two serving workers executing micro-batches
+//! concurrently): the pool accelerates whoever claims it first and every
+//! other submitter simply computes on its own thread.
 //!
 //! # Determinism contract
 //!
@@ -185,7 +189,18 @@ impl ThreadPool {
         let next = Arc::new(AtomicUsize::new(0));
         {
             let mut st = self.shared.state.lock().expect("pool lock");
-            debug_assert!(st.job.is_none(), "one job at a time");
+            if st.job.is_some() {
+                // Another thread's job occupies the single slot (e.g. two
+                // serving workers executing micro-batches concurrently).
+                // Degrade gracefully: run this job inline on the caller.
+                // Determinism is unaffected — tasks compute the same
+                // values regardless of which thread runs them.
+                drop(st);
+                for i in 0..tasks {
+                    f(i);
+                }
+                return;
+            }
             st.job = Some(Job { func, next: Arc::clone(&next), tasks });
             st.generation += 1;
             st.completed = 0;
@@ -399,6 +414,33 @@ mod tests {
         let order = std::sync::Mutex::new(Vec::new());
         pool.parallel_for(5, |i| order.lock().unwrap().push(i));
         assert_eq!(*order.lock().unwrap(), vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn concurrent_submitters_from_many_threads() {
+        // Several OS threads race `parallel_for` on the same pool; losers
+        // of the job slot must fall back to inline execution rather than
+        // deadlock or corrupt the winner's job. Every task of every
+        // submission must still run exactly once.
+        let pool = ThreadPool::new(4);
+        std::thread::scope(|s| {
+            for t in 0..8 {
+                let pool = &pool;
+                s.spawn(move || {
+                    for round in 0..20 {
+                        let tasks = 16 + (t + round) % 7;
+                        let hits: Vec<AtomicUsize> = (0..tasks).map(|_| AtomicUsize::new(0)).collect();
+                        pool.parallel_for(tasks, |i| {
+                            hits[i].fetch_add(1, Ordering::Relaxed);
+                        });
+                        assert!(
+                            hits.iter().all(|h| h.load(Ordering::Relaxed) == 1),
+                            "thread {t} round {round}: task ran zero or multiple times"
+                        );
+                    }
+                });
+            }
+        });
     }
 
     #[test]

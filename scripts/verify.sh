@@ -22,4 +22,10 @@ echo "==> cargo bench -p lancet-bench --bench kernels -- --quick"
 # ISSUE/EXPERIMENTS (no artifact is written in --quick mode).
 cargo bench -p lancet-bench --bench kernels -- --quick
 
+echo "==> lancet serve-bench --quick"
+# Seconds-bounded smoke of the serving runtime: replays a short open-loop
+# trace and fails unless the plan-cache hit rate is nonzero and every
+# admitted request got exactly one response (zero lost).
+./target/release/lancet serve-bench --quick
+
 echo "==> verify OK"

@@ -1,14 +1,18 @@
 //! `lancet` — command-line front end for the Lancet reproduction.
 //!
 //! ```text
-//! lancet optimize --model s --cluster v100 --gpus 16 --gate switch [--trace t.json]
-//! lancet compare  --model l --cluster a100 --gpus 32 --gate bpr
+//! lancet optimize   --model s --cluster v100 --gpus 16 --gate switch [--trace t.json]
+//! lancet compare    --model l --cluster a100 --gpus 32 --gate bpr
+//! lancet serve-bench [--requests 64] [--rate 40] [--quick]
 //! ```
 //!
 //! `optimize` runs the Lancet passes on one configuration and reports the
 //! predicted and simulated iteration time (optionally dumping the IR and
 //! a Chrome trace). `compare` runs every system (DeepSpeed / Tutel / RAF /
-//! Lancet) on the same configuration.
+//! Lancet) on the same configuration. `serve-bench` drives the
+//! `lancet-serve` runtime with a synthetic open-loop request trace and
+//! reports serving throughput, latency percentiles, and plan-cache
+//! effectiveness against a cold optimize-per-request baseline.
 
 use lancet_repro::baselines::{run_system, System};
 use lancet_repro::core::{Lancet, LancetOptions};
@@ -20,7 +24,14 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lancet <optimize|compare> [options]
+usage: lancet <optimize|compare|serve-bench> [options]
+
+serve-bench options:
+  --requests <N>            open-loop trace length (default: 64; quick: 24)
+  --rate <HZ>               mean request arrival rate (default: 40; quick: 200)
+  --max-batch <N>           micro-batcher bucket cap (default: 4)
+  --window <MS>             batching window in ms (default: 2)
+  --quick                   seconds-bounded smoke run (used by verify.sh)
 
 options:
   --model <s|l|mixtral|tiny>  benchmark model (default: s)
@@ -43,7 +54,15 @@ fn parse_args() -> Result<(String, HashMap<String, String>), String> {
     let mut args = std::env::args().skip(1);
     let cmd = args.next().ok_or_else(|| "missing command".to_string())?;
     let mut opts = HashMap::new();
-    let flags = ["--no-dw", "--no-partition", "--fsdp", "--recompute", "--hierarchical", "--gantt"];
+    let flags = [
+        "--no-dw",
+        "--no-partition",
+        "--fsdp",
+        "--recompute",
+        "--hierarchical",
+        "--gantt",
+        "--quick",
+    ];
     let mut iter = args.peekable();
     while let Some(a) = iter.next() {
         if flags.contains(&a.as_str()) {
@@ -226,12 +245,145 @@ fn cmd_compare(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The serving-scaled GPT2-S-MoE: the paper model's hidden/FFN/head
+/// geometry with serving-sized sequence, vocabulary, and depth so the
+/// CPU executor answers requests in milliseconds instead of minutes.
+fn serving_scaled_gpt2s(quick: bool) -> GptMoeConfig {
+    let cfg = GptMoeConfig::gpt2_s_moe(1, GateKind::Switch);
+    if quick {
+        cfg.with_layers(4).with_seq(8).with_vocab(128)
+    } else {
+        cfg.with_layers(4).with_seq(8).with_vocab(256)
+    }
+}
+
+fn cmd_serve_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::serve::{
+        canonical_weights, open_loop_trace, replay_open_loop, Plan, ServeConfig, ServeRuntime,
+    };
+    use std::time::{Duration, Instant};
+
+    let quick = opts.contains_key("quick");
+    let parse = |key: &str, default: f64| -> Result<f64, String> {
+        opts.get(key)
+            .map(|v| v.parse::<f64>().map_err(|_| format!("bad --{key} `{v}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let requests = parse("requests", if quick { 24.0 } else { 64.0 })? as usize;
+    let rate = parse("rate", if quick { 200.0 } else { 40.0 })?;
+    let max_batch = parse("max-batch", 4.0)? as usize;
+    let window = Duration::from_secs_f64(parse("window", 2.0)? / 1e3);
+    let cluster = ClusterKind::A100;
+
+    let cfg = serving_scaled_gpt2s(quick);
+    println!(
+        "serve-bench: {} (layers {}, seq {}, vocab {}), {} requests at {rate:.0} req/s, \
+         max batch {max_batch}, window {:?}",
+        cfg.name, cfg.layers, cfg.seq, cfg.vocab, requests, window
+    );
+    let trace = open_loop_trace(requests, rate, cfg.seq, cfg.vocab, 0xbead);
+
+    // Cold baseline: what a runtime without a plan cache would pay per
+    // request — a fresh optimizer (empty partition memo), plan build,
+    // then one batch-of-one execution.
+    let config = ServeConfig { cluster, max_batch, batch_window: window, ..ServeConfig::default() };
+    let normalized = cfg.clone().with_capacity_factor(cfg.experts() as f64);
+    let canonical = canonical_weights(&normalized, config.seed).map_err(|e| e.to_string())?;
+    let solo_ids = lancet_repro::tensor::Tensor::from_vec(
+        vec![1, cfg.seq],
+        trace[0].ids.clone(),
+    )
+    .map_err(|e| e.to_string())?;
+    let cold_samples = if quick { 2 } else { 4 };
+    let mut cold_ms = Vec::new();
+    for _ in 0..cold_samples {
+        let started = Instant::now();
+        let lancet = Lancet::new(ClusterSpec::of(cluster, 1), cfg.gpus, LancetOptions::default());
+        let plan =
+            Plan::build(&lancet, &normalized, 1, &canonical).map_err(|e| e.to_string())?;
+        plan.execute(&solo_ids).map_err(|e| e.to_string())?;
+        cold_ms.push(started.elapsed().as_secs_f64() * 1e3);
+    }
+    let cold_mean = cold_ms.iter().sum::<f64>() / cold_ms.len() as f64;
+    println!("cold optimize-per-request: {cold_mean:.1} ms/request (n={cold_samples})");
+
+    let runtime = ServeRuntime::start(config);
+    runtime.register_model(cfg.clone()).map_err(|e| e.to_string())?;
+
+    // Warm every power-of-two bucket the batcher can form, so the
+    // steady-state measurement sees only cache hits.
+    let mut bucket = 1;
+    while bucket <= max_batch.next_power_of_two() {
+        let tickets: Result<Vec<_>, _> =
+            (0..bucket).map(|i| runtime.submit(&cfg.name, trace[i % requests].ids.clone())).collect();
+        for t in tickets.map_err(|e| e.to_string())? {
+            t.wait().map_err(|e| e.to_string())?;
+        }
+        bucket *= 2;
+    }
+
+    // Steady state: a closed burst through the warm cache measures the
+    // per-request service cost with batching, no arrival idle time.
+    let burst = if quick { 16 } else { 48 };
+    let started = Instant::now();
+    let tickets: Result<Vec<_>, _> =
+        (0..burst).map(|i| runtime.submit(&cfg.name, trace[i % requests].ids.clone())).collect();
+    for t in tickets.map_err(|e| e.to_string())? {
+        t.wait().map_err(|e| e.to_string())?;
+    }
+    let steady_ms = started.elapsed().as_secs_f64() * 1e3 / burst as f64;
+    let speedup = cold_mean / steady_ms;
+    println!("steady-state (warm cache): {steady_ms:.1} ms/request ({speedup:.1}x vs cold)");
+
+    // Open-loop replay: the serving-quality numbers.
+    let replay = replay_open_loop(&runtime, &cfg.name, &trace);
+    let stats = runtime.stats();
+    println!(
+        "\nopen-loop replay: {} ok, {} rejected, {} shed, {} failed in {:.2} s",
+        replay.ok,
+        replay.rejected,
+        replay.shed,
+        replay.failed,
+        replay.wall.as_secs_f64()
+    );
+    println!(
+        "latency p50/p95/p99: {:.1} / {:.1} / {:.1} ms   throughput {:.1} req/s   mean batch {:.2}",
+        stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.throughput_rps, stats.mean_batch
+    );
+    println!(
+        "plan cache: {} hits, {} misses ({:.0}% hit rate), {} evictions, {} resident",
+        stats.cache.hits,
+        stats.cache.misses,
+        stats.cache_hit_rate() * 100.0,
+        stats.cache.evictions,
+        stats.cache.len
+    );
+    runtime.shutdown();
+
+    // Smoke contract (verify.sh runs this in --quick mode): the cache
+    // must be doing its job and no response may be lost.
+    let lost = replay.lost(requests);
+    let outstanding = runtime.stats().outstanding();
+    if stats.cache_hit_rate() <= 0.0 {
+        return Err("serve-bench: plan-cache hit rate is zero".into());
+    }
+    if lost != 0 || outstanding != 0 {
+        return Err(format!(
+            "serve-bench: lost responses (replay lost {lost}, outstanding {outstanding})"
+        ));
+    }
+    println!("\nsmoke contract: cache hit rate > 0, zero lost responses — OK");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok((cmd, opts)) => {
             let result = match cmd.as_str() {
                 "optimize" => cmd_optimize(&opts),
                 "compare" => cmd_compare(&opts),
+                "serve-bench" => cmd_serve_bench(&opts),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())

@@ -12,6 +12,8 @@
 //! * [`exec`] — numerical multi-device executor
 //! * [`models`] — GPT-2 MoE benchmark models
 //! * [`baselines`] — DeepSpeed/Tutel/RAF-style baseline schedules
+//! * [`serve`] — concurrent inference-serving runtime (plan cache,
+//!   micro-batching, backpressure)
 //! * [`tensor`] — dense tensor math
 
 pub use lancet_baselines as baselines;
@@ -21,5 +23,6 @@ pub use lancet_exec as exec;
 pub use lancet_ir as ir;
 pub use lancet_models as models;
 pub use lancet_moe as moe;
+pub use lancet_serve as serve;
 pub use lancet_sim as sim;
 pub use lancet_tensor as tensor;
