@@ -70,15 +70,11 @@ pub struct RunOutcome {
 
 fn simulator(spec: &ClusterSpec, cfg: &GptMoeConfig, compute_overhead: f64, memory_overhead: f64) -> Simulator {
     let sim_cfg = SimConfig {
-        gpus: cfg.gpus,
         capacity_factor: cfg.capacity_factor,
-        load_jitter: 0.1,
         seed: 0x1a5ce7 ^ cfg.gpus as u64,
         compute_overhead,
         memory_overhead,
-        hierarchical_a2a: false,
-        separate_collective_channel: false,
-        block_sparse_experts: false,
+        ..SimConfig::new(cfg.gpus)
     };
     Simulator::new(ComputeModel::new(spec.device.clone()), CommModel::new(spec.clone()), sim_cfg)
 }

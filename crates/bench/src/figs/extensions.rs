@@ -16,15 +16,9 @@ fn simulate(spec: &ClusterSpec, cfg: &GptMoeConfig, graph: &lancet_ir::Graph) ->
         ComputeModel::new(spec.device.clone()),
         CommModel::new(spec.clone()),
         SimConfig {
-            gpus: cfg.gpus,
             capacity_factor: cfg.capacity_factor,
-            load_jitter: 0.1,
-            seed: 0x1a5ce7,
-            compute_overhead: 1.0,
             memory_overhead: 1.1,
-            hierarchical_a2a: false,
-            separate_collective_channel: false,
-            block_sparse_experts: false,
+            ..SimConfig::new(cfg.gpus)
         },
     );
     sim.simulate(graph)

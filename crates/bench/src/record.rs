@@ -337,6 +337,7 @@ mod tests {
             overlapped: 0.1,
             peak_memory: u64::MAX,
             oom: true,
+            faults: Default::default(),
             timeline: Vec::new(),
         };
         let r = Record::new("fig11").with_report(&report);

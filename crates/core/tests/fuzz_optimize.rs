@@ -1,6 +1,9 @@
 //! Robustness fuzz: `Lancet::optimize` must succeed, produce a valid
 //! graph, and never regress the predicted iteration time across random
 //! model configurations, gates, and hyper-parameters.
+//!
+//! Runs 10 cases by default; set `LANCET_PROPTEST_CASES` to raise the
+//! coverage (e.g. a long CI fuzz sweep) without editing this file.
 
 use lancet_core::{Lancet, LancetOptions, PartitionOptions};
 use lancet_cost::{ClusterKind, ClusterSpec};
@@ -9,7 +12,7 @@ use lancet_models::{build_forward, GptMoeConfig};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(10))]
+    #![proptest_config(ProptestConfig::env_cases(10))]
 
     #[test]
     fn optimize_never_fails_or_regresses(

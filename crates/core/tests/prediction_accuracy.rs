@@ -12,7 +12,7 @@ use lancet_sim::{SimConfig, Simulator};
 use proptest::prelude::*;
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::env_cases(8))]
 
     #[test]
     fn prediction_within_ten_percent(

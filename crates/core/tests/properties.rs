@@ -72,7 +72,7 @@ fn run_graph(g: &Graph, x: TensorId, out: TensorId, gpus: usize, seed: u64) -> V
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(12))]
+    #![proptest_config(ProptestConfig::env_cases(12))]
 
     /// For any shape, capacity and chunk count, the partition pass's
     /// generated pipeline is bit-identical to the original MoE layer.

@@ -47,7 +47,7 @@ fn check_all_shapes(g: &Graph, devices: usize, seed: u64) -> Result<(), TestCase
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(8))]
+    #![proptest_config(ProptestConfig::env_cases(8))]
 
     /// Every executed tensor matches its declared shape, across gates,
     /// device counts, FSDP, shared experts, and the full backward pass.

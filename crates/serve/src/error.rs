@@ -24,12 +24,23 @@ pub enum ServeError {
         /// How long the request had waited when it was shed, in ms.
         waited_ms: f64,
     },
+    /// The request's end-to-end time exceeded the configured per-request
+    /// timeout before execution started; the runtime answered with this
+    /// error instead of a late response.
+    TimedOut {
+        /// How long the request had waited when it timed out, in ms.
+        waited_ms: f64,
+    },
     /// The runtime is shutting down and no longer accepts work.
     ShuttingDown,
     /// Plan construction failed (graph build / optimization error).
     Plan(String),
     /// Graph execution failed.
     Exec(String),
+    /// The worker executing this request's batch panicked. The panic was
+    /// isolated — the worker thread and every other request survive — and
+    /// the batch's undelivered requests receive this error.
+    WorkerPanic(String),
 }
 
 impl std::fmt::Display for ServeError {
@@ -43,9 +54,13 @@ impl std::fmt::Display for ServeError {
             ServeError::DeadlineExceeded { waited_ms } => {
                 write!(f, "deadline exceeded after {waited_ms:.1} ms in queue")
             }
+            ServeError::TimedOut { waited_ms } => {
+                write!(f, "timed out after {waited_ms:.1} ms")
+            }
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
             ServeError::Plan(why) => write!(f, "plan construction failed: {why}"),
             ServeError::Exec(why) => write!(f, "execution failed: {why}"),
+            ServeError::WorkerPanic(why) => write!(f, "worker panicked: {why}"),
         }
     }
 }

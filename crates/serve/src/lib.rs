@@ -21,6 +21,15 @@
 //! bit-identical to solo serving. Batching changes throughput, never
 //! output bits.
 //!
+//! The runtime is built to *survive* faults, and ships its own chaos
+//! harness to prove it: a seeded [`FaultSpec`] injects slow workers,
+//! worker panics, transient execution failures, plan-build failures, and
+//! batcher stalls deterministically, while per-request timeouts, bounded
+//! retry with backoff, batch degradation to smaller buckets, and panic
+//! isolation keep the exactly-once response contract — every admitted
+//! request gets exactly one reply or one typed [`ServeError`]. Fault and
+//! recovery counters surface in [`ServeStats`].
+//!
 //! # Example
 //!
 //! ```
@@ -48,6 +57,7 @@
 
 mod cache;
 mod error;
+mod fault;
 mod plan;
 mod runtime;
 mod stats;
@@ -55,6 +65,7 @@ mod trace;
 
 pub use cache::{CacheStats, PlanCache};
 pub use error::{Result, ServeError};
+pub use fault::{FaultInjector, FaultSpec};
 pub use plan::{canonical_weights, CanonicalWeights, Plan, PlanKey};
 pub use runtime::{ServeConfig, ServeRuntime, Ticket};
 pub use stats::ServeStats;

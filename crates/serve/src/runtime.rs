@@ -30,9 +30,10 @@
 //! optimization, invisible in the output bits (covered by the
 //! `batched_responses_bit_identical_to_solo` integration test).
 
+use std::cell::Cell;
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Condvar, Mutex, RwLock};
+use std::sync::{Arc, Condvar, Mutex, Once, RwLock};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -42,6 +43,7 @@ use lancet_models::GptMoeConfig;
 use lancet_tensor::{pool, Tensor};
 
 use crate::cache::PlanCache;
+use crate::fault::{FaultInjector, FaultSpec};
 use crate::plan::{canonical_weights, CanonicalWeights, Plan, PlanKey};
 use crate::stats::{Metrics, ServeStats};
 use crate::{Result, ServeError};
@@ -88,6 +90,21 @@ pub struct ServeConfig {
     pub partition: bool,
     /// Seed for canonical weight initialization.
     pub seed: u64,
+    /// Per-request end-to-end timeout: requests still unexecuted after
+    /// this long are answered with [`ServeError::TimedOut`] instead of a
+    /// late response. Zero disables the timeout. Unlike
+    /// [`latency_budget`](Self::latency_budget) (queue-side shedding,
+    /// checked by the batcher), the timeout is checked by the worker just
+    /// before execution, so it also catches time lost in the exec queue.
+    pub request_timeout: Duration,
+    /// How many times a transiently failed execution
+    /// ([`ServeError::Exec`]) is retried before the error is delivered.
+    pub max_retries: u32,
+    /// Base backoff slept before the first retry; doubles each retry.
+    pub retry_backoff: Duration,
+    /// Deterministic fault injection (chaos testing). `None` — the
+    /// default — injects nothing and costs nothing on the hot path.
+    pub fault: Option<FaultSpec>,
 }
 
 impl Default for ServeConfig {
@@ -102,6 +119,10 @@ impl Default for ServeConfig {
             plan_capacity: 16,
             partition: true,
             seed: 0x5e4e,
+            request_timeout: Duration::ZERO,
+            max_retries: 2,
+            retry_backoff: Duration::from_millis(1),
+            fault: None,
         }
     }
 }
@@ -124,10 +145,11 @@ struct Pending {
     slot: Arc<ResponseSlot>,
 }
 
-/// A micro-batch handed from the batcher to an exec worker.
+/// A micro-batch handed from the batcher to an exec worker. The bucket
+/// is derived where it's used (`serve_entries`), since timeout filtering
+/// and degradation can shrink the entry set after extraction.
 struct Batch {
     model: String,
-    bucket: usize,
     entries: Vec<Pending>,
 }
 
@@ -192,6 +214,7 @@ struct Shared {
     exec_not_full: Condvar,
     shutting_down: AtomicBool,
     batcher_done: AtomicBool,
+    injector: Option<FaultInjector>,
 }
 
 /// Handles to the runtime's threads, held until shutdown.
@@ -225,6 +248,10 @@ impl ServeRuntime {
             env_queue_depth().unwrap_or(DEFAULT_QUEUE_DEPTH)
         };
         let exec_workers = pool::resolve_workers(config.exec_workers);
+        let injector = config.fault.clone().map(FaultInjector::new);
+        if injector.is_some() {
+            silence_injected_panics();
+        }
         let shared = Arc::new(Shared {
             queue_depth,
             // Enough slack that workers rarely idle, small enough that a
@@ -240,6 +267,7 @@ impl ServeRuntime {
             exec_not_full: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             batcher_done: AtomicBool::new(false),
+            injector,
             config,
         });
         let batcher = {
@@ -367,6 +395,13 @@ impl ServeRuntime {
         &self.shared.cache
     }
 
+    /// The resolved admission-queue bound: the configured `queue_depth`,
+    /// or — when that was `0` — `LANCET_SERVE_QUEUE_DEPTH`, falling back
+    /// to the built-in default of 256.
+    pub fn queue_capacity(&self) -> usize {
+        self.shared.queue_depth
+    }
+
     /// Records one request's end-to-end latency (used by `serve-bench`
     /// to attribute the full submit→response time, including the
     /// caller-side wait the runtime can't see).
@@ -436,6 +471,14 @@ fn batcher_loop(shared: &Shared) {
                 queue = q;
             }
         };
+        // Injected queue stall: the batcher freezes with the batch in
+        // hand (admission lock released — submitters keep queueing).
+        if let Some(inj) = &shared.injector {
+            if let Some(delay) = inj.batcher_stall() {
+                shared.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+                std::thread::sleep(delay);
+            }
+        }
         push_batch(shared, batch);
     }
 }
@@ -475,7 +518,7 @@ fn extract(queue: &mut VecDeque<Pending>, model: &str, max: usize) -> Batch {
         }
     }
     *queue = rest;
-    Batch { model: model.into(), bucket: bucket_for(entries.len()), entries }
+    Batch { model: model.into(), entries }
 }
 
 /// Blocks until the (bounded) exec queue has room, then enqueues.
@@ -511,14 +554,111 @@ fn worker_loop(shared: &Shared) {
     }
 }
 
-/// Executes one micro-batch and delivers every response exactly once.
+// True on this thread while an *injected* panic unwinds (so the panic
+// hook stays quiet for chaos the runtime is about to catch anyway).
+thread_local! {
+    static INJECTED_PANIC: Cell<bool> = const { Cell::new(false) };
+}
+
+/// Installs (once, process-wide) a panic hook that suppresses the report
+/// for injected panics and delegates everything else to the previous
+/// hook. Only called when fault injection is configured.
+fn silence_injected_panics() {
+    static INSTALL: Once = Once::new();
+    INSTALL.call_once(|| {
+        let previous = std::panic::take_hook();
+        std::panic::set_hook(Box::new(move |info| {
+            if !INJECTED_PANIC.with(Cell::get) {
+                previous(info);
+            }
+        }));
+    });
+}
+
+/// A human-readable message from a caught panic payload.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).into()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "worker panicked".into()
+    }
+}
+
+/// Executes one micro-batch and delivers every response exactly once —
+/// even if the serve path panics.
 fn run_batch(shared: &Shared, batch: Batch) {
-    let outcome = execute_batch(shared, &batch);
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     shared.metrics.batched_requests.fetch_add(batch.entries.len() as u64, Ordering::Relaxed);
-    match outcome {
+    let Batch { model, entries } = batch;
+
+    // Per-request timeout: answer requests that are already past their
+    // end-to-end deadline instead of spending executor time on them.
+    let timeout = shared.config.request_timeout;
+    let mut live = Vec::with_capacity(entries.len());
+    for pending in entries {
+        let waited = pending.enqueued.elapsed();
+        if !timeout.is_zero() && waited > timeout {
+            shared.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            let delivered = pending
+                .slot
+                .deliver(Err(ServeError::TimedOut { waited_ms: waited.as_secs_f64() * 1e3 }));
+            debug_assert!(delivered, "a queued request cannot already have a response");
+        } else {
+            live.push(pending);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+
+    // Panic isolation: hold every slot outside the unwind boundary, so a
+    // panicking serve path (injected or real) still answers each request
+    // whose response hadn't been delivered when the panic hit.
+    let slots: Vec<Arc<ResponseSlot>> = live.iter().map(|p| Arc::clone(&p.slot)).collect();
+    let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        serve_entries(shared, &model, live);
+    }));
+    INJECTED_PANIC.with(|f| f.set(false));
+    if let Err(payload) = outcome {
+        let why = panic_message(payload.as_ref());
+        shared.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+        for slot in &slots {
+            // First-write-wins: requests answered before the panic keep
+            // their responses; only the rest see the panic error.
+            if slot.deliver(Err(ServeError::WorkerPanic(why.clone()))) {
+                shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+}
+
+/// Serves `entries` as one bucket: execute (with bounded retry on
+/// transient failures), degrade to two half-sized buckets if the plan
+/// cannot be built, and deliver every response.
+fn serve_entries(shared: &Shared, model: &str, entries: Vec<Pending>) {
+    let bucket = bucket_for(entries.len());
+    let mut attempt = 0u32;
+    let result = loop {
+        match execute_entries(shared, model, bucket, &entries) {
+            // Transient execution failure: bounded retry with doubling
+            // backoff. Plan failures are not retried — a deterministic
+            // build fails the same way every time; they degrade below.
+            Err(ServeError::Exec(_)) if attempt < shared.config.max_retries => {
+                shared.metrics.retried.fetch_add(1, Ordering::Relaxed);
+                let backoff = shared.config.retry_backoff * 2u32.saturating_pow(attempt);
+                if !backoff.is_zero() {
+                    std::thread::sleep(backoff);
+                }
+                attempt += 1;
+            }
+            other => break other,
+        }
+    };
+    match result {
         Ok((plan, logits)) => {
-            for (row, pending) in batch.entries.iter().enumerate() {
+            for (row, pending) in entries.iter().enumerate() {
                 let response = plan.response(&logits, row);
                 let waited_ms = pending.enqueued.elapsed().as_secs_f64() * 1e3;
                 // Count before delivering: a waiter that wakes on this
@@ -529,8 +669,19 @@ fn run_batch(shared: &Shared, batch: Batch) {
                 debug_assert!(delivered, "double delivery for a batched request");
             }
         }
+        Err(ServeError::Plan(_)) if entries.len() > 1 => {
+            // Graceful degradation: the bucket's plan can't be built, so
+            // split the batch and serve each half under a smaller bucket
+            // (whose plan builds independently). Recursion bottoms out at
+            // single-request batches, which deliver the error typed.
+            shared.metrics.degraded.fetch_add(1, Ordering::Relaxed);
+            let mut front = entries;
+            let back = front.split_off(front.len() / 2);
+            serve_entries(shared, model, front);
+            serve_entries(shared, model, back);
+        }
         Err(err) => {
-            for pending in &batch.entries {
+            for pending in &entries {
                 shared.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 let delivered = pending.slot.deliver(Err(err.clone()));
                 debug_assert!(delivered, "double delivery for a failed request");
@@ -539,35 +690,63 @@ fn run_batch(shared: &Shared, batch: Batch) {
     }
 }
 
-/// Resolves the batch's plan (through the cache) and runs it over the
-/// padded `[bucket, seq]` id tensor.
-fn execute_batch(shared: &Shared, batch: &Batch) -> Result<(Arc<Plan>, Tensor)> {
+/// One execution attempt: resolve the plan (through the cache), pad the
+/// `[bucket, seq]` id tensor, run it. Fault-injection sites live here —
+/// each fires at most once per attempt, so retries redraw their fate.
+fn execute_entries(
+    shared: &Shared,
+    model: &str,
+    bucket: usize,
+    entries: &[Pending],
+) -> Result<(Arc<Plan>, Tensor)> {
+    if let Some(inj) = &shared.injector {
+        if let Some(delay) = inj.worker_delay() {
+            shared.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            std::thread::sleep(delay);
+        }
+        if inj.worker_panic() {
+            shared.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            INJECTED_PANIC.with(|f| f.set(true));
+            panic!("injected worker panic");
+        }
+    }
     let entry = {
         let models = shared.models.read().expect("models lock");
-        models
-            .get(&batch.model)
-            .cloned()
-            .ok_or_else(|| ServeError::UnknownModel(batch.model.clone()))?
+        models.get(model).cloned().ok_or_else(|| ServeError::UnknownModel(model.into()))?
     };
     let key = PlanKey {
-        model: batch.model.clone(),
-        bucket: batch.bucket,
+        model: model.into(),
+        bucket,
         cluster: shared.config.cluster,
         gpus: entry.cfg.gpus,
     };
-    let plan = shared
-        .cache
-        .get_or_insert_with(&key, || Plan::build(&entry.lancet, &entry.cfg, batch.bucket, &entry.canonical))?;
+    let plan = shared.cache.get_or_insert_with(&key, || {
+        // Plan faults fire inside the build closure: cache hits are
+        // immune, exactly like a real optimizer failure would be.
+        if let Some(inj) = &shared.injector {
+            if inj.plan_fault() {
+                shared.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+                return Err(ServeError::Plan("injected plan-build fault".into()));
+            }
+        }
+        Plan::build(&entry.lancet, &entry.cfg, bucket, &entry.canonical)
+    })?;
 
     let seq = entry.cfg.seq;
     // Pad with token id 0 — rows are independent under drop-free
     // routing, so padding never leaks into a real request's response.
-    let mut data = vec![0.0f32; batch.bucket * seq];
-    for (row, pending) in batch.entries.iter().enumerate() {
+    let mut data = vec![0.0f32; bucket * seq];
+    for (row, pending) in entries.iter().enumerate() {
         data[row * seq..(row + 1) * seq].copy_from_slice(&pending.ids);
     }
-    let ids = Tensor::from_vec(vec![batch.bucket, seq], data)
+    let ids = Tensor::from_vec(vec![bucket, seq], data)
         .map_err(|e| ServeError::BadRequest(e.to_string()))?;
+    if let Some(inj) = &shared.injector {
+        if inj.exec_fault() {
+            shared.metrics.injected_faults.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::Exec("injected transient execution fault".into()));
+        }
+    }
     let logits = plan.execute(&ids)?;
     Ok((plan, logits))
 }

@@ -20,8 +20,13 @@ pub(crate) struct Metrics {
     pub(crate) rejected_overload: AtomicU64,
     pub(crate) shed_deadline: AtomicU64,
     pub(crate) failed: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
     pub(crate) batches: AtomicU64,
     pub(crate) batched_requests: AtomicU64,
+    pub(crate) injected_faults: AtomicU64,
+    pub(crate) retried: AtomicU64,
+    pub(crate) degraded: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -40,8 +45,13 @@ impl Metrics {
             rejected_overload: AtomicU64::new(0),
             shed_deadline: AtomicU64::new(0),
             failed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_requests: AtomicU64::new(0),
+            injected_faults: AtomicU64::new(0),
+            retried: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
         }
     }
@@ -70,7 +80,12 @@ impl Metrics {
             rejected_overload: self.rejected_overload.load(Ordering::Relaxed),
             shed_deadline: self.shed_deadline.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
             batches,
+            injected_faults: self.injected_faults.load(Ordering::Relaxed),
+            retried: self.retried.load(Ordering::Relaxed),
+            degraded: self.degraded.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
             queue_depth,
             cache,
             p50_ms: percentile(&samples, 0.50),
@@ -110,8 +125,24 @@ pub struct ServeStats {
     pub shed_deadline: u64,
     /// Requests that failed during planning or execution.
     pub failed: u64,
+    /// Requests answered with [`ServeError::TimedOut`] because they
+    /// out-waited the per-request timeout before execution.
+    ///
+    /// [`ServeError::TimedOut`]: crate::ServeError::TimedOut
+    pub timed_out: u64,
     /// Micro-batches executed.
     pub batches: u64,
+    /// Faults the configured [`FaultSpec`](crate::FaultSpec) injected
+    /// (slow workers, panics, execution/plan failures, batcher stalls).
+    /// Always zero without fault injection.
+    pub injected_faults: u64,
+    /// Execution attempts retried after a transient failure.
+    pub retried: u64,
+    /// Batches degraded to smaller buckets after a plan-build failure.
+    pub degraded: u64,
+    /// Worker panics isolated by the runtime (the worker thread and all
+    /// other requests survived each one).
+    pub worker_panics: u64,
     /// Requests waiting in the admission queue right now.
     pub queue_depth: usize,
     /// Plan-cache effectiveness counters.
@@ -137,7 +168,7 @@ impl ServeStats {
     /// Requests that were admitted but never answered. Zero whenever the
     /// runtime has drained (the exactly-once delivery invariant).
     pub fn outstanding(&self) -> u64 {
-        self.submitted - self.completed - self.shed_deadline - self.failed
+        self.submitted - self.completed - self.shed_deadline - self.failed - self.timed_out
     }
 }
 

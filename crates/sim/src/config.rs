@@ -1,5 +1,7 @@
 //! Simulation configuration.
 
+use crate::FaultPlan;
+
 /// Knobs controlling one simulation run.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SimConfig {
@@ -34,6 +36,10 @@ pub struct SimConfig {
     /// expert matmuls fed by *irregular* buffers are charged for actual
     /// token rows instead of the zero-padded capacity.
     pub block_sparse_experts: bool,
+    /// Injected faults (stragglers, degraded links, transient drops).
+    /// Empty by default — a healthy cluster. Same plan ⇒ bit-identical
+    /// report; see [`FaultPlan`].
+    pub fault_plan: FaultPlan,
 }
 
 impl SimConfig {
@@ -49,6 +55,7 @@ impl SimConfig {
             hierarchical_a2a: false,
             separate_collective_channel: false,
             block_sparse_experts: false,
+            fault_plan: FaultPlan::none(),
         }
     }
 
@@ -69,6 +76,12 @@ impl SimConfig {
         self.seed = seed;
         self
     }
+
+    /// Sets the injected-fault schedule (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = plan;
+        self
+    }
 }
 
 #[cfg(test)]
@@ -80,10 +93,17 @@ mod tests {
         let c = SimConfig::new(8)
             .with_compute_overhead(1.1)
             .with_memory_overhead(1.2)
-            .with_seed(7);
+            .with_seed(7)
+            .with_fault_plan(crate::FaultPlan::generate(3, 8, 0.5));
         assert_eq!(c.gpus, 8);
         assert_eq!(c.compute_overhead, 1.1);
         assert_eq!(c.memory_overhead, 1.2);
         assert_eq!(c.seed, 7);
+        assert!(!c.fault_plan.is_empty());
+    }
+
+    #[test]
+    fn default_is_healthy() {
+        assert!(SimConfig::new(8).fault_plan.is_empty());
     }
 }

@@ -1,6 +1,6 @@
 //! The two-stream discrete-event engine.
 
-use crate::{estimate_peak_memory, SimConfig, SimReport, Stream, TimelineEvent};
+use crate::{estimate_peak_memory, FaultSummary, SimConfig, SimReport, Stream, TimelineEvent};
 use lancet_cost::{CommModel, ComputeModel};
 use lancet_ir::{Graph, Op, Shape, TensorId};
 use std::collections::HashMap;
@@ -91,6 +91,7 @@ impl Simulator {
         let mut timeline = Vec::with_capacity(graph.instrs().len());
         let mut compute_busy = 0.0;
         let mut comm_busy = 0.0;
+        let mut faults = FaultSummary::default();
         let chunk_tokens = chunk_token_map(graph);
         let sparse_experts = if self.cfg.block_sparse_experts {
             irregular_expert_map(graph)
@@ -113,7 +114,19 @@ impl Simulator {
                 let aux = self.cfg.separate_collective_channel && !instr.op.is_all_to_all();
                 let free = if aux { aux_free } else { comm_free };
                 let start = ready.max(free);
-                let dur = self.comm_duration(&instr.op, &in_shapes, pos, chunk_tokens.get(&pos).copied());
+                let mut dur =
+                    self.comm_duration(&instr.op, &in_shapes, pos, chunk_tokens.get(&pos).copied());
+                // Injected link faults: degradation/jitter/drops stretch
+                // the collective, deterministically per (plan, position).
+                let (factor, dropped) = self.cfg.fault_plan.comm_factor(start, pos);
+                if factor > 1.0 {
+                    faults.comm_degraded += 1;
+                    faults.injected_delay += dur * (factor - 1.0);
+                    dur *= factor;
+                }
+                if dropped {
+                    faults.link_drops += 1;
+                }
                 (if aux { Stream::CommAux } else { Stream::Comm }, start, dur)
             } else {
                 let start = ready.max(compute_free);
@@ -127,6 +140,14 @@ impl Simulator {
                     let keep = 1.0 - self.cfg.load_jitter * jitter_unit(self.cfg.seed, pos as u64);
                     dur = self.compute.device().launch_overhead
                         + (dur - self.compute.device().launch_overhead) * fill * keep;
+                }
+                // Injected straggler: the representative (slowest) device
+                // computes slower while a straggler window is active.
+                let factor = self.cfg.fault_plan.compute_factor(start);
+                if factor > 1.0 {
+                    faults.compute_slowed += 1;
+                    faults.injected_delay += dur * (factor - 1.0);
+                    dur *= factor;
                 }
                 (Stream::Compute, start, dur)
             };
@@ -162,6 +183,7 @@ impl Simulator {
             overlapped,
             peak_memory,
             oom,
+            faults,
             timeline,
         }
     }
@@ -591,6 +613,89 @@ mod tests {
         let irr = s.simulate_n(&g, 8);
         assert!(irr.std > 0.0, "irregular loads should vary across seeds");
         assert!(irr.min <= irr.mean && irr.mean <= irr.max);
+    }
+
+    #[test]
+    fn straggler_slows_compute_only() {
+        use crate::{FaultKind, FaultPlan};
+        let g = dependent_graph();
+        let healthy = sim(16).simulate(&g);
+        let spec = ClusterSpec::v100(2);
+        let plan = FaultPlan::new(1).with(
+            0.0,
+            f64::INFINITY,
+            FaultKind::Straggler { gpu: 0, slowdown: 2.0 },
+        );
+        let faulted = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(16).with_fault_plan(plan),
+        )
+        .simulate(&g);
+        assert!((faulted.compute_busy - healthy.compute_busy * 2.0).abs() < 1e-12);
+        assert_eq!(faulted.comm_busy, healthy.comm_busy);
+        assert_eq!(faulted.faults.compute_slowed, 2);
+        assert_eq!(faulted.faults.comm_degraded, 0);
+        assert!(faulted.faults.injected_delay > 0.0);
+        assert!(!healthy.faults.any());
+    }
+
+    #[test]
+    fn degraded_link_slows_comm_only() {
+        use crate::{FaultKind, FaultPlan};
+        let g = dependent_graph();
+        let healthy = sim(16).simulate(&g);
+        let spec = ClusterSpec::v100(2);
+        let plan =
+            FaultPlan::new(1).with(0.0, f64::INFINITY, FaultKind::DegradedLink { factor: 3.0 });
+        let faulted = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(16).with_fault_plan(plan),
+        )
+        .simulate(&g);
+        assert!((faulted.comm_busy - healthy.comm_busy * 3.0).abs() < 1e-12);
+        assert_eq!(faulted.compute_busy, healthy.compute_busy);
+        assert_eq!(faulted.faults.comm_degraded, 1);
+        assert_eq!(faulted.faults.link_drops, 0);
+    }
+
+    #[test]
+    fn link_drops_charge_retransmission() {
+        use crate::{FaultKind, FaultPlan};
+        let g = dependent_graph();
+        let healthy = sim(16).simulate(&g);
+        let spec = ClusterSpec::v100(2);
+        let plan = FaultPlan::new(1).with(
+            0.0,
+            f64::INFINITY,
+            FaultKind::LinkDrops { probability: 1.0, retransmit: 1.0 },
+        );
+        let faulted = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(16).with_fault_plan(plan),
+        )
+        .simulate(&g);
+        assert_eq!(faulted.faults.link_drops, 1);
+        assert!((faulted.comm_busy - healthy.comm_busy * 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn faulted_simulation_is_deterministic() {
+        use crate::FaultPlan;
+        let g = overlappable_graph();
+        let build = || {
+            let spec = ClusterSpec::v100(2);
+            Simulator::new(
+                ComputeModel::new(spec.device.clone()),
+                CommModel::new(spec),
+                SimConfig::new(16).with_fault_plan(FaultPlan::generate(0xfeed, 16, 0.05)),
+            )
+        };
+        let a = build().simulate(&g);
+        let b = build().simulate(&g);
+        assert_eq!(a, b, "same fault seed must reproduce the report bit for bit");
     }
 
     #[test]

@@ -7,12 +7,14 @@ use crate::{SimReport, Stream};
 ///
 /// Each column is `iteration_time / width`; compute cells draw `#`,
 /// communication cells `=`, idle `.`. A cell is marked when any
-/// instruction of that stream is active within its time slice.
+/// instruction of that stream is active within its time slice. When the
+/// report carries injected faults, a trailing line summarizes what fired
+/// (stretched compute, degraded collectives, retransmissions).
 ///
 /// # Example
 ///
 /// ```
-/// use lancet_sim::{render_gantt, SimReport, Stream, TimelineEvent};
+/// use lancet_sim::{render_gantt, FaultSummary, SimReport, Stream, TimelineEvent};
 ///
 /// let report = SimReport {
 ///     iteration_time: 4.0,
@@ -21,6 +23,7 @@ use crate::{SimReport, Stream};
 ///     overlapped: 0.0,
 ///     peak_memory: 0,
 ///     oom: false,
+///     faults: FaultSummary::default(),
 ///     timeline: vec![
 ///         TimelineEvent { position: 0, op: "matmul", stream: Stream::Compute, start: 0.0, end: 2.0 },
 ///         TimelineEvent { position: 1, op: "all_to_all", stream: Stream::Comm, start: 2.0, end: 4.0 },
@@ -53,14 +56,25 @@ pub fn render_gantt(report: &SimReport, width: usize) -> String {
     let draw = |cells: &[bool], mark: char| -> String {
         cells.iter().map(|&b| if b { mark } else { '.' }).collect()
     };
-    format!(
+    let mut chart = format!(
         "compute |{}|\ncomm    |{}|\n{:>9} {:.1} ms, {:.0}% of comm hidden\n",
         draw(&rows[0], '#'),
         draw(&rows[1], '='),
         "total",
         report.iteration_time * 1e3,
         report.overlap_ratio() * 100.0
-    )
+    );
+    if report.faults.any() {
+        chart.push_str(&format!(
+            "{:>9} {} compute op(s) slowed, {} collective(s) degraded, {} drop(s), +{:.1} ms injected\n",
+            "faults",
+            report.faults.compute_slowed,
+            report.faults.comm_degraded,
+            report.faults.link_drops,
+            report.faults.injected_delay * 1e3
+        ));
+    }
+    chart
 }
 
 #[cfg(test)]
@@ -76,6 +90,7 @@ mod tests {
             overlapped: 1.0,
             peak_memory: 0,
             oom: false,
+            faults: crate::FaultSummary::default(),
             timeline: vec![
                 TimelineEvent { position: 0, op: "matmul", stream: Stream::Compute, start: 0.0, end: 3.0 },
                 TimelineEvent { position: 1, op: "all_to_all", stream: Stream::Comm, start: 2.0, end: 4.0 },
@@ -105,5 +120,25 @@ mod tests {
         r.timeline.clear();
         let chart = render_gantt(&r, 4);
         assert!(chart.contains("compute |....|"));
+    }
+
+    #[test]
+    fn faults_render_a_summary_line() {
+        let mut r = overlapping_report();
+        assert!(
+            !render_gantt(&r, 8).contains("faults"),
+            "healthy charts stay fault-line free"
+        );
+        r.faults = crate::FaultSummary {
+            compute_slowed: 2,
+            comm_degraded: 1,
+            link_drops: 1,
+            injected_delay: 0.0042,
+        };
+        let chart = render_gantt(&r, 8);
+        assert!(
+            chart.contains("faults 2 compute op(s) slowed, 1 collective(s) degraded, 1 drop(s), +4.2 ms injected"),
+            "{chart}"
+        );
     }
 }

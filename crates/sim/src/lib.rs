@@ -22,9 +22,16 @@
 //! non-overlapped communication, and overlapped time — the quantities of
 //! paper Fig. 13 — and estimates peak memory for OOM detection (the red
 //! crosses of Fig. 11).
+//!
+//! Unhealthy clusters are modelled by a seeded [`FaultPlan`] (straggler
+//! GPUs, degraded/jittered links, transient drops) attached to the
+//! [`SimConfig`]; the report's [`FaultSummary`] records what fired, and
+//! the whole pipeline stays deterministic — same plan, same report, bit
+//! for bit.
 
 mod config;
 mod engine;
+mod fault;
 mod gantt;
 mod memory;
 mod report;
@@ -32,6 +39,7 @@ mod trace;
 
 pub use config::SimConfig;
 pub use engine::{SimStats, Simulator};
+pub use fault::{FaultKind, FaultPlan, FaultSummary, FaultWindow};
 pub use gantt::render_gantt;
 pub use memory::estimate_peak_memory;
 pub use report::{SimReport, Stream, TimelineEvent};

@@ -1,5 +1,7 @@
 //! Simulation results: timeline and the Fig. 13 decomposition.
 
+use crate::FaultSummary;
+
 /// Which hardware stream an event executed on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Stream {
@@ -50,6 +52,9 @@ pub struct SimReport {
     pub peak_memory: u64,
     /// Whether the estimate exceeds device memory.
     pub oom: bool,
+    /// What the injected [`FaultPlan`](crate::FaultPlan) actually did to
+    /// this iteration (all zero on a healthy run).
+    pub faults: FaultSummary,
     /// Full event timeline (program order).
     pub timeline: Vec<TimelineEvent>,
 }
@@ -105,6 +110,7 @@ mod tests {
             overlapped: 2.0,
             peak_memory: 1000,
             oom: false,
+            faults: FaultSummary::default(),
             timeline: vec![TimelineEvent { position: 0, op: "matmul", stream: Stream::Compute, start: 0.0, end: 7.0 }],
         }
     }

@@ -73,6 +73,7 @@ mod tests {
             overlapped: 0.5,
             peak_memory: 0,
             oom: false,
+            faults: crate::FaultSummary::default(),
             timeline: vec![
                 TimelineEvent { position: 0, op: "matmul", stream: Stream::Compute, start: 0.0, end: 1.0 },
                 TimelineEvent { position: 1, op: "all_to_all", stream: Stream::Comm, start: 0.5, end: 1.5 },

@@ -1,0 +1,101 @@
+//! Chaos conformance for the simulator: injected faults must be
+//! deterministic (same seed ⇒ bit-identical reports, Gantt charts, and
+//! Chrome traces), slow-but-correct (faults only ever lengthen the
+//! iteration), and fully accounted for in the report's fault summary.
+
+use lancet_cost::{ClusterSpec, CommModel, ComputeModel};
+use lancet_ir::{Graph, Op, Role};
+use lancet_sim::{
+    render_gantt, to_chrome_trace, FaultKind, FaultPlan, SimConfig, Simulator,
+};
+
+const GPUS: usize = 16;
+
+fn simulator(plan: FaultPlan) -> Simulator {
+    let spec = ClusterSpec::v100(GPUS.div_ceil(8));
+    Simulator::new(
+        ComputeModel::new(spec.device.clone()),
+        CommModel::new(spec),
+        SimConfig::new(GPUS).with_fault_plan(plan),
+    )
+}
+
+/// An MoE-shaped iteration: compute feeding an all-to-all feeding
+/// dependent compute, plus an independent op that can overlap.
+fn moe_graph() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![16, 128, 512]);
+    let w = g.weight("w", vec![512, 512]);
+    let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+    let t = g.emit(Op::AllToAll, &[h], Role::Comm).unwrap();
+    let _indep = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+    let _y = g.emit(Op::MatMul { transpose_b: false }, &[t, w], Role::Forward).unwrap();
+    g
+}
+
+/// Same seed ⇒ bit-identical everything: the report (every float), the
+/// rendered Gantt chart, and the exported Chrome trace.
+#[test]
+fn seeded_fault_replay_is_bit_identical() {
+    let g = moe_graph();
+    let horizon = simulator(FaultPlan::none()).simulate(&g).iteration_time;
+    for seed in [1u64, 0xC4A05, 0xdead_beef] {
+        let plan = FaultPlan::generate(seed, GPUS, horizon);
+        let a = simulator(plan.clone()).simulate(&g);
+        let b = simulator(plan).simulate(&g);
+        assert_eq!(a, b, "seed {seed}: replay must be bit-identical");
+        assert_eq!(render_gantt(&a, 72), render_gantt(&b, 72));
+        assert_eq!(to_chrome_trace(&a), to_chrome_trace(&b));
+    }
+}
+
+/// Faults are slow-but-correct: every generated schedule yields an
+/// iteration at least as long as the healthy one, never shorter.
+#[test]
+fn faults_never_speed_up_the_iteration() {
+    let g = moe_graph();
+    let healthy = simulator(FaultPlan::none()).simulate(&g);
+    for seed in 0..24u64 {
+        let plan = FaultPlan::generate(seed, GPUS, healthy.iteration_time);
+        let faulted = simulator(plan).simulate(&g);
+        assert!(
+            faulted.iteration_time >= healthy.iteration_time - 1e-12,
+            "seed {seed}: faulted iteration {} < healthy {}",
+            faulted.iteration_time,
+            healthy.iteration_time
+        );
+    }
+}
+
+/// A whole-horizon fault visibly degrades the run and the degradation is
+/// attributed in the fault summary (nothing injected goes unaccounted).
+#[test]
+fn injected_faults_are_accounted() {
+    let g = moe_graph();
+    let healthy = simulator(FaultPlan::none()).simulate(&g);
+    let horizon = healthy.iteration_time * 2.0;
+    let plan = FaultPlan::new(7)
+        .with(0.0, horizon, FaultKind::Straggler { gpu: 0, slowdown: 2.0 })
+        .with(0.0, horizon, FaultKind::LinkDrops { probability: 1.0, retransmit: 1.0 });
+    let faulted = simulator(plan).simulate(&g);
+    assert!(faulted.iteration_time > healthy.iteration_time);
+    assert!(faulted.faults.any());
+    assert!(faulted.faults.compute_slowed > 0, "every compute op ran under the straggler");
+    assert!(faulted.faults.link_drops > 0, "probability-1 drops must fire");
+    assert!(faulted.faults.injected_delay > 0.0);
+    // The injected delay is real time: busy totals grew by at least it.
+    let healthy_busy = healthy.compute_busy + healthy.comm_busy;
+    let faulted_busy = faulted.compute_busy + faulted.comm_busy;
+    assert!(faulted_busy >= healthy_busy + faulted.faults.injected_delay - 1e-9);
+}
+
+/// An empty fault plan is exactly the healthy simulation — injection is
+/// free when unused.
+#[test]
+fn empty_plan_is_identity() {
+    let g = moe_graph();
+    let healthy = simulator(FaultPlan::none()).simulate(&g);
+    let with_empty = simulator(FaultPlan::new(99)).simulate(&g);
+    assert_eq!(healthy, with_empty);
+    assert!(!healthy.faults.any());
+}

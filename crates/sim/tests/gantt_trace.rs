@@ -1,0 +1,100 @@
+//! Rendering conformance for the simulator's two export surfaces — the
+//! ASCII Gantt chart and the Chrome trace — driven through *real*
+//! simulated reports (the in-crate unit tests cover hand-built ones).
+
+use lancet_cost::{ClusterSpec, CommModel, ComputeModel};
+use lancet_ir::{Graph, Op, Role};
+use lancet_sim::{
+    render_gantt, to_chrome_trace, FaultKind, FaultPlan, SimConfig, SimReport, Simulator, Stream,
+};
+
+fn simulate(plan: FaultPlan) -> SimReport {
+    let spec = ClusterSpec::v100(2);
+    let sim = Simulator::new(
+        ComputeModel::new(spec.device.clone()),
+        CommModel::new(spec),
+        SimConfig::new(16).with_fault_plan(plan),
+    );
+    let mut g = Graph::new();
+    let x = g.input("x", vec![16, 128, 512]);
+    let w = g.weight("w", vec![512, 512]);
+    let h = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+    let t = g.emit(Op::AllToAll, &[h], Role::Comm).unwrap();
+    let _indep = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+    let _y = g.emit(Op::MatMul { transpose_b: false }, &[t, w], Role::Forward).unwrap();
+    sim.simulate(&g)
+}
+
+/// The chart's geometry is exact: both tracks are `width` cells wide,
+/// every simulated instruction marks at least one cell, and the summary
+/// line carries the iteration time.
+#[test]
+fn gantt_geometry_matches_report() {
+    let report = simulate(FaultPlan::none());
+    for width in [8usize, 24, 72] {
+        let chart = render_gantt(&report, width);
+        let lines: Vec<&str> = chart.lines().collect();
+        assert!(lines[0].starts_with("compute |") && lines[0].ends_with('|'));
+        assert!(lines[1].starts_with("comm    |") && lines[1].ends_with('|'));
+        assert_eq!(lines[0].len(), "compute |".len() + width + 1);
+        assert_eq!(lines[1].len(), lines[0].len());
+        assert!(lines[0].contains('#'), "the matmuls must mark the compute track");
+        assert!(lines[1].contains('='), "the all-to-all must mark the comm track");
+        let total_ms = format!("{:.1} ms", report.iteration_time * 1e3);
+        assert!(lines[2].contains(&total_ms), "summary must carry the iteration time");
+    }
+}
+
+/// A faulted report renders the fault summary line; a healthy one does
+/// not — the chart only talks about faults when something fired.
+#[test]
+fn gantt_fault_line_tracks_injection() {
+    let healthy = simulate(FaultPlan::none());
+    assert!(!render_gantt(&healthy, 24).contains("faults"));
+
+    let horizon = healthy.iteration_time * 2.0;
+    let plan = FaultPlan::new(3).with(0.0, horizon, FaultKind::Straggler { gpu: 0, slowdown: 3.0 });
+    let faulted = simulate(plan);
+    let chart = render_gantt(&faulted, 24);
+    assert!(faulted.faults.compute_slowed > 0);
+    assert!(chart.contains("faults"), "{chart}");
+    assert!(chart.contains(&format!("{} compute op(s) slowed", faulted.faults.compute_slowed)));
+}
+
+/// The Chrome trace covers every timeline event with one complete event,
+/// microsecond-accurate and track-separated.
+#[test]
+fn chrome_trace_covers_the_timeline() {
+    let report = simulate(FaultPlan::none());
+    let json = to_chrome_trace(&report);
+    assert!(json.trim_start().starts_with('[') && json.trim_end().ends_with(']'));
+    assert_eq!(
+        json.matches("\"ph\": \"X\"").count(),
+        report.timeline.len(),
+        "one complete event per simulated instruction"
+    );
+    for e in &report.timeline {
+        assert!(json.contains(&format!("\"name\": \"{}\"", e.op)));
+        // Timestamps are exported in microseconds with 3 decimals.
+        assert!(
+            json.contains(&format!("\"ts\": {:.3}", e.start * 1e6)),
+            "missing timestamp for {} at {}",
+            e.op,
+            e.start
+        );
+    }
+    let comm_events = report.timeline.iter().filter(|e| e.stream == Stream::Comm).count();
+    assert_eq!(json.matches("\"tid\": 2").count(), comm_events);
+}
+
+/// Both renderers are pure functions of the report: a replayed faulted
+/// simulation renders byte-identical artifacts.
+#[test]
+fn renders_are_deterministic_under_faults() {
+    let healthy = simulate(FaultPlan::none());
+    let plan = FaultPlan::generate(0xC4A05, 16, healthy.iteration_time);
+    let a = simulate(plan.clone());
+    let b = simulate(plan);
+    assert_eq!(render_gantt(&a, 72), render_gantt(&b, 72));
+    assert_eq!(to_chrome_trace(&a), to_chrome_trace(&b));
+}

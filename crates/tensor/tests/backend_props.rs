@@ -18,7 +18,7 @@ fn random_tensor(shape: Vec<usize>, seed: u64) -> Tensor {
 }
 
 proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+    #![proptest_config(ProptestConfig::env_cases(24))]
     /// Tiled output equals the reference bit for bit across random shapes
     /// spanning the micro/macro tile edges, both transposes, and all
     /// worker counts.

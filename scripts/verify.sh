@@ -28,4 +28,11 @@ echo "==> lancet serve-bench --quick"
 # admitted request got exactly one response (zero lost).
 ./target/release/lancet serve-bench --quick
 
+echo "==> lancet chaos-bench --quick"
+# Fault-injection conformance gate: replays a seeded fault schedule
+# (LANCET_CHAOS_SEED, default 0xC4A05) through the simulator and the
+# serving runtime and fails unless reports are bit-identical across
+# replays, fault counters reproduce, and no admitted ticket is lost.
+./target/release/lancet chaos-bench --quick
+
 echo "==> verify OK"

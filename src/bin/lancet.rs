@@ -4,6 +4,7 @@
 //! lancet optimize   --model s --cluster v100 --gpus 16 --gate switch [--trace t.json]
 //! lancet compare    --model l --cluster a100 --gpus 32 --gate bpr
 //! lancet serve-bench [--requests 64] [--rate 40] [--quick]
+//! lancet chaos-bench [--seed N] [--quick]
 //! ```
 //!
 //! `optimize` runs the Lancet passes on one configuration and reports the
@@ -13,6 +14,10 @@
 //! `lancet-serve` runtime with a synthetic open-loop request trace and
 //! reports serving throughput, latency percentiles, and plan-cache
 //! effectiveness against a cold optimize-per-request baseline.
+//! `chaos-bench` is the fault-injection conformance gate: it replays a
+//! seeded fault schedule through the simulator and the serving runtime
+//! and fails unless reports are bit-identical across replays, fault
+//! counters reproduce, and no admitted request loses its reply.
 
 use lancet_repro::baselines::{run_system, System};
 use lancet_repro::core::{Lancet, LancetOptions};
@@ -24,7 +29,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lancet <optimize|compare|serve-bench> [options]
+usage: lancet <optimize|compare|serve-bench|chaos-bench> [options]
 
 serve-bench options:
   --requests <N>            open-loop trace length (default: 64; quick: 24)
@@ -32,6 +37,11 @@ serve-bench options:
   --max-batch <N>           micro-batcher bucket cap (default: 4)
   --window <MS>             batching window in ms (default: 2)
   --quick                   seconds-bounded smoke run (used by verify.sh)
+
+chaos-bench options:
+  --seed <N>                fault seed (default: LANCET_CHAOS_SEED, then 0xC4A05)
+  --requests <N>            serve-leg request count (default: 32; quick: 12)
+  --quick                   seconds-bounded conformance run (used by verify.sh)
 
 options:
   --model <s|l|mixtral|tiny>  benchmark model (default: s)
@@ -377,6 +387,157 @@ fn cmd_serve_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// The counters a seeded chaos replay must reproduce exactly (wall-clock
+/// quantities like latency percentiles are excluded by design).
+fn chaos_ledger(stats: &lancet_repro::serve::ServeStats) -> [u64; 8] {
+    [
+        stats.submitted,
+        stats.completed,
+        stats.failed,
+        stats.timed_out,
+        stats.injected_faults,
+        stats.retried,
+        stats.degraded,
+        stats.worker_panics,
+    ]
+}
+
+fn cmd_chaos_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::serve::{FaultSpec, ServeConfig, ServeRuntime};
+    use lancet_repro::sim::FaultPlan;
+    use std::time::Duration;
+
+    let quick = opts.contains_key("quick");
+    let seed: u64 = match opts.get("seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`"))?,
+        None => std::env::var("LANCET_CHAOS_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0xC4A05),
+    };
+    let requests: usize = opts
+        .get("requests")
+        .map(|v| v.parse().map_err(|_| format!("bad --requests `{v}`")))
+        .transpose()?
+        .unwrap_or(if quick { 12 } else { 32 });
+    println!("chaos-bench: seed {seed:#x}, {requests} serve requests{}", if quick { " (quick)" } else { "" });
+
+    // ── Sim leg: a seeded fault schedule replayed through the simulator
+    // must produce bit-identical reports, and faults must only slow the
+    // iteration down.
+    let (cfg, cluster) = build_config(&HashMap::from([(
+        "model".to_string(),
+        if quick { "tiny".to_string() } else { "s".to_string() },
+    )]))?;
+    let spec = ClusterSpec::of(cluster, cfg.gpus.div_ceil(8).max(1));
+    let graph = {
+        let mut g = build_forward(&cfg).map_err(|e| e.to_string())?.graph;
+        lancet_repro::ir::build_backward(&mut g, &Default::default()).map_err(|e| e.to_string())?;
+        g
+    };
+    let simulate = |plan: lancet_repro::sim::FaultPlan| {
+        let sim = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec.clone()),
+            SimConfig::new(cfg.gpus).with_fault_plan(plan),
+        );
+        sim.simulate(&graph)
+    };
+    let healthy = simulate(FaultPlan::none());
+    let fault_plan = FaultPlan::generate(seed, cfg.gpus, healthy.iteration_time);
+    let a = simulate(fault_plan.clone());
+    let b = simulate(fault_plan);
+    if a != b {
+        return Err("chaos-bench: sim replay is not bit-identical".into());
+    }
+    if a.iteration_time < healthy.iteration_time - 1e-12 {
+        return Err("chaos-bench: faults sped the simulated iteration up".into());
+    }
+    println!(
+        "sim: healthy {:.1} ms → faulted {:.1} ms ({} compute slowed, {} comm degraded, \
+         {} drops, +{:.1} ms injected) — replay bit-identical",
+        healthy.iteration_time * 1e3,
+        a.iteration_time * 1e3,
+        a.faults.compute_slowed,
+        a.faults.comm_degraded,
+        a.faults.link_drops,
+        a.faults.injected_delay * 1e3
+    );
+
+    // ── Serve leg 1: deterministic replay. A single-worker, batch-of-one
+    // sequential drive draws every fault in one fixed order, so the fault
+    // ledger must reproduce exactly.
+    let tiny = GptMoeConfig::tiny(1, GateKind::Switch);
+    let ids_for = |i: usize| -> Vec<f32> {
+        (0..tiny.seq).map(|s| ((i * 3 + s * 5 + 1) % tiny.vocab) as f32).collect()
+    };
+    let drive = |seed: u64| -> Result<lancet_repro::serve::ServeStats, String> {
+        let runtime = ServeRuntime::start(ServeConfig {
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            exec_workers: 1,
+            fault: Some(FaultSpec::chaos(seed)),
+            ..ServeConfig::default()
+        });
+        runtime.register_model(tiny.clone()).map_err(|e| e.to_string())?;
+        for i in 0..requests {
+            // Chaos replies may be typed errors; losing one is the bug.
+            let _ = runtime.submit_blocking(&tiny.name, ids_for(i));
+        }
+        runtime.shutdown();
+        Ok(runtime.stats())
+    };
+    let first = drive(seed)?;
+    let second = drive(seed)?;
+    if chaos_ledger(&first) != chaos_ledger(&second) {
+        return Err(format!(
+            "chaos-bench: serve replay diverged ({:?} vs {:?})",
+            chaos_ledger(&first),
+            chaos_ledger(&second)
+        ));
+    }
+    if first.outstanding() != 0 {
+        return Err(format!("chaos-bench: {} requests lost in replay drive", first.outstanding()));
+    }
+    println!(
+        "serve replay: {} completed, {} failed, {} injected faults, {} retries, \
+         {} panics isolated — ledgers identical",
+        first.completed, first.failed, first.injected_faults, first.retried, first.worker_panics
+    );
+
+    // ── Serve leg 2: concurrent chaos. Multiple workers, real batching,
+    // every fault class armed — every admitted ticket must still resolve.
+    let runtime = ServeRuntime::start(ServeConfig {
+        max_batch: 4,
+        batch_window: Duration::from_millis(1),
+        request_timeout: Duration::from_millis(500),
+        fault: Some(FaultSpec::chaos(seed)),
+        ..ServeConfig::default()
+    });
+    runtime.register_model(tiny.clone()).map_err(|e| e.to_string())?;
+    let tickets: Vec<_> = (0..requests)
+        .map(|i| runtime.submit(&tiny.name, ids_for(i)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    let answered = tickets.into_iter().map(|t| t.wait()).count();
+    runtime.shutdown();
+    let stats = runtime.stats();
+    if answered != requests || stats.outstanding() != 0 {
+        return Err(format!(
+            "chaos-bench: lost tickets under concurrent chaos ({answered}/{requests} answered, \
+             {} outstanding)",
+            stats.outstanding()
+        ));
+    }
+    println!(
+        "serve chaos: {requests}/{requests} tickets answered ({} ok, {} failed, {} timed out, \
+         {} degraded batches), zero lost",
+        stats.completed, stats.failed, stats.timed_out, stats.degraded
+    );
+    println!("\nchaos conformance: replay bit-identical, ledgers reproduce, zero lost — OK");
+    Ok(())
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok((cmd, opts)) => {
@@ -384,6 +545,7 @@ fn main() -> ExitCode {
                 "optimize" => cmd_optimize(&opts),
                 "compare" => cmd_compare(&opts),
                 "serve-bench" => cmd_serve_bench(&opts),
+                "chaos-bench" => cmd_chaos_bench(&opts),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())

@@ -9,8 +9,12 @@
 //! Semantics differ from real proptest in two deliberate ways:
 //!
 //! * **Deterministic sampling.** Each test derives its RNG seed from the
-//!   test's name, so a failure reproduces on every run (`PROPTEST_CASES`
-//!   is not consulted). There is no persistence file.
+//!   test's name, so a failure reproduces on every run. There is no
+//!   persistence file. Case *counts* are tunable: the default config and
+//!   [`ProptestConfig::env_cases`] honour `LANCET_PROPTEST_CASES`
+//!   (upstream's `PROPTEST_CASES` is not consulted), so CI can crank up
+//!   coverage without editing tests — sampled inputs for the first `N`
+//!   cases are identical regardless of the count.
 //! * **No shrinking.** A failing case panics with the sampled inputs
 //!   embedded in the panic message instead of searching for a minimal
 //!   counterexample.
@@ -299,13 +303,28 @@ pub struct ProptestConfig {
 
 impl Default for ProptestConfig {
     fn default() -> Self {
-        ProptestConfig { cases: 32 }
+        ProptestConfig::env_cases(32)
     }
 }
 
 impl ProptestConfig {
-    /// A configuration running `cases` sampled cases.
+    /// A configuration running exactly `cases` sampled cases (ignores the
+    /// environment).
     pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+
+    /// A configuration running `LANCET_PROPTEST_CASES` cases, falling
+    /// back to `default` when the variable is unset, empty, unparsable,
+    /// or zero. Lets CI scale property coverage up without code changes;
+    /// determinism is unaffected (case `i` sees the same inputs at every
+    /// count).
+    pub fn env_cases(default: u32) -> Self {
+        let cases = std::env::var("LANCET_PROPTEST_CASES")
+            .ok()
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .filter(|&n| n > 0)
+            .unwrap_or(default);
         ProptestConfig { cases }
     }
 }
@@ -435,6 +454,28 @@ mod tests {
         let mut a = TestRunner::new(ProptestConfig::default(), "x");
         let mut b = TestRunner::new(ProptestConfig::default(), "x");
         assert_eq!(a.next_rng().next_u64(), b.next_rng().next_u64());
+    }
+
+    #[test]
+    fn env_cases_parses_and_falls_back() {
+        // All variants in one test: process-global env mutation is not
+        // safe under the parallel test harness otherwise.
+        let set = |v: Option<&str>| match v {
+            Some(v) => std::env::set_var("LANCET_PROPTEST_CASES", v),
+            None => std::env::remove_var("LANCET_PROPTEST_CASES"),
+        };
+        set(None);
+        assert_eq!(ProptestConfig::env_cases(10).cases, 10, "unset ⇒ default");
+        set(Some("64"));
+        assert_eq!(ProptestConfig::env_cases(10).cases, 64, "valid ⇒ env value");
+        assert_eq!(ProptestConfig::default().cases, 64, "default config honours env");
+        set(Some(" 7 "));
+        assert_eq!(ProptestConfig::env_cases(10).cases, 7, "whitespace tolerated");
+        set(Some("garbage"));
+        assert_eq!(ProptestConfig::env_cases(10).cases, 10, "garbage ⇒ default");
+        set(Some("0"));
+        assert_eq!(ProptestConfig::env_cases(10).cases, 10, "zero cases would test nothing");
+        set(None);
     }
 
     #[test]
