@@ -140,6 +140,7 @@ pub fn run_system(system: System, cfg: &GptMoeConfig, kind: ClusterKind) -> Resu
                 partition: Default::default(),
                 backward,
                 prefetch_lookahead: 1,
+                placement: None,
             };
             let lancet = Lancet::new(spec.clone(), cfg.gpus, options);
             let outcome = lancet.optimize(forward)?;

@@ -144,6 +144,7 @@ pub fn hyperparams(quick: bool) -> Vec<Record> {
             },
             backward: BackwardOptions::default(),
             prefetch_lookahead: 1,
+            placement: None,
         };
         let lancet = Lancet::new(spec.clone(), gpus, options);
         let fwd = build_forward(&cfg).expect("build").graph;
@@ -194,6 +195,7 @@ pub fn allreduce_interference(quick: bool) -> Vec<Record> {
                 partition: PartitionOptions::default(),
                 backward: backward.clone(),
                 prefetch_lookahead: 1,
+                placement: None,
             };
             let lancet = Lancet::new(spec.clone(), gpus, options);
             let fwd = build_forward(&cfg).expect("build").graph;

@@ -57,6 +57,12 @@ impl TimeEstimator {
         self.gpus
     }
 
+    /// The ground-truth communication model (topology source for
+    /// placement-aware passes).
+    pub fn comm_truth(&self) -> &CommModel {
+        &self.comm_truth
+    }
+
     /// Estimated latency of a single instruction.
     ///
     /// # Errors

@@ -5,7 +5,10 @@ use crate::{
     partition_pass_with, prefetch_allgathers, schedule_weight_gradients, DwScheduleReport,
     PartitionMemo, PartitionOptions, PartitionReport, PrefetchReport, TimeEstimator,
 };
-use lancet_cost::{CachingOpProfiler, ClusterSpec, CommCostModel, CommModel, ComputeModel};
+use lancet_cost::{
+    optimize_placement, CachingOpProfiler, ClusterSpec, CommCostModel, CommModel, ComputeModel,
+    ExpertTraffic, PlacementOptions, PlacementPlan, PlacementReport,
+};
 use lancet_ir::{build_backward, BackwardOptions, Graph, Result};
 use std::time::{Duration, Instant};
 
@@ -23,6 +26,40 @@ pub struct LancetOptions {
     /// FSDP all-gather prefetch lookahead (0 disables; only affects
     /// graphs containing all-gathers).
     pub prefetch_lookahead: usize,
+    /// Expert-placement co-optimization: when a routing histogram is
+    /// supplied, [`Lancet::optimize`] runs the placement search next to
+    /// the partition pass and attaches the resulting plan to the
+    /// outcome. `None` keeps the implicit uniform placement.
+    pub placement: Option<PlacementSearch>,
+}
+
+/// Inputs for the placement search inside the optimization flow.
+#[derive(Debug, Clone)]
+pub struct PlacementSearch {
+    /// Routing histogram driving the search (collected by
+    /// `lancet_moe::RoutingHistogram` or generated synthetically).
+    pub traffic: ExpertTraffic,
+    /// Search knobs (balance weight, sweep budget).
+    pub options: PlacementOptions,
+}
+
+impl PlacementSearch {
+    /// Wraps a histogram with default search options.
+    pub fn new(traffic: ExpertTraffic) -> Self {
+        PlacementSearch { traffic, options: PlacementOptions::default() }
+    }
+}
+
+/// The placement half of an [`OptimizeOutcome`]: the chosen plan plus
+/// the before/after cost report, sitting next to [`PartitionReport`] so
+/// downstream consumers (simulator replay, serve dispatch) can pick it
+/// up from one place.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementOutcome {
+    /// The optimized expert→device assignment.
+    pub plan: PlacementPlan,
+    /// Uniform-vs-optimized cost comparison from the search.
+    pub report: PlacementReport,
 }
 
 impl Default for LancetOptions {
@@ -33,6 +70,7 @@ impl Default for LancetOptions {
             partition: PartitionOptions::default(),
             backward: BackwardOptions::default(),
             prefetch_lookahead: 1,
+            placement: None,
         }
     }
 }
@@ -82,6 +120,9 @@ pub struct OptimizeOutcome {
     pub predicted_time: f64,
     /// Partition-pass report (empty ranges when disabled).
     pub partition: Option<PartitionReport>,
+    /// Expert-placement plan + report (`None` unless a routing histogram
+    /// was supplied via [`LancetOptions::placement`]).
+    pub placement: Option<PlacementOutcome>,
     /// dW-pass report (`None` when disabled).
     pub dw: Option<DwScheduleReport>,
     /// FSDP prefetch report (zero moves for non-FSDP graphs).
@@ -129,6 +170,18 @@ impl Lancet {
         &self.memo
     }
 
+    /// Runs the expert-placement search when a histogram is configured.
+    /// Devices and node width come from the cluster the optimizer was
+    /// built for, so the plan prices against the same topology as every
+    /// other pass.
+    fn search_placement(&self) -> Option<PlacementOutcome> {
+        let search = self.options.placement.as_ref()?;
+        let gpn = self.estimator.comm_truth().spec().net.gpus_per_node;
+        let (plan, report) =
+            optimize_placement(&search.traffic, self.estimator.gpus(), gpn, &search.options);
+        Some(PlacementOutcome { plan, report })
+    }
+
     /// Optimizes a *forward* graph into a full training iteration:
     /// operator partitioning (paper §5), autodiff, then dW scheduling
     /// (paper §4).
@@ -166,6 +219,7 @@ impl Lancet {
             graph,
             predicted_time,
             partition,
+            placement: self.search_placement(),
             dw,
             prefetch,
             optimization_time: started.elapsed(),
@@ -207,6 +261,7 @@ impl Lancet {
             graph,
             predicted_time,
             partition,
+            placement: self.search_placement(),
             dw: None,
             prefetch: PrefetchReport { moved: 0 },
             optimization_time: started.elapsed(),
@@ -229,6 +284,7 @@ impl Lancet {
             graph,
             predicted_time,
             partition: None,
+            placement: None,
             dw: None,
             prefetch: PrefetchReport { moved: 0 },
             optimization_time: started.elapsed(),
@@ -291,6 +347,26 @@ mod tests {
         let report = out.partition.unwrap();
         assert_eq!(out.stats.candidates_cached, report.memo_hits);
         assert_eq!(out.stats.candidates_evaluated, report.memo_misses);
+    }
+
+    /// The placement search rides along with `optimize`: a configured
+    /// histogram yields a plan next to the partition report, priced on
+    /// the optimizer's own cluster topology, deterministically.
+    #[test]
+    fn optimize_threads_placement_plan() {
+        let traffic = ExpertTraffic::synthetic(4, 16, 1024, 1.2, 0.8, 4096, 0x91ACE);
+        let mut options = LancetOptions::default();
+        options.placement = Some(PlacementSearch::new(traffic));
+        let lancet = Lancet::new(ClusterSpec::v100(2), 16, options);
+        let out = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        let placement = out.placement.expect("placement configured");
+        assert_eq!(placement.plan.devices(), 16);
+        assert!(placement.report.optimized.objective <= placement.report.uniform.objective);
+        let again = lancet.optimize(forward(GateKind::Switch)).unwrap();
+        assert_eq!(again.placement.unwrap(), placement, "search must be deterministic");
+        // Unconfigured optimizers keep the implicit uniform placement.
+        let plain = Lancet::new(ClusterSpec::v100(2), 16, LancetOptions::default());
+        assert!(plain.optimize(forward(GateKind::Switch)).unwrap().placement.is_none());
     }
 
     /// `optimize_forward` is the serving-side flow: no backward pass in

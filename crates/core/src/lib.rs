@@ -48,7 +48,9 @@ mod recompute;
 
 pub use dw::{schedule_weight_gradients, DwScheduleReport};
 pub use estimate::{EstimateReport, TimeEstimator};
-pub use lancet::{Lancet, LancetOptions, OptimizeOutcome, OptimizerStats};
+pub use lancet::{
+    Lancet, LancetOptions, OptimizeOutcome, OptimizerStats, PlacementOutcome, PlacementSearch,
+};
 pub use prefetch::{prefetch_allgathers, PrefetchReport};
 pub use recompute::{recompute_segments, RecomputeReport};
 pub use partition::{

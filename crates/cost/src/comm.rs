@@ -62,6 +62,44 @@ impl CommModel {
         self.spec.net.latency + t_intra.max(t_inter)
     }
 
+    /// Time for an all-to-all under a *non-uniform* expert placement:
+    /// `inter_frac` of the moved bytes cross node boundaries (instead of
+    /// the topology constant `(G−gpn)/G`) and the busiest receiver holds
+    /// `load_factor` ≥ 1 times the balanced share, stretching both paths.
+    ///
+    /// With `inter_frac = (G−gpn)/G` and `load_factor = 1` this is
+    /// exactly [`CommModel::all_to_all_time`] — the uniform model is the
+    /// special case, so placement-aware simulation degrades to the stock
+    /// charge when no plan is installed. See `PlacementPlan::layer_profiles`
+    /// for where the two factors come from.
+    pub fn all_to_all_time_skewed(
+        &self,
+        bytes: u64,
+        gpus: usize,
+        inter_frac: f64,
+        load_factor: f64,
+    ) -> f64 {
+        if gpus <= 1 || bytes == 0 {
+            return self.spec.net.latency;
+        }
+        let g = gpus as f64;
+        let gpn = self.spec.net.gpus_per_node.min(gpus) as f64;
+        let b = bytes as f64;
+        let util = self.msg_util(b / g);
+        let load = load_factor.max(1.0);
+        // 1/G stays local; the moved remainder splits between NVLink and
+        // the NIC according to the placement-derived fraction.
+        let inter_frac = inter_frac.clamp(0.0, (g - 1.0) / g);
+        let intra_frac = (g - 1.0) / g - inter_frac;
+        let t_intra = b * intra_frac * load / (self.spec.net.intra_bw * util);
+        let t_inter = if inter_frac > 0.0 {
+            b * inter_frac * gpn * load / (self.spec.net.inter_bw_per_node * util)
+        } else {
+            0.0
+        };
+        self.spec.net.latency + t_intra.max(t_inter)
+    }
+
     /// Time for the two-phase irregular all-to-all: a (tiny) size exchange
     /// plus the payload exchange of `actual_bytes`.
     pub fn irregular_all_to_all_time(&self, actual_bytes: u64, experts: usize, gpus: usize) -> f64 {
@@ -249,6 +287,28 @@ mod tests {
     fn single_gpu_alltoall_is_latency_only() {
         let m = v100_model(1);
         assert_eq!(m.all_to_all_time(1 << 20, 1), m.spec().net.latency);
+    }
+
+    #[test]
+    fn skewed_alltoall_uniform_case_matches_stock() {
+        let m = v100_model(2);
+        for bytes in [1u64 << 16, 1 << 20, 1 << 24] {
+            let g = 16.0;
+            let gpn = 8.0;
+            let uniform = m.all_to_all_time(bytes, 16);
+            let skewed = m.all_to_all_time_skewed(bytes, 16, (g - gpn) / g, 1.0);
+            assert!((uniform - skewed).abs() < 1e-12, "{bytes}: {uniform} vs {skewed}");
+        }
+    }
+
+    #[test]
+    fn skewed_alltoall_penalizes_overload_and_crossing() {
+        let m = v100_model(2);
+        let base = m.all_to_all_time_skewed(1 << 22, 16, 0.5, 1.0);
+        assert!(m.all_to_all_time_skewed(1 << 22, 16, 0.5, 2.0) > base);
+        assert!(m.all_to_all_time_skewed(1 << 22, 16, 0.8, 1.0) > base);
+        // Fully node-local traffic beats the uniform fraction.
+        assert!(m.all_to_all_time_skewed(1 << 22, 16, 0.0, 1.0) < base);
     }
 
     #[test]

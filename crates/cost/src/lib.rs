@@ -19,13 +19,25 @@
 //!   points and applies the paper's static-shape `C/n` approximation for
 //!   irregular all-to-alls. The gap between the two layers is exactly the
 //!   cost-model error the paper measures in Fig. 14.
+//!
+//! A third concern sits on top of both: **expert placement**
+//! ([`optimize_placement`]) searches expert→device assignments against a
+//! routing histogram ([`ExpertTraffic`]) so skewed, affinity-correlated
+//! workloads pay fewer inter-node bytes than the implicit uniform layout.
+
+#![warn(missing_docs)]
 
 mod comm;
 mod compute;
 mod device;
+mod placement;
 mod profiler;
 
 pub use comm::{CommCostModel, CommModel};
 pub use compute::ComputeModel;
 pub use device::{ClusterKind, ClusterSpec, DeviceSpec, NetworkSpec};
+pub use placement::{
+    evaluate_placement, optimize_placement, ExpertTraffic, LayerProfile, PlacementCost,
+    PlacementOptions, PlacementPlan, PlacementReport,
+};
 pub use profiler::{CachingOpProfiler, ProfilerStats};

@@ -1,0 +1,217 @@
+//! Routing-histogram collection for the expert-placement optimizer.
+//!
+//! The placement search in `lancet-cost` consumes an [`ExpertTraffic`]
+//! histogram — per-layer expert loads plus inter-layer transition counts.
+//! This module is the bridge from the MoE data plane: a
+//! [`RoutingHistogram`] accumulates real [`Routing`] outcomes layer by
+//! layer (tracking each token's kept expert so consecutive layers yield
+//! transition counts), and [`RoutingHistogram::collect`] runs a whole
+//! seeded [`Workload`] through the actual gate to produce the histogram
+//! a training run would log.
+//!
+//! Determinism: `collect` routes `Workload::logits(tokens, experts,
+//! seed)` with the layer index folded into the seed, so the same
+//! `(workload, shape, seed)` always produces a bit-identical histogram —
+//! the same contract `FaultPlan` and `ExpertTraffic::synthetic` follow.
+
+use crate::{expert_capacity, route, Routing, Workload};
+use lancet_cost::ExpertTraffic;
+use lancet_ir::GateKind;
+
+/// Accumulates per-layer routing outcomes into placement-ready counts.
+///
+/// Feed it one [`Routing`] per MoE layer in layer order via
+/// [`RoutingHistogram::record`]; tokens must be in the same order across
+/// layers (they are in a transformer — the residual stream preserves
+/// positions between MoE blocks).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingHistogram {
+    layers: usize,
+    experts: usize,
+    next_layer: usize,
+    traffic: ExpertTraffic,
+    /// Previous layer's kept expert per token (−1 = fully dropped), used
+    /// to accumulate inter-layer transitions.
+    prev_expert: Vec<i32>,
+}
+
+impl RoutingHistogram {
+    /// An empty collector for `layers` MoE layers of `experts` experts,
+    /// with `bytes_per_token` payload bytes per routed token.
+    pub fn new(layers: usize, experts: usize, bytes_per_token: u64) -> Self {
+        RoutingHistogram {
+            layers,
+            experts,
+            next_layer: 0,
+            traffic: ExpertTraffic::new(layers, experts, bytes_per_token),
+            prev_expert: Vec::new(),
+        }
+    }
+
+    /// Layers recorded so far.
+    pub fn layers_recorded(&self) -> usize {
+        self.next_layer
+    }
+
+    /// Records the next layer's routing outcome.
+    ///
+    /// Every kept slot adds to that expert's load; each token's *first*
+    /// kept slot defines its expert for transition counting (top-1
+    /// approximation of where the token's activations travel).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `layers` routings are recorded or if the token
+    /// count disagrees with the previous layer's.
+    pub fn record(&mut self, routing: &Routing) {
+        assert!(self.next_layer < self.layers, "histogram already covers all layers");
+        let layer = self.next_layer;
+        let tokens = routing.tokens();
+        if layer > 0 {
+            assert_eq!(tokens, self.prev_expert.len(), "token count changed between layers");
+        }
+        let k = routing.k.max(1);
+        let mut current = vec![-1i32; tokens];
+        for t in 0..tokens {
+            for j in 0..k {
+                let e = routing.assign[t * k + j];
+                if e >= 0 {
+                    self.traffic.record_load(layer, e as usize, 1);
+                    if current[t] < 0 {
+                        current[t] = e;
+                    }
+                }
+            }
+            if layer > 0 {
+                let (from, to) = (self.prev_expert[t], current[t]);
+                if from >= 0 && to >= 0 {
+                    self.traffic.record_transition(layer - 1, from as usize, to as usize, 1);
+                }
+            }
+        }
+        self.prev_expert = current;
+        self.next_layer += 1;
+    }
+
+    /// The accumulated histogram, ready for `optimize_placement`.
+    pub fn traffic(&self) -> &ExpertTraffic {
+        &self.traffic
+    }
+
+    /// Consumes the collector, returning the histogram.
+    pub fn into_traffic(self) -> ExpertTraffic {
+        self.traffic
+    }
+
+    /// Routes a seeded [`Workload`] through `layers` MoE layers of the
+    /// real gate and collects the resulting histogram.
+    ///
+    /// Layer `l` routes `workload.logits(tokens, experts, seed + l / 2)`:
+    /// consecutive layer *pairs* share gating logits, so tokens keep
+    /// their expert across a pair boundary — the inter-layer affinity the
+    /// placement optimizer exploits (arXiv:2401.08383 measures exactly
+    /// this correlation in trained MoEs). Capacity is ample
+    /// (`capacity_factor`-scaled), matching training-time collection.
+    ///
+    /// Deterministic: same arguments ⇒ bit-identical histogram.
+    ///
+    /// # Example
+    ///
+    /// ```
+    /// use lancet_moe::{RoutingHistogram, Workload};
+    ///
+    /// let w = Workload::Zipf { exponent: 1.2 };
+    /// let a = RoutingHistogram::collect(w, 4, 8, 256, 4096, 42).unwrap();
+    /// let b = RoutingHistogram::collect(w, 4, 8, 256, 4096, 42).unwrap();
+    /// assert_eq!(a.traffic(), b.traffic());
+    /// assert!(a.traffic().imbalance(0) > 1.5); // skew survives routing
+    /// ```
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`crate::MoeError`] from the underlying [`route`] call.
+    pub fn collect(
+        workload: Workload,
+        layers: usize,
+        experts: usize,
+        tokens: usize,
+        bytes_per_token: u64,
+        seed: u64,
+    ) -> crate::Result<Self> {
+        let mut hist = RoutingHistogram::new(layers, experts, bytes_per_token);
+        let capacity = expert_capacity(tokens, experts, 2.0);
+        for l in 0..layers {
+            let logits = workload.logits(tokens, experts, seed.wrapping_add((l / 2) as u64));
+            let routing = route(GateKind::Switch, &logits, capacity, None)?;
+            hist.record(&routing);
+        }
+        Ok(hist)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_tensor::Tensor;
+
+    #[test]
+    fn record_accumulates_loads_and_transitions() {
+        let mut h = RoutingHistogram::new(2, 2, 64);
+        // Layer 0: tokens 0,1 → expert 0; token 2 → expert 1.
+        let l0 = Tensor::from_vec(vec![3, 2], vec![5.0, 0.0, 5.0, 0.0, 0.0, 5.0]).unwrap();
+        h.record(&route(GateKind::Switch, &l0, 8, None).unwrap());
+        // Layer 1: all tokens → expert 1.
+        let l1 = Tensor::from_vec(vec![3, 2], vec![0.0, 5.0, 0.0, 5.0, 0.0, 5.0]).unwrap();
+        h.record(&route(GateKind::Switch, &l1, 8, None).unwrap());
+        let t = h.traffic();
+        assert_eq!(t.load(0, 0), 2);
+        assert_eq!(t.load(0, 1), 1);
+        assert_eq!(t.load(1, 1), 3);
+        assert_eq!(t.transition(0, 0, 1), 2);
+        assert_eq!(t.transition(0, 1, 1), 1);
+        assert_eq!(t.transition(0, 0, 0), 0);
+    }
+
+    #[test]
+    fn dropped_tokens_skip_transitions() {
+        let mut h = RoutingHistogram::new(2, 2, 64);
+        // Capacity 1: token 1 is dropped at layer 0.
+        let l0 = Tensor::from_vec(vec![2, 2], vec![5.0, 0.0, 5.0, 0.0]).unwrap();
+        h.record(&route(GateKind::Switch, &l0, 1, None).unwrap());
+        let l1 = Tensor::from_vec(vec![2, 2], vec![5.0, 0.0, 5.0, 0.0]).unwrap();
+        h.record(&route(GateKind::Switch, &l1, 2, None).unwrap());
+        let t = h.traffic();
+        assert_eq!(t.load(0, 0), 1);
+        assert_eq!(t.load(1, 0), 2);
+        // Only the kept token contributes a transition.
+        assert_eq!(t.transition(0, 0, 0), 1);
+    }
+
+    #[test]
+    fn collect_is_deterministic_and_skewed() {
+        let w = Workload::Zipf { exponent: 1.2 };
+        let a = RoutingHistogram::collect(w, 4, 8, 512, 4096, 7).unwrap();
+        let b = RoutingHistogram::collect(w, 4, 8, 512, 4096, 7).unwrap();
+        assert_eq!(a, b);
+        let c = RoutingHistogram::collect(w, 4, 8, 512, 4096, 8).unwrap();
+        assert_ne!(a.traffic(), c.traffic());
+        assert!(a.traffic().imbalance(0) > 1.5);
+        assert_eq!(a.layers_recorded(), 4);
+    }
+
+    #[test]
+    fn collect_has_inter_layer_affinity() {
+        // Paired layer seeds keep tokens on their expert across the pair:
+        // diagonal transition mass must dominate for layer 0 → 1.
+        let w = Workload::Zipf { exponent: 1.2 };
+        let h = RoutingHistogram::collect(w, 2, 8, 1024, 4096, 11).unwrap();
+        let t = h.traffic();
+        let diag: u64 = (0..8).map(|i| t.transition(0, i, i)).sum();
+        let total: u64 = (0..8)
+            .flat_map(|i| (0..8).map(move |j| (i, j)))
+            .map(|(i, j)| t.transition(0, i, j))
+            .sum();
+        assert!(total > 0);
+        assert!(diag as f64 > 0.5 * total as f64, "diag {diag} of {total}");
+    }
+}

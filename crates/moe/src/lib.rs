@@ -38,6 +38,7 @@ mod alltoall;
 mod capacity;
 mod dispatch;
 mod error;
+mod histogram;
 mod routing;
 mod workload;
 
@@ -50,6 +51,7 @@ pub use dispatch::{
     dispatch_dense, dispatch_irregular, gather_dense, gather_irregular, DispatchedChunk,
 };
 pub use error::MoeError;
+pub use histogram::RoutingHistogram;
 pub use routing::{route, route_direct_microbatch, Routing};
 pub use workload::Workload;
 

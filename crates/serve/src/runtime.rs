@@ -38,7 +38,7 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use lancet_core::{Lancet, LancetOptions};
-use lancet_cost::{ClusterKind, ClusterSpec};
+use lancet_cost::{optimize_placement, ClusterKind, ClusterSpec, ExpertTraffic, PlacementOptions, PlacementPlan};
 use lancet_models::GptMoeConfig;
 use lancet_tensor::{pool, Tensor};
 
@@ -105,6 +105,15 @@ pub struct ServeConfig {
     /// Deterministic fault injection (chaos testing). `None` — the
     /// default — injects nothing and costs nothing on the hot path.
     pub fault: Option<FaultSpec>,
+    /// Affinity-aware dispatch: at registration each model gets an
+    /// expert→worker [`PlacementPlan`] (exec workers play the role of
+    /// devices), every batch is tagged with the worker holding its hot
+    /// expert, and workers prefer their own batches from the exec queue.
+    /// Preference is soft — a free worker steals rather than idles — and
+    /// outcomes land in `placement_hits` / `placement_misses` on
+    /// [`ServeStats`]. Off by default: batches go to whichever worker
+    /// frees up first and the counters stay zero.
+    pub affinity: bool,
 }
 
 impl Default for ServeConfig {
@@ -123,6 +132,7 @@ impl Default for ServeConfig {
             max_retries: 2,
             retry_backoff: Duration::from_millis(1),
             fault: None,
+            affinity: false,
         }
     }
 }
@@ -135,6 +145,9 @@ struct ModelEntry {
     cfg: GptMoeConfig,
     lancet: Lancet,
     canonical: CanonicalWeights,
+    /// Expert→worker plan for affinity dispatch (`None` unless
+    /// [`ServeConfig::affinity`] is set).
+    placement: Option<PlacementPlan>,
 }
 
 /// A request waiting in a queue.
@@ -151,6 +164,9 @@ struct Pending {
 struct Batch {
     model: String,
     entries: Vec<Pending>,
+    /// Worker index holding the batch's hot expert (affinity dispatch);
+    /// `None` when affinity is off — any worker takes it, uncounted.
+    preferred: Option<usize>,
 }
 
 /// The write-once response cell behind a [`Ticket`].
@@ -204,6 +220,7 @@ struct Shared {
     config: ServeConfig,
     queue_depth: usize,
     exec_depth: usize,
+    exec_workers: usize,
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
     cache: PlanCache,
     metrics: Metrics,
@@ -257,6 +274,7 @@ impl ServeRuntime {
             // Enough slack that workers rarely idle, small enough that a
             // stalled executor backpressures the batcher quickly.
             exec_depth: exec_workers * 2,
+            exec_workers,
             cache: PlanCache::new(config.plan_capacity),
             metrics: Metrics::new(),
             models: RwLock::new(HashMap::new()),
@@ -282,7 +300,7 @@ impl ServeRuntime {
                 let shared = Arc::clone(&shared);
                 std::thread::Builder::new()
                     .name(format!("serve-exec-{i}"))
-                    .spawn(move || worker_loop(&shared))
+                    .spawn(move || worker_loop(&shared, i))
                     .expect("spawn exec worker")
             })
             .collect();
@@ -312,6 +330,33 @@ impl ServeRuntime {
                 ..LancetOptions::default()
             },
         );
+        // Affinity dispatch: optimize an expert→worker plan against a
+        // seeded synthetic routing histogram (Zipf skew + inter-layer
+        // affinity). Workers play the role of devices, one per "node",
+        // so the search spreads hot experts across the pool and the
+        // dispatcher can aim each request at the worker holding its hot
+        // expert. Deterministic per (model shape, runtime seed).
+        let placement = if self.shared.config.affinity {
+            let layers = cfg.moe_layers().len().max(1);
+            let traffic = ExpertTraffic::synthetic(
+                layers,
+                cfg.experts(),
+                4096,
+                1.2,
+                0.8,
+                (cfg.hidden * 4) as u64,
+                self.shared.config.seed,
+            );
+            let (plan, _) = optimize_placement(
+                &traffic,
+                self.shared.exec_workers,
+                1,
+                &PlacementOptions::default(),
+            );
+            Some(plan)
+        } else {
+            None
+        };
         let mut models = self.shared.models.write().expect("models lock");
         if models.contains_key(&cfg.name) {
             return Err(ServeError::BadRequest(format!(
@@ -319,7 +364,8 @@ impl ServeRuntime {
                 cfg.name
             )));
         }
-        models.insert(cfg.name.clone(), Arc::new(ModelEntry { cfg, lancet, canonical }));
+        models
+            .insert(cfg.name.clone(), Arc::new(ModelEntry { cfg, lancet, canonical, placement }));
         Ok(())
     }
 
@@ -479,6 +525,8 @@ fn batcher_loop(shared: &Shared) {
                 std::thread::sleep(delay);
             }
         }
+        let mut batch = batch;
+        batch.preferred = preferred_worker(shared, &batch);
         push_batch(shared, batch);
     }
 }
@@ -518,7 +566,7 @@ fn extract(queue: &mut VecDeque<Pending>, model: &str, max: usize) -> Batch {
         }
     }
     *queue = rest;
-    Batch { model: model.into(), entries }
+    Batch { model: model.into(), entries, preferred: None }
 }
 
 /// Blocks until the (bounded) exec queue has room, then enqueues.
@@ -535,12 +583,20 @@ fn push_batch(shared: &Shared, batch: Batch) {
 /// An exec worker: pops batches, resolves their plan through the cache,
 /// executes, and delivers per-request responses. Exits once the batcher
 /// is done and the exec queue is empty.
-fn worker_loop(shared: &Shared) {
+fn worker_loop(shared: &Shared, index: usize) {
     loop {
         let batch = {
             let mut exec = shared.exec.lock().expect("exec lock");
             loop {
-                if let Some(batch) = exec.pop_front() {
+                // Affinity: take the first batch preferring this worker;
+                // otherwise steal the front one (preference is soft — a
+                // free worker never idles while work is queued).
+                let pick = exec
+                    .iter()
+                    .position(|b| b.preferred == Some(index))
+                    .or(if exec.is_empty() { None } else { Some(0) });
+                if let Some(at) = pick {
+                    let batch = exec.remove(at).expect("picked position exists");
                     shared.exec_not_full.notify_one();
                     break batch;
                 }
@@ -550,8 +606,66 @@ fn worker_loop(shared: &Shared) {
                 exec = shared.exec_not_empty.wait(exec).expect("exec lock");
             }
         };
+        if let Some(preferred) = batch.preferred {
+            let requests = batch.entries.len() as u64;
+            if preferred == index {
+                shared.metrics.placement_hits.fetch_add(requests, Ordering::Relaxed);
+            } else {
+                shared.metrics.placement_misses.fetch_add(requests, Ordering::Relaxed);
+            }
+        }
         run_batch(shared, batch);
     }
+}
+
+/// The worker a batch should land on: each request's hot expert (a
+/// deterministic hash-gate proxy over its token ids — serving has no
+/// routed activations to inspect at dispatch time) is mapped through the
+/// model's layer-0 placement, and the batch majority wins (ties toward
+/// the lower worker index). `None` when affinity is off or the model has
+/// no plan.
+fn preferred_worker(shared: &Shared, batch: &Batch) -> Option<usize> {
+    if !shared.config.affinity || batch.entries.is_empty() {
+        return None;
+    }
+    let entry = {
+        let models = shared.models.read().expect("models lock");
+        models.get(&batch.model).cloned()?
+    };
+    let plan = entry.placement.as_ref()?;
+    let experts = entry.cfg.experts();
+    let mut votes = vec![0usize; shared.exec_workers.max(1)];
+    for pending in &batch.entries {
+        let worker = plan.device_of(0, hot_expert(&pending.ids, experts));
+        if let Some(v) = votes.get_mut(worker) {
+            *v += 1;
+        }
+    }
+    let (worker, &count) = votes.iter().enumerate().max_by_key(|&(i, &v)| (v, usize::MAX - i))?;
+    if count == 0 { None } else { Some(worker) }
+}
+
+/// The expert a request's tokens concentrate on, by a deterministic
+/// hash gate: each token id hashes to an expert, the most-hit expert
+/// wins (ties toward the lower index). A stand-in for the first MoE
+/// layer's gate — cheap, stateless, and stable across replays.
+fn hot_expert(ids: &[f32], experts: usize) -> usize {
+    let experts = experts.max(1);
+    let mut counts = vec![0u32; experts];
+    for &id in ids {
+        let mut h = (id.to_bits() as u64).wrapping_add(0x9E37_79B9_7F4A_7C15);
+        h = (h ^ (h >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        h = (h ^ (h >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        h ^= h >> 31;
+        counts[(h % experts as u64) as usize] += 1;
+    }
+    let mut best = 0;
+    for (i, &c) in counts.iter().enumerate() {
+        if c > counts[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 // True on this thread while an *injected* panic unwinds (so the panic
@@ -591,7 +705,7 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
 fn run_batch(shared: &Shared, batch: Batch) {
     shared.metrics.batches.fetch_add(1, Ordering::Relaxed);
     shared.metrics.batched_requests.fetch_add(batch.entries.len() as u64, Ordering::Relaxed);
-    let Batch { model, entries } = batch;
+    let Batch { model, entries, preferred: _ } = batch;
 
     // Per-request timeout: answer requests that are already past their
     // end-to-end deadline instead of spending executor time on them.

@@ -27,6 +27,8 @@ pub(crate) struct Metrics {
     pub(crate) retried: AtomicU64,
     pub(crate) degraded: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
+    pub(crate) placement_hits: AtomicU64,
+    pub(crate) placement_misses: AtomicU64,
     latencies: Mutex<LatencyRing>,
 }
 
@@ -52,6 +54,8 @@ impl Metrics {
             retried: AtomicU64::new(0),
             degraded: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
+            placement_hits: AtomicU64::new(0),
+            placement_misses: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
         }
     }
@@ -86,6 +90,8 @@ impl Metrics {
             retried: self.retried.load(Ordering::Relaxed),
             degraded: self.degraded.load(Ordering::Relaxed),
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            placement_hits: self.placement_hits.load(Ordering::Relaxed),
+            placement_misses: self.placement_misses.load(Ordering::Relaxed),
             queue_depth,
             cache,
             p50_ms: percentile(&samples, 0.50),
@@ -143,6 +149,14 @@ pub struct ServeStats {
     /// Worker panics isolated by the runtime (the worker thread and all
     /// other requests survived each one).
     pub worker_panics: u64,
+    /// Requests executed by the worker their placement preferred (the
+    /// one holding their hot expert). Always zero unless affinity
+    /// dispatch is enabled (`ServeConfig::affinity`).
+    pub placement_hits: u64,
+    /// Requests whose batch was stolen by a non-preferred worker —
+    /// preference is soft, so a free worker never idles while work is
+    /// queued. Zero without affinity dispatch.
+    pub placement_misses: u64,
     /// Requests waiting in the admission queue right now.
     pub queue_depth: usize,
     /// Plan-cache effectiveness counters.

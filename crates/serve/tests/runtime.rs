@@ -268,3 +268,69 @@ fn drop_shuts_down() {
     drop(clone);
     drop(runtime); // Drop must join the batcher and workers without hanging.
 }
+
+/// Affinity dispatch: with one exec worker every batch's preferred
+/// worker IS that worker, so each completed request is a placement hit —
+/// the deterministic floor the placement-bench smoke asserts. Responses
+/// stay bit-identical to a no-affinity run (affinity only picks *which*
+/// worker executes, never *what* it computes).
+#[test]
+fn affinity_single_worker_hits_every_request() {
+    let cfg = tiny();
+    let plain = ServeRuntime::start(ServeConfig {
+        exec_workers: 1,
+        ..ServeConfig::default()
+    });
+    plain.register_model(cfg.clone()).unwrap();
+    let baseline: Vec<_> =
+        (0..4).map(|i| plain.submit_blocking(&cfg.name, ids_for(i, &cfg)).unwrap()).collect();
+    assert_eq!(plain.stats().placement_hits, 0, "affinity off ⇒ no counting");
+    plain.shutdown();
+
+    let runtime = ServeRuntime::start(ServeConfig {
+        exec_workers: 1,
+        affinity: true,
+        ..ServeConfig::default()
+    });
+    runtime.register_model(cfg.clone()).unwrap();
+    let responses: Vec<_> =
+        (0..4).map(|i| runtime.submit_blocking(&cfg.name, ids_for(i, &cfg)).unwrap()).collect();
+    let stats = runtime.stats();
+    runtime.shutdown();
+    assert_eq!(stats.placement_hits, 4, "single worker: every request lands preferred");
+    assert_eq!(stats.placement_misses, 0);
+    for (a, b) in responses.iter().zip(&baseline) {
+        assert_eq!(a.data(), b.data(), "affinity must not change response bits");
+    }
+}
+
+/// With several workers, every affinity-tagged request is accounted as
+/// exactly one hit or one miss (work stealing keeps the pool busy but
+/// never loses a request), and all responses arrive.
+#[test]
+fn affinity_multi_worker_accounts_every_request() {
+    let cfg = tiny();
+    let runtime = ServeRuntime::start(ServeConfig {
+        exec_workers: 2,
+        affinity: true,
+        max_batch: 1,
+        batch_window: Duration::ZERO,
+        ..ServeConfig::default()
+    });
+    runtime.register_model(cfg.clone()).unwrap();
+    let tickets: Vec<_> =
+        (0..16).map(|i| runtime.submit(&cfg.name, ids_for(i, &cfg)).unwrap()).collect();
+    for t in tickets {
+        t.wait().unwrap();
+    }
+    let stats = runtime.stats();
+    runtime.shutdown();
+    assert_eq!(stats.completed, 16);
+    assert_eq!(
+        stats.placement_hits + stats.placement_misses,
+        16,
+        "every affinity batch is a hit or a miss (hits {}, misses {})",
+        stats.placement_hits,
+        stats.placement_misses
+    );
+}

@@ -1,6 +1,7 @@
 //! Simulation configuration.
 
 use crate::FaultPlan;
+use lancet_cost::{ExpertTraffic, PlacementPlan};
 
 /// Knobs controlling one simulation run.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,6 +41,22 @@ pub struct SimConfig {
     /// Empty by default — a healthy cluster. Same plan ⇒ bit-identical
     /// report; see [`FaultPlan`].
     pub fault_plan: FaultPlan,
+    /// Expert placement to replay the schedule under. `None` charges
+    /// all-to-alls with the stock uniform model; `Some` derives per-layer
+    /// inter-node fractions and load factors from the plan + histogram
+    /// (see [`PlacementPlan::layer_profiles`]) so optimized and uniform
+    /// placements can be compared on the same schedule.
+    pub placement: Option<PlacementSim>,
+}
+
+/// A placement scenario for simulation replay: the expert→device plan
+/// plus the routing histogram it is judged against.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacementSim {
+    /// Expert→device assignment per MoE layer.
+    pub plan: PlacementPlan,
+    /// Routing histogram (loads + inter-layer transitions).
+    pub traffic: ExpertTraffic,
 }
 
 impl SimConfig {
@@ -56,6 +73,7 @@ impl SimConfig {
             separate_collective_channel: false,
             block_sparse_experts: false,
             fault_plan: FaultPlan::none(),
+            placement: None,
         }
     }
 
@@ -80,6 +98,14 @@ impl SimConfig {
     /// Sets the injected-fault schedule (builder style).
     pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
         self.fault_plan = plan;
+        self
+    }
+
+    /// Replays the schedule under an expert placement (builder style).
+    /// All-to-alls are charged with placement-derived inter-node
+    /// fractions and load factors instead of the uniform constants.
+    pub fn with_placement(mut self, plan: PlacementPlan, traffic: ExpertTraffic) -> Self {
+        self.placement = Some(PlacementSim { plan, traffic });
         self
     }
 }

@@ -93,6 +93,16 @@ impl Simulator {
         let mut comm_busy = 0.0;
         let mut faults = FaultSummary::default();
         let chunk_tokens = chunk_token_map(graph);
+        // Placement replay: per-layer (inter_frac, load_factor) profiles
+        // derived from the configured plan + histogram. All-to-alls are
+        // mapped to MoE layers by arrival order — two per layer (dispatch
+        // then combine), cycling for the backward pass — which is exact
+        // for unpartitioned graphs and a documented approximation when
+        // the partition pass splits a layer's exchanges into chunks.
+        let placement_profiles = self.cfg.placement.as_ref().map(|p| {
+            p.plan.layer_profiles(&p.traffic, self.comm.spec().net.gpus_per_node)
+        });
+        let mut a2a_seen = 0usize;
         let sparse_experts = if self.cfg.block_sparse_experts {
             irregular_expert_map(graph)
         } else {
@@ -114,8 +124,20 @@ impl Simulator {
                 let aux = self.cfg.separate_collective_channel && !instr.op.is_all_to_all();
                 let free = if aux { aux_free } else { comm_free };
                 let start = ready.max(free);
-                let mut dur =
-                    self.comm_duration(&instr.op, &in_shapes, pos, chunk_tokens.get(&pos).copied());
+                let profile = if instr.op.is_all_to_all() {
+                    let ordinal = a2a_seen;
+                    a2a_seen += 1;
+                    placement_profiles.as_ref().map(|ps| ps[(ordinal / 2) % ps.len()])
+                } else {
+                    None
+                };
+                let mut dur = self.comm_duration(
+                    &instr.op,
+                    &in_shapes,
+                    pos,
+                    chunk_tokens.get(&pos).copied(),
+                    profile,
+                );
                 // Injected link faults: degradation/jitter/drops stretch
                 // the collective, deterministically per (plan, position).
                 let (factor, dropped) = self.cfg.fault_plan.comm_factor(start, pos);
@@ -233,17 +255,35 @@ impl Simulator {
         SimStats { iterations: n, mean, std: var.sqrt(), min, max }
     }
 
-    fn comm_duration(&self, op: &Op, ins: &[&Shape], pos: usize, chunk_tokens: Option<usize>) -> f64 {
+    fn comm_duration(
+        &self,
+        op: &Op,
+        ins: &[&Shape],
+        pos: usize,
+        chunk_tokens: Option<usize>,
+        profile: Option<lancet_cost::LayerProfile>,
+    ) -> f64 {
         let gpus = self.cfg.gpus;
+        // Placement-aware payload charge. The skewed model replaces the
+        // naive path; under hierarchical a2a node-aggregation already
+        // hides the per-peer skew, so only the busiest receiver's load
+        // factor stretches the exchange.
+        let a2a_payload = |bytes: u64| -> f64 {
+            match (self.cfg.hierarchical_a2a, profile) {
+                (false, Some(p)) => {
+                    self.comm.all_to_all_time_skewed(bytes, gpus, p.inter_frac, p.load_factor)
+                }
+                (true, Some(p)) => {
+                    self.comm.hierarchical_all_to_all_time(bytes, gpus) * p.load_factor.max(1.0)
+                }
+                (false, None) => self.comm.all_to_all_time(bytes, gpus),
+                (true, None) => self.comm.hierarchical_all_to_all_time(bytes, gpus),
+            }
+        };
         match op {
             Op::AllToAll => {
                 // Uniform all-to-all transmits the capacity-padded buffer.
-                let bytes = op.comm_bytes(ins);
-                if self.cfg.hierarchical_a2a {
-                    self.comm.hierarchical_all_to_all_time(bytes, gpus)
-                } else {
-                    self.comm.all_to_all_time(bytes, gpus)
-                }
+                a2a_payload(op.comm_bytes(ins))
             }
             Op::AllToAllIrr => {
                 // Irregular all-to-all transmits only actual slots: the
@@ -256,13 +296,8 @@ impl Simulator {
                 let keep = 1.0 - self.cfg.load_jitter * jitter_unit(self.cfg.seed, pos as u64);
                 let actual = ((tokens as f64 * keep) as usize).min(padded_tokens);
                 let bytes = (actual * m * 4) as u64;
-                if self.cfg.hierarchical_a2a {
-                    // Size exchange plus hierarchical payload exchange.
-                    self.comm.all_to_all_time((4 * e) as u64, gpus)
-                        + self.comm.hierarchical_all_to_all_time(bytes, gpus)
-                } else {
-                    self.comm.irregular_all_to_all_time(bytes, e, gpus)
-                }
+                // Two phases: tiny size exchange, then the payload.
+                self.comm.all_to_all_time((4 * e) as u64, gpus) + a2a_payload(bytes)
             }
             Op::AllReduce => {
                 let bytes = op.comm_bytes(ins);
@@ -696,6 +731,64 @@ mod tests {
         let a = build().simulate(&g);
         let b = build().simulate(&g);
         assert_eq!(a, b, "same fault seed must reproduce the report bit for bit");
+    }
+
+    #[test]
+    fn uniform_placement_on_balanced_traffic_matches_stock() {
+        use lancet_cost::{ExpertTraffic, PlacementPlan};
+        let g = dependent_graph();
+        let spec = ClusterSpec::v100(2);
+        let stock = sim(16).simulate(&g);
+        // Balanced loads + uncorrelated transitions under the uniform
+        // plan degrade to the stock uniform charge exactly.
+        let mut traffic = ExpertTraffic::new(2, 16, 2048);
+        for l in 0..2 {
+            for e in 0..16 {
+                traffic.record_load(l, e, 64);
+            }
+        }
+        for i in 0..16 {
+            for j in 0..16 {
+                traffic.record_transition(0, i, j, 4);
+            }
+        }
+        let placed = Simulator::new(
+            ComputeModel::new(spec.device.clone()),
+            CommModel::new(spec),
+            SimConfig::new(16).with_placement(PlacementPlan::uniform(2, 16, 16), traffic),
+        )
+        .simulate(&g);
+        assert!((placed.iteration_time - stock.iteration_time).abs() < 1e-12);
+    }
+
+    #[test]
+    fn optimized_placement_beats_uniform_on_skewed_traffic() {
+        use lancet_cost::{optimize_placement, ExpertTraffic, PlacementOptions, PlacementPlan};
+        let g = dependent_graph();
+        let spec = ClusterSpec::v100(2);
+        // 32 experts on 16 devices: the uniform plan co-locates the two
+        // hottest Zipf experts on device 0; the search pairs hot with
+        // cold, lowering the busiest receiver's load factor.
+        let traffic = ExpertTraffic::synthetic(1, 32, 2048, 1.2, 0.8, 4096, 0x91ACE);
+        let (plan, _) = optimize_placement(&traffic, 16, 8, &PlacementOptions::default());
+        let run = |plan: PlacementPlan| {
+            Simulator::new(
+                ComputeModel::new(spec.device.clone()),
+                CommModel::new(spec.clone()),
+                SimConfig::new(16).with_placement(plan, traffic.clone()),
+            )
+            .simulate(&g)
+        };
+        let uniform = run(PlacementPlan::uniform(1, 32, 16));
+        let optimized = run(plan.clone());
+        assert!(
+            optimized.iteration_time < uniform.iteration_time,
+            "optimized {} !< uniform {}",
+            optimized.iteration_time,
+            uniform.iteration_time
+        );
+        // Replay is deterministic: same plan + traffic, same report.
+        assert_eq!(run(plan.clone()), optimized);
     }
 
     #[test]

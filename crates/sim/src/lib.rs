@@ -37,7 +37,7 @@ mod memory;
 mod report;
 mod trace;
 
-pub use config::SimConfig;
+pub use config::{PlacementSim, SimConfig};
 pub use engine::{SimStats, Simulator};
 pub use fault::{FaultKind, FaultPlan, FaultSummary, FaultWindow};
 pub use gantt::render_gantt;

@@ -35,4 +35,23 @@ echo "==> lancet chaos-bench --quick"
 # replays, fault counters reproduce, and no admitted ticket is lost.
 ./target/release/lancet chaos-bench --quick
 
+echo "==> lancet placement-bench --quick"
+# Expert-placement win floor on a skewed (Zipf) routing histogram: the
+# optimized placement must move no more inter-node bytes than uniform,
+# beat it strictly in simulated step time, the sim replay must be
+# bit-identical, and the serving runtime's affinity dispatch must land
+# every single-worker request on its preferred worker (nonzero hits).
+./target/release/lancet placement-bench --quick
+
+echo "==> results/BENCH_*.json are documented"
+# Every committed benchmark artifact must be referenced from
+# EXPERIMENTS.md so readers can find the regeneration instructions.
+for f in results/BENCH_*.json; do
+    base=$(basename "$f")
+    if ! grep -q "$base" EXPERIMENTS.md; then
+        echo "error: $base is not referenced from EXPERIMENTS.md" >&2
+        exit 1
+    fi
+done
+
 echo "==> verify OK"

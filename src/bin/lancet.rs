@@ -5,6 +5,7 @@
 //! lancet compare    --model l --cluster a100 --gpus 32 --gate bpr
 //! lancet serve-bench [--requests 64] [--rate 40] [--quick]
 //! lancet chaos-bench [--seed N] [--quick]
+//! lancet placement-bench [--seed N] [--gpus 16] [--experts 32] [--quick]
 //! ```
 //!
 //! `optimize` runs the Lancet passes on one configuration and reports the
@@ -18,6 +19,12 @@
 //! seeded fault schedule through the simulator and the serving runtime
 //! and fails unless reports are bit-identical across replays, fault
 //! counters reproduce, and no admitted request loses its reply.
+//! `placement-bench` collects a skewed routing histogram, runs the
+//! expert-placement search, and proves the win floor: the optimized
+//! placement must move no more inter-node bytes than uniform, beat it
+//! strictly in simulated step time, and the serving runtime's affinity
+//! dispatch must land every single-worker request on its preferred
+//! worker. The full run writes `results/BENCH_placement.json`.
 
 use lancet_repro::baselines::{run_system, System};
 use lancet_repro::core::{Lancet, LancetOptions};
@@ -29,7 +36,15 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lancet <optimize|compare|serve-bench|chaos-bench> [options]
+usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench> [options]
+
+placement-bench options:
+  --seed <N>                histogram seed (default: LANCET_PLACEMENT_SEED, then 0x91ACE)
+  --gpus <N>                device count for the placement search (default: 16)
+  --experts <N>             experts per MoE layer (default: 32)
+  --layers <N>              MoE layer count in the histogram (default: 4)
+  --tokens <N>              tokens routed per layer (default: 8192; quick: 2048)
+  --quick                   assert the win floor only; skip the JSON artifact
 
 serve-bench options:
   --requests <N>            open-loop trace length (default: 64; quick: 24)
@@ -538,6 +553,205 @@ fn cmd_chaos_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_placement_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::cost::{optimize_placement, PlacementOptions, PlacementPlan};
+    use lancet_repro::moe::{RoutingHistogram, Workload};
+    use lancet_repro::serve::{ServeConfig, ServeRuntime};
+    use std::time::Duration;
+
+    let quick = opts.contains_key("quick");
+    let seed: u64 = match opts.get("seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`"))?,
+        None => std::env::var("LANCET_PLACEMENT_SEED")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(0x91ACE),
+    };
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key)
+            .map(|v| v.parse::<usize>().map_err(|_| format!("bad --{key} `{v}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let devices = parse_usize("gpus", 16)?;
+    let experts = parse_usize("experts", 32)?;
+    let layers = parse_usize("layers", 4)?;
+    let tokens = parse_usize("tokens", if quick { 2048 } else { 8192 })?;
+    let mut options = PlacementOptions::default();
+    if let Ok(v) = std::env::var("LANCET_PLACEMENT_SWEEPS") {
+        if let Ok(s) = v.trim().parse() {
+            options.sweeps = s;
+        }
+    }
+    let spec = ClusterSpec::of(ClusterKind::V100, devices.div_ceil(8).max(1));
+    let gpn = spec.net.gpus_per_node.min(devices).max(1);
+    println!(
+        "placement-bench: seed {seed:#x}, {layers} MoE layers × {experts} experts on \
+         {devices} GPUs ({gpn}/node), Zipf(1.2) routing over {tokens} tokens{}",
+        if quick { " (quick)" } else { "" }
+    );
+
+    // ── Histogram: route a skewed workload through the real gate and
+    // collect per-expert loads + inter-layer transitions.
+    let bytes_per_token = 768 * 4; // GPT2-S hidden, fp32 activations
+    let hist = RoutingHistogram::collect(
+        Workload::Zipf { exponent: 1.2 },
+        layers,
+        experts,
+        tokens,
+        bytes_per_token,
+        seed,
+    )
+    .map_err(|e| e.to_string())?;
+    let traffic = hist.into_traffic();
+
+    // ── Cost leg: uniform vs optimized placement under the analytical
+    // objective (inter-node all-to-all bytes + overload penalty).
+    let uniform_plan = PlacementPlan::uniform(layers, experts, devices);
+    let (opt_plan, report) = optimize_placement(&traffic, devices, gpn, &options);
+    let mib = |b: u64| b as f64 / (1u64 << 20) as f64;
+    println!("\n  placement   inter-node MiB   load factor   objective(MiB)");
+    for (name, c) in [("uniform", report.uniform), ("optimized", report.optimized)] {
+        println!(
+            "  {name:<11} {:>14.2} {:>13.3} {:>16.2}",
+            mib(c.inter_node_bytes),
+            c.load_factor,
+            c.objective / (1u64 << 20) as f64
+        );
+    }
+    println!(
+        "  search: {} swaps accepted over {} evaluations",
+        report.moves, report.evaluations
+    );
+    if report.optimized.inter_node_bytes > report.uniform.inter_node_bytes {
+        return Err("placement-bench: optimized placement moved MORE bytes across nodes".into());
+    }
+    if report.optimized.objective > report.uniform.objective {
+        return Err("placement-bench: optimized objective worse than uniform".into());
+    }
+
+    // ── Sim leg: replay the same training schedule under both placements;
+    // the optimized plan must not be slower, and on this skewed workload
+    // it must be strictly faster.
+    let (cfg, cluster) = build_config(&HashMap::from([
+        ("model".to_string(), if quick { "tiny".to_string() } else { "s".to_string() }),
+        ("gpus".to_string(), devices.to_string()),
+    ]))?;
+    let sim_spec = ClusterSpec::of(cluster, devices.div_ceil(8).max(1));
+    let graph = build_forward(&cfg).map_err(|e| e.to_string())?.graph;
+    let simulate = |plan: &PlacementPlan| {
+        let sim = Simulator::new(
+            ComputeModel::new(sim_spec.device.clone()),
+            CommModel::new(sim_spec.clone()),
+            SimConfig::new(devices).with_placement(plan.clone(), traffic.clone()),
+        );
+        sim.simulate(&graph).iteration_time
+    };
+    let sim_uniform = simulate(&uniform_plan);
+    let sim_optimized = simulate(&opt_plan);
+    let sim_replay = simulate(&opt_plan);
+    println!(
+        "\nsim ({}): uniform {:.2} ms → optimized {:.2} ms ({:.2}% faster)",
+        cfg.name,
+        sim_uniform * 1e3,
+        sim_optimized * 1e3,
+        (1.0 - sim_optimized / sim_uniform) * 100.0
+    );
+    if sim_optimized >= sim_uniform {
+        return Err(format!(
+            "placement-bench: optimized placement did not beat uniform in simulation \
+             ({:.3} ms vs {:.3} ms)",
+            sim_optimized * 1e3,
+            sim_uniform * 1e3
+        ));
+    }
+    if sim_replay != sim_optimized {
+        return Err("placement-bench: simulated placement replay is not bit-identical".into());
+    }
+
+    // ── Serve leg: affinity dispatch. One worker makes every preference
+    // trivially satisfiable, so the hit counter must equal the request
+    // count; a second run with more workers checks hit+miss accounting.
+    let tiny = GptMoeConfig::tiny(1, GateKind::Switch);
+    let requests = if quick { 8 } else { 16 };
+    let drive = |workers: usize| -> Result<lancet_repro::serve::ServeStats, String> {
+        let runtime = ServeRuntime::start(ServeConfig {
+            max_batch: 1,
+            batch_window: Duration::ZERO,
+            exec_workers: workers,
+            affinity: true,
+            ..ServeConfig::default()
+        });
+        runtime.register_model(tiny.clone()).map_err(|e| e.to_string())?;
+        for i in 0..requests {
+            let ids: Vec<f32> =
+                (0..tiny.seq).map(|s| ((i * 3 + s * 5 + 1) % tiny.vocab) as f32).collect();
+            runtime.submit_blocking(&tiny.name, ids).map_err(|e| e.to_string())?;
+        }
+        runtime.shutdown();
+        Ok(runtime.stats())
+    };
+    let solo = drive(1)?;
+    let duo = drive(2)?;
+    println!(
+        "serve affinity: 1 worker {} hits / {} misses; 2 workers {} hits / {} misses",
+        solo.placement_hits, solo.placement_misses, duo.placement_hits, duo.placement_misses
+    );
+    if solo.placement_hits != requests as u64 || solo.placement_misses != 0 {
+        return Err(format!(
+            "placement-bench: single-worker affinity must hit every request \
+             ({} hits, {} misses of {requests})",
+            solo.placement_hits, solo.placement_misses
+        ));
+    }
+    if duo.placement_hits + duo.placement_misses != requests as u64 {
+        return Err("placement-bench: affinity hit+miss accounting lost requests".into());
+    }
+
+    println!(
+        "\nwin floor: optimized ≤ uniform inter-node bytes, strict sim win, \
+         affinity hits {} of {requests} — OK",
+        solo.placement_hits
+    );
+
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_placement.json");
+        let out = format!(
+            "{{\n  \"bench\": \"placement\",\n  \"workload\": {{\"kind\": \"zipf\", \
+             \"exponent\": 1.2, \"layers\": {layers}, \"experts\": {experts}, \
+             \"tokens\": {tokens}, \"devices\": {devices}, \"gpus_per_node\": {gpn}, \
+             \"seed\": {seed}}},\n  \
+             \"cost\": {{\n    \"uniform\": {{\"inter_node_mib\": {:.2}, \"load_factor\": {:.3}, \
+             \"objective_mib\": {:.2}}},\n    \"optimized\": {{\"inter_node_mib\": {:.2}, \
+             \"load_factor\": {:.3}, \"objective_mib\": {:.2}}},\n    \"moves\": {}, \
+             \"evaluations\": {}\n  }},\n  \
+             \"sim\": {{\"model\": \"{}\", \"uniform_ms\": {:.3}, \"optimized_ms\": {:.3}, \
+             \"win_pct\": {:.2}}},\n  \
+             \"serve\": {{\"requests\": {requests}, \"solo_hits\": {}, \"solo_misses\": {}, \
+             \"duo_hits\": {}, \"duo_misses\": {}}}\n}}\n",
+            mib(report.uniform.inter_node_bytes),
+            report.uniform.load_factor,
+            report.uniform.objective / (1u64 << 20) as f64,
+            mib(report.optimized.inter_node_bytes),
+            report.optimized.load_factor,
+            report.optimized.objective / (1u64 << 20) as f64,
+            report.moves,
+            report.evaluations,
+            cfg.name,
+            sim_uniform * 1e3,
+            sim_optimized * 1e3,
+            (1.0 - sim_optimized / sim_uniform) * 100.0,
+            solo.placement_hits,
+            solo.placement_misses,
+            duo.placement_hits,
+            duo.placement_misses,
+        );
+        std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok((cmd, opts)) => {
@@ -546,6 +760,7 @@ fn main() -> ExitCode {
                 "compare" => cmd_compare(&opts),
                 "serve-bench" => cmd_serve_bench(&opts),
                 "chaos-bench" => cmd_chaos_bench(&opts),
+                "placement-bench" => cmd_placement_bench(&opts),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())
