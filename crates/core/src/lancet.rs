@@ -75,6 +75,34 @@ impl Default for LancetOptions {
     }
 }
 
+impl LancetOptions {
+    /// Options for building **decode-serving plans** (prefill and
+    /// decode-step graphs in `lancet-decode`).
+    ///
+    /// Every training/throughput pass is off, deliberately:
+    ///
+    /// * **Partitioning is disabled** because decode plans harvest
+    ///   per-layer K/V activations by the tensor ids recorded at graph
+    ///   construction — the partition pass renumbers tensors, which would
+    ///   leave those handles dangling. (Decode-step graphs are also
+    ///   latency-bound at tiny batch sizes, where partition-pipelining a
+    ///   single micro-batch has nothing to overlap.) With partitioning
+    ///   off, [`Lancet::optimize_forward`] returns the forward graph
+    ///   unchanged, so construction-time ids stay valid — the contract
+    ///   `lancet_serve::Plan::build_prefill` checks via
+    ///   [`Lancet::options`].
+    /// * dW scheduling and prefetch are training passes; no backward
+    ///   graph exists at serving time.
+    pub fn decode_serving() -> Self {
+        LancetOptions {
+            disable_dw_schedule: true,
+            disable_partition: true,
+            prefetch_lookahead: 0,
+            ..LancetOptions::default()
+        }
+    }
+}
+
 /// Where the optimizer's wall-clock time went and how effective the
 /// search caches were — the measurement behind the paper's Fig. 15
 /// optimization-time story (see `fig15_opt_time` in `lancet-bench`).
@@ -160,6 +188,15 @@ impl Lancet {
     /// The compiler-side time estimator.
     pub fn estimator(&self) -> &TimeEstimator {
         &self.estimator
+    }
+
+    /// The options this optimizer was built with. Downstream plan
+    /// builders use this to *check* preconditions instead of assuming
+    /// them — e.g. KV-harvesting prefill plans require
+    /// [`LancetOptions::decode_serving`]-style options (partition
+    /// disabled) so graph tensor ids survive optimization.
+    pub fn options(&self) -> &LancetOptions {
+        &self.options
     }
 
     /// The structural memo shared by every [`optimize`](Self::optimize)

@@ -1,0 +1,185 @@
+//! Streamed per-token responses.
+//!
+//! A decode request is answered with a [`StreamTicket`] instead of
+//! serve's one-shot `Ticket`: tokens arrive one at a time, each tagged
+//! with its **sequence index**. The index is the exactly-once contract:
+//!
+//! * the producer side ([`StreamHandle::emit`]) is *idempotent by
+//!   index* — re-emitting an index the consumer already has is a silent
+//!   no-op, which is what lets a fault-retried decode step replay its
+//!   commit without duplicating tokens;
+//! * the consumer side ([`StreamTicket::next`]) therefore observes a
+//!   gapless `0, 1, 2, …` sequence followed by exactly one terminal
+//!   event — normal completion or one typed error.
+
+use std::collections::VecDeque;
+use std::sync::{Arc, Condvar, Mutex};
+
+use lancet_serve::{Result, ServeError};
+
+/// Why a stream completed normally.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FinishReason {
+    /// The sequence produced its requested number of new tokens.
+    Length,
+}
+
+/// One streamed token: its position in the generated sequence and its id.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StreamToken {
+    /// 0-based index within the *generated* tokens of this request.
+    pub index: usize,
+    /// Token id.
+    pub token: u32,
+}
+
+#[derive(Debug)]
+struct StreamState {
+    queue: VecDeque<StreamToken>,
+    /// Next index the consumer has not yet been handed; emits below this
+    /// are duplicates and are dropped.
+    emitted: usize,
+    done: Option<std::result::Result<FinishReason, ServeError>>,
+    error_taken: bool,
+}
+
+#[derive(Debug)]
+struct StreamInner {
+    state: Mutex<StreamState>,
+    cv: Condvar,
+}
+
+/// Producer half; held by the decode scheduler.
+#[derive(Debug, Clone)]
+pub(crate) struct StreamHandle {
+    inner: Arc<StreamInner>,
+}
+
+/// Consumer half; returned to the caller of `DecodeRuntime::submit`.
+#[derive(Debug)]
+pub struct StreamTicket {
+    inner: Arc<StreamInner>,
+}
+
+/// Build a connected producer/consumer pair.
+pub(crate) fn stream_channel() -> (StreamHandle, StreamTicket) {
+    let inner = Arc::new(StreamInner {
+        state: Mutex::new(StreamState {
+            queue: VecDeque::new(),
+            emitted: 0,
+            done: None,
+            error_taken: false,
+        }),
+        cv: Condvar::new(),
+    });
+    (StreamHandle { inner: inner.clone() }, StreamTicket { inner })
+}
+
+impl StreamHandle {
+    /// Deliver token `index`. Returns `true` if the token was newly
+    /// delivered, `false` if it was a duplicate of an already-emitted
+    /// index (a retried commit) and was dropped.
+    pub(crate) fn emit(&self, index: usize, token: u32) -> bool {
+        let mut st = self.inner.state.lock().unwrap();
+        if index < st.emitted || st.done.is_some() {
+            return false;
+        }
+        assert_eq!(index, st.emitted, "stream emits must be contiguous");
+        st.queue.push_back(StreamToken { index, token });
+        st.emitted += 1;
+        self.inner.cv.notify_all();
+        true
+    }
+
+    /// Terminate the stream normally. Write-once: later terminations
+    /// are ignored.
+    pub(crate) fn finish(&self, reason: FinishReason) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.done.is_none() {
+            st.done = Some(Ok(reason));
+            self.inner.cv.notify_all();
+        }
+    }
+
+    /// Terminate the stream with a typed error. Write-once.
+    pub(crate) fn fail(&self, err: ServeError) {
+        let mut st = self.inner.state.lock().unwrap();
+        if st.done.is_none() {
+            st.done = Some(Err(err));
+            self.inner.cv.notify_all();
+        }
+    }
+}
+
+impl StreamTicket {
+    /// Block for the next stream event.
+    ///
+    /// * `Some(Ok(token))` — the next token, indices strictly increasing
+    ///   from 0 with no gaps;
+    /// * `Some(Err(e))` — the stream failed; delivered exactly once,
+    ///   after all tokens that made it out;
+    /// * `None` — the stream is over (normal completion, or after the
+    ///   error was delivered).
+    pub fn next(&self) -> Option<Result<StreamToken>> {
+        let mut st = self.inner.state.lock().unwrap();
+        loop {
+            if let Some(tok) = st.queue.pop_front() {
+                return Some(Ok(tok));
+            }
+            match &st.done {
+                Some(Ok(_)) => return None,
+                Some(Err(e)) => {
+                    if st.error_taken {
+                        return None;
+                    }
+                    let err = e.clone();
+                    st.error_taken = true;
+                    return Some(Err(err));
+                }
+                None => st = self.inner.cv.wait(st).unwrap(),
+            }
+        }
+    }
+
+    /// Drain the stream to completion, returning every token id in
+    /// order, or the terminal error.
+    pub fn collect(self) -> Result<Vec<u32>> {
+        let mut out = Vec::new();
+        while let Some(ev) = self.next() {
+            out.push(ev?.token);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn duplicate_emits_are_dropped() {
+        let (tx, rx) = stream_channel();
+        assert!(tx.emit(0, 7));
+        assert!(tx.emit(1, 8));
+        assert!(!tx.emit(0, 99), "replayed index must be a no-op");
+        assert!(!tx.emit(1, 99));
+        assert!(tx.emit(2, 9));
+        tx.finish(FinishReason::Length);
+        assert_eq!(rx.collect().unwrap(), vec![7, 8, 9]);
+    }
+
+    #[test]
+    fn error_is_delivered_once_after_tokens() {
+        let (tx, rx) = stream_channel();
+        assert!(tx.emit(0, 5));
+        tx.fail(ServeError::Exec("boom".into()));
+        tx.fail(ServeError::Exec("second boom ignored".into()));
+        assert!(matches!(rx.next(), Some(Ok(StreamToken { index: 0, token: 5 }))));
+        match rx.next() {
+            Some(Err(ServeError::Exec(msg))) => assert_eq!(msg, "boom"),
+            other => panic!("expected the first failure, got {other:?}"),
+        }
+        assert!(rx.next().is_none(), "error is terminal and delivered once");
+        assert!(!tx.emit(1, 6), "emits after termination are dropped");
+    }
+}

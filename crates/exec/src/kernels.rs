@@ -175,27 +175,40 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         }
         Op::AttnScores { heads, causal } => {
             let (q, k) = (ins[0], ins[1]);
-            let (b, s, h) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+            // q is (B, Sq, H), k is (B, Sk, H) with Sq ≤ Sk: the queries
+            // are the trailing Sq positions, so query i sits at absolute
+            // position i + (Sk − Sq). Sq == Sk (offset 0) is the ordinary
+            // full-sequence forward; Sq < Sk the KV-cached decode path.
+            let (b, s_q, h) = (q.shape()[0], q.shape()[1], q.shape()[2]);
+            let s_k = k.shape()[1];
+            if s_q > s_k || k.shape()[0] != b || k.shape()[2] != h {
+                return Err(KernelFailure::Unsupported(format!(
+                    "attn_scores: q {:?} incompatible with k {:?}",
+                    q.shape(),
+                    k.shape()
+                )));
+            }
+            let offset = s_k - s_q;
             let (heads, causal) = (*heads, *causal);
             let dh = h / heads;
             let scale = 1.0 / (dh as f32).sqrt();
-            let mut out = Tensor::zeros(vec![b, heads, s, s]);
+            let mut out = Tensor::zeros(vec![b, heads, s_q, s_k]);
             let (qd, kd) = (q.data(), k.data());
             let view = SharedSliceMut::new(out.data_mut());
             par_ranges(b * heads, 0, |units| {
                 for u in units {
                     let (bi, hd) = (u / heads, u % heads);
                     // SAFETY: each (batch, head) unit owns its score plane.
-                    let plane = unsafe { view.range_mut(u * s * s..(u + 1) * s * s) };
-                    for i in 0..s {
-                        for j in 0..s {
-                            plane[i * s + j] = if causal && j > i {
+                    let plane = unsafe { view.range_mut(u * s_q * s_k..(u + 1) * s_q * s_k) };
+                    for i in 0..s_q {
+                        for j in 0..s_k {
+                            plane[i * s_k + j] = if causal && j > i + offset {
                                 -1e9
                             } else {
                                 let mut acc = 0.0f32;
                                 for d in 0..dh {
-                                    acc += qd[(bi * s + i) * h + hd * dh + d]
-                                        * kd[(bi * s + j) * h + hd * dh + d];
+                                    acc += qd[(bi * s_q + i) * h + hd * dh + d]
+                                        * kd[(bi * s_k + j) * h + hd * dh + d];
                                 }
                                 acc * scale
                             };
@@ -207,6 +220,14 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         }
         Op::AttnScoresGradQ { heads, causal } => {
             let (k, dy) = (ins[0], ins[1]);
+            // Training graphs are always full-sequence; the KV-cached
+            // rectangular forward has no backward.
+            if dy.shape()[2] != dy.shape()[3] {
+                return Err(KernelFailure::Unsupported(format!(
+                    "attn_scores_grad_q: full-sequence (square) dy required, got {:?}",
+                    dy.shape()
+                )));
+            }
             let (b, s, h) = (k.shape()[0], k.shape()[1], k.shape()[2]);
             let (heads, causal) = (*heads, *causal);
             let dh = h / heads;
@@ -238,6 +259,12 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         }
         Op::AttnScoresGradK { heads, causal } => {
             let (q, dy) = (ins[0], ins[1]);
+            if dy.shape()[2] != dy.shape()[3] {
+                return Err(KernelFailure::Unsupported(format!(
+                    "attn_scores_grad_k: full-sequence (square) dy required, got {:?}",
+                    dy.shape()
+                )));
+            }
             let (b, s, h) = (q.shape()[0], q.shape()[1], q.shape()[2]);
             let (heads, causal) = (*heads, *causal);
             let dh = h / heads;
@@ -269,25 +296,35 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         }
         Op::AttnContext { heads } => {
             let (p, v) = (ins[0], ins[1]);
-            let (b, s, h) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+            // p is (B, heads, Sq, Sk), v is (B, Sk, H): Sq < Sk is the
+            // KV-cached decode path (see Op::AttnScores above).
+            let (b, s_k, h) = (v.shape()[0], v.shape()[1], v.shape()[2]);
+            let s_q = p.shape()[2];
+            if p.shape()[0] != b || p.shape()[3] != s_k || s_q > s_k {
+                return Err(KernelFailure::Unsupported(format!(
+                    "attn_context: p {:?} incompatible with v {:?}",
+                    p.shape(),
+                    v.shape()
+                )));
+            }
             let heads = *heads;
             let dh = h / heads;
-            let mut out = Tensor::zeros(vec![b, s, h]);
+            let mut out = Tensor::zeros(vec![b, s_q, h]);
             let (pd, vd) = (p.data(), v.data());
             let view = SharedSliceMut::new(out.data_mut());
             par_ranges(b, 0, |batches| {
                 for bi in batches {
-                    // SAFETY: each batch owns its (s, h) output block.
-                    let blk = unsafe { view.range_mut(bi * s * h..(bi + 1) * s * h) };
+                    // SAFETY: each batch owns its (s_q, h) output block.
+                    let blk = unsafe { view.range_mut(bi * s_q * h..(bi + 1) * s_q * h) };
                     for hd in 0..heads {
-                        for i in 0..s {
-                            for j in 0..s {
+                        for i in 0..s_q {
+                            for j in 0..s_k {
                                 // No w == 0.0 short-circuit: 0·inf and
                                 // 0·NaN must propagate per IEEE 754.
-                                let w = pd[((bi * heads + hd) * s + i) * s + j];
+                                let w = pd[((bi * heads + hd) * s_q + i) * s_k + j];
                                 for d in 0..dh {
                                     blk[i * h + hd * dh + d] +=
-                                        w * vd[(bi * s + j) * h + hd * dh + d];
+                                        w * vd[(bi * s_k + j) * h + hd * dh + d];
                                 }
                             }
                         }

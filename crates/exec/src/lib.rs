@@ -40,3 +40,27 @@ pub use executor::Executor;
 
 /// Result alias for fallible executor operations.
 pub type Result<T> = std::result::Result<T, ExecError>;
+
+/// Evaluates one non-collective op eagerly, outside any graph — the
+/// **exact kernels** [`Executor`] runs, exposed for callers that cannot
+/// express their computation as a fixed graph (the `lancet-decode`
+/// engine's per-step forward, whose attention shapes vary with every
+/// sequence's KV length). Because the kernels keep a fixed per-element
+/// accumulation order, a value computed here is bit-identical to the same
+/// op evaluated inside a graph.
+///
+/// # Errors
+///
+/// Returns [`ExecError`] on shape mismatches, kernel failures, or
+/// collective ops (which need multi-device context a single eager call
+/// does not have). The error's instruction id is a placeholder
+/// (`InstrId(u32::MAX)`) since no graph instruction exists.
+pub fn eval_op(op: &lancet_ir::Op, ins: &[&lancet_tensor::Tensor]) -> Result<Vec<lancet_tensor::Tensor>> {
+    use kernels::KernelFailure;
+    let instr = lancet_ir::InstrId(u32::MAX);
+    kernels::eval(op, ins, 1).map_err(|e| match e {
+        KernelFailure::Tensor(source) => ExecError::Kernel { instr, op: op.name(), source },
+        KernelFailure::Moe(source) => ExecError::Moe { instr, op: op.name(), source },
+        KernelFailure::Unsupported(detail) => ExecError::Unsupported { instr, detail },
+    })
+}

@@ -110,8 +110,15 @@ pub enum Op {
     // ------------------------------------------------------------------
     // Fused attention
     // ------------------------------------------------------------------
-    /// `[q(B,S,H), k(B,S,H)] → (B,heads,S,S)` scaled (optionally causal)
-    /// attention logits.
+    /// `[q(B,Sq,H), k(B,Sk,H)] → (B,heads,Sq,Sk)` scaled (optionally
+    /// causal) attention logits.
+    ///
+    /// `Sq == Sk` is the ordinary full-sequence forward. `Sq < Sk` is the
+    /// **KV-cached decode path**: the queries are the *last* `Sq`
+    /// positions of a `Sk`-long sequence, so query `i`'s absolute
+    /// position is `i + (Sk − Sq)` and the causal mask hides keys with
+    /// `j > i + (Sk − Sq)`. The position offset is explicit in the shape
+    /// contract — kernels must not assume queries start at position 0.
     AttnScores {
         /// Number of attention heads; must divide `H`.
         heads: usize,
@@ -132,7 +139,9 @@ pub enum Op {
         /// Whether the forward op was causal.
         causal: bool,
     },
-    /// `[p(B,heads,S,S), v(B,S,H)] → (B,S,H)` probability-weighted values.
+    /// `[p(B,heads,Sq,Sk), v(B,Sk,H)] → (B,Sq,H)` probability-weighted
+    /// values. `Sq < Sk` is the KV-cached decode path (see
+    /// [`Op::AttnScores`]); `Sq == Sk` the full-sequence forward.
     AttnContext {
         /// Number of attention heads.
         heads: usize,
@@ -705,24 +714,42 @@ impl Op {
             }
             Op::AttnScores { heads, .. } => {
                 let (q, k) = (ins[0], ins[1]);
-                if q != k || q.rank() != 3 || q.dim(2) % heads != 0 {
+                // Sq ≤ Sk: queries are the trailing positions of the key
+                // sequence (Sq < Sk is the KV-cached decode path).
+                if q.rank() != 3
+                    || k.rank() != 3
+                    || q.dim(0) != k.dim(0)
+                    || q.dim(2) != k.dim(2)
+                    || q.dim(1) > k.dim(1)
+                    || q.dim(2) % heads != 0
+                {
                     return Err(fail(format!("q{q}, k{k}, heads {heads}")));
                 }
-                Ok(vec![Shape::new(vec![q.dim(0), *heads, q.dim(1), q.dim(1)])])
+                Ok(vec![Shape::new(vec![q.dim(0), *heads, q.dim(1), k.dim(1)])])
             }
             Op::AttnScoresGradQ { heads, .. } | Op::AttnScoresGradK { heads, .. } => {
                 let (other, dy) = (ins[0], ins[1]);
-                if other.rank() != 3 || dy.rank() != 4 || dy.dim(1) != *heads {
+                // Backward exists for training graphs only, which are
+                // always full-sequence: reject Sq ≠ Sk explicitly rather
+                // than silently producing a wrong-shaped gradient.
+                if other.rank() != 3 || dy.rank() != 4 || dy.dim(1) != *heads || dy.dim(2) != dy.dim(3)
+                {
                     return Err(fail(format!("in{other}, dy{dy}")));
                 }
                 Ok(vec![other.clone()])
             }
             Op::AttnContext { heads } => {
                 let (p, v) = (ins[0], ins[1]);
-                if p.rank() != 4 || v.rank() != 3 || p.dim(1) != *heads || p.dim(0) != v.dim(0) {
+                if p.rank() != 4
+                    || v.rank() != 3
+                    || p.dim(1) != *heads
+                    || p.dim(0) != v.dim(0)
+                    || p.dim(3) != v.dim(1)
+                    || p.dim(2) > p.dim(3)
+                {
                     return Err(fail(format!("p{p}, v{v}")));
                 }
-                Ok(vec![v.clone()])
+                Ok(vec![Shape::new(vec![v.dim(0), p.dim(2), v.dim(2)])])
             }
             Op::AttnContextGradP { heads } => {
                 let (v, dy) = (ins[0], ins[1]);
@@ -1040,6 +1067,25 @@ mod tests {
         assert_eq!(ctx[0].dims(), &[2, 6, 8]);
         // Heads must divide hidden.
         assert!(Op::AttnScores { heads: 3, causal: false }.infer_shapes(&[&q, &q]).is_err());
+    }
+
+    #[test]
+    fn attention_shapes_kv_cached_decode() {
+        // Sq < Sk: one query position against a 6-position KV cache.
+        let q = s(&[2, 1, 8]);
+        let k = s(&[2, 6, 8]);
+        let scores = Op::AttnScores { heads: 2, causal: true }.infer_shapes(&[&q, &k]).unwrap();
+        assert_eq!(scores[0].dims(), &[2, 2, 1, 6]);
+        let ctx = Op::AttnContext { heads: 2 }.infer_shapes(&[&scores[0], &k]).unwrap();
+        assert_eq!(ctx[0].dims(), &[2, 1, 8]);
+        // Queries cannot outnumber keys (they are the trailing positions).
+        assert!(Op::AttnScores { heads: 2, causal: true }.infer_shapes(&[&k, &q]).is_err());
+        // The backward ops stay full-sequence-only: a rectangular dy is
+        // rejected, not silently mis-shaped.
+        let dy = s(&[2, 2, 1, 6]);
+        let kk = s(&[2, 6, 8]);
+        assert!(Op::AttnScoresGradQ { heads: 2, causal: true }.infer_shapes(&[&kk, &dy]).is_err());
+        assert!(Op::AttnScoresGradK { heads: 2, causal: true }.infer_shapes(&[&kk, &dy]).is_err());
     }
 
     #[test]

@@ -5,6 +5,23 @@ use lancet_ir::{
     build_backward, BackwardOptions, Graph, IrError, Op, Role, TensorId,
 };
 
+/// Per-layer attention K/V activation handles, recorded at graph
+/// construction so a decode-serving prefill plan can harvest the cache
+/// contents straight out of an executed forward pass.
+///
+/// The ids address the *unoptimized* graph: passes that renumber tensors
+/// (the partition pass) invalidate them, which is why prefill plans are
+/// built with `LancetOptions::decode_serving` (partition disabled).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LayerKv {
+    /// Transformer block index.
+    pub layer: usize,
+    /// Post-projection key activations `(B, S, H)`.
+    pub k: TensorId,
+    /// Post-projection value activations `(B, S, H)`.
+    pub v: TensorId,
+}
+
 /// A built model: the graph plus handles to its interesting tensors.
 #[derive(Debug, Clone)]
 pub struct ModelGraph {
@@ -16,6 +33,8 @@ pub struct ModelGraph {
     pub targets: TensorId,
     /// Scalar loss output.
     pub loss: TensorId,
+    /// Per-layer attention K/V handles, in layer order (see [`LayerKv`]).
+    pub kv: Vec<LayerKv>,
     /// The configuration the model was built from.
     pub config: GptMoeConfig,
 }
@@ -46,8 +65,9 @@ pub fn build_forward(cfg: &GptMoeConfig) -> Result<ModelGraph, IrError> {
     let wte = g.weight("wte", vec![cfg.vocab, cfg.hidden]);
     let mut x = g.emit(Op::Embedding, &[wte, ids], Role::Forward)?;
 
+    let mut kv = Vec::with_capacity(cfg.layers);
     for layer in 0..cfg.layers {
-        x = transformer_block(&mut g, cfg, layer, x)?;
+        x = transformer_block(&mut g, cfg, layer, x, &mut kv)?;
     }
 
     // Final norm and LM head.
@@ -56,7 +76,7 @@ pub fn build_forward(cfg: &GptMoeConfig) -> Result<ModelGraph, IrError> {
     let logits = g.emit(Op::MatMul { transpose_b: false }, &[xn, lm], Role::Forward)?;
     let outs = g.emit_multi(Op::CrossEntropy, &[logits, targets], Role::Forward)?;
     g.validate()?;
-    Ok(ModelGraph { graph: g, ids, targets, loss: outs[0], config: cfg.clone() })
+    Ok(ModelGraph { graph: g, ids, targets, loss: outs[0], kv, config: cfg.clone() })
 }
 
 /// Builds the full training iteration: forward, backward (with tagged
@@ -133,6 +153,7 @@ fn transformer_block(
     cfg: &GptMoeConfig,
     layer: usize,
     x: TensorId,
+    kv: &mut Vec<LayerKv>,
 ) -> Result<TensorId, IrError> {
     let h = cfg.hidden;
     let pre = |n: &str| format!("h{layer}.{n}");
@@ -151,6 +172,8 @@ fn transformer_block(
     let k = g.emit(Op::BiasAdd, &[k, bk], Role::Forward)?;
     let v = g.emit(Op::MatMul { transpose_b: false }, &[xn, wv], Role::Forward)?;
     let v = g.emit(Op::BiasAdd, &[v, bv], Role::Forward)?;
+    // Record the K/V handles decode-serving prefill plans harvest.
+    kv.push(LayerKv { layer, k, v });
     let scores = g.emit(Op::AttnScores { heads: cfg.heads, causal: true }, &[q, k], Role::Forward)?;
     let probs = g.emit(Op::Softmax, &[scores], Role::Forward)?;
     let probs = g.emit(Op::Dropout { p: cfg.dropout }, &[probs], Role::Forward)?;

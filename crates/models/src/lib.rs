@@ -22,4 +22,4 @@ mod config;
 mod gpt;
 
 pub use config::GptMoeConfig;
-pub use gpt::{block_boundaries, build_forward, build_training, ModelGraph};
+pub use gpt::{block_boundaries, build_forward, build_training, LayerKv, ModelGraph};

@@ -136,13 +136,16 @@ pub fn gather_dense(buf: &Tensor, routing: &Routing, experts: usize, capacity: u
             let dst = (token - token_range.start) * h;
             // Slots of one token are consumed in ascending order — the
             // same accumulation order as the sequential gather.
-            for idx in token * k..(token + 1) * k {
-                let e = routing.assign[idx];
+            let base = token * k;
+            for ((&e, &s), &w) in routing.assign[base..base + k]
+                .iter()
+                .zip(&slot[base..base + k])
+                .zip(&routing.scale[base..base + k])
+            {
                 if e < 0 {
                     continue;
                 }
-                let src = (e as usize * capacity + slot[idx] as usize) * h;
-                let w = routing.scale[idx];
+                let src = (e as usize * capacity + s as usize) * h;
                 for i in 0..h {
                     rows[dst + i] += w * bd[src + i];
                 }

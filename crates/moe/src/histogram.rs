@@ -59,31 +59,41 @@ impl RoutingHistogram {
     /// kept slot defines its expert for transition counting (top-1
     /// approximation of where the token's activations travel).
     ///
+    /// A **zero-token routing is a documented no-op**: nothing is
+    /// recorded and the layer cursor does not advance. Decode-time
+    /// serving routinely routes tiny batches (often one token per layer,
+    /// sometimes none when every in-flight sequence finished), and an
+    /// empty batch carries no placement signal — it must not panic or
+    /// poison the per-layer token-count invariant.
+    ///
     /// # Panics
     ///
-    /// Panics if more than `layers` routings are recorded or if the token
-    /// count disagrees with the previous layer's.
+    /// Panics if more than `layers` non-empty routings are recorded or if
+    /// the token count disagrees with the previous layer's.
     pub fn record(&mut self, routing: &Routing) {
+        let tokens = routing.tokens();
+        if tokens == 0 {
+            return;
+        }
         assert!(self.next_layer < self.layers, "histogram already covers all layers");
         let layer = self.next_layer;
-        let tokens = routing.tokens();
         if layer > 0 {
             assert_eq!(tokens, self.prev_expert.len(), "token count changed between layers");
         }
         let k = routing.k.max(1);
         let mut current = vec![-1i32; tokens];
-        for t in 0..tokens {
+        for (t, cur) in current.iter_mut().enumerate() {
             for j in 0..k {
                 let e = routing.assign[t * k + j];
                 if e >= 0 {
                     self.traffic.record_load(layer, e as usize, 1);
-                    if current[t] < 0 {
-                        current[t] = e;
+                    if *cur < 0 {
+                        *cur = e;
                     }
                 }
             }
             if layer > 0 {
-                let (from, to) = (self.prev_expert[t], current[t]);
+                let (from, to) = (self.prev_expert[t], *cur);
                 if from >= 0 && to >= 0 {
                     self.traffic.record_transition(layer - 1, from as usize, to as usize, 1);
                 }
@@ -197,6 +207,33 @@ mod tests {
         assert_ne!(a.traffic(), c.traffic());
         assert!(a.traffic().imbalance(0) > 1.5);
         assert_eq!(a.layers_recorded(), 4);
+    }
+
+    #[test]
+    fn zero_token_routing_is_a_noop() {
+        let mut h = RoutingHistogram::new(2, 2, 64);
+        let empty = Routing { k: 1, assign: Vec::new(), scale: Vec::new() };
+        // Empty before anything: no layer consumed, nothing recorded.
+        h.record(&empty);
+        assert_eq!(h.layers_recorded(), 0);
+        // A real layer still lands on layer 0.
+        let l0 = Tensor::from_vec(vec![3, 2], vec![5.0, 0.0, 5.0, 0.0, 0.0, 5.0]).unwrap();
+        h.record(&route(GateKind::Switch, &l0, 8, None).unwrap());
+        assert_eq!(h.layers_recorded(), 1);
+        let before = h.traffic().clone();
+        // Empty mid-stream: histogram unchanged, cursor unchanged, and the
+        // token-count invariant is not tripped by the 0-vs-3 mismatch.
+        h.record(&empty);
+        assert_eq!(h.layers_recorded(), 1);
+        assert_eq!(h.traffic(), &before);
+        // The next real layer continues where layer 0 left off.
+        let l1 = Tensor::from_vec(vec![3, 2], vec![0.0, 5.0, 0.0, 5.0, 0.0, 5.0]).unwrap();
+        h.record(&route(GateKind::Switch, &l1, 8, None).unwrap());
+        assert_eq!(h.layers_recorded(), 2);
+        assert_eq!(h.traffic().load(1, 1), 3);
+        // Even a "full" histogram absorbs empties without panicking.
+        h.record(&empty);
+        assert_eq!(h.layers_recorded(), 2);
     }
 
     #[test]

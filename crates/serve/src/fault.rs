@@ -138,28 +138,32 @@ impl FaultInjector {
 
     /// Should this batch execution run on a slowed worker? Returns the
     /// sleep to inject.
-    pub(crate) fn worker_delay(&self) -> Option<Duration> {
+    ///
+    /// Site methods are `pub` so other deterministic runtimes (the
+    /// `lancet-decode` step loop) can share one replayable fault stream
+    /// instead of inventing a parallel injector.
+    pub fn worker_delay(&self) -> Option<Duration> {
         self.fire(Site::SlowWorker, self.spec.slow_worker).then_some(self.spec.slow_delay)
     }
 
     /// Should this batch execution panic the worker?
-    pub(crate) fn worker_panic(&self) -> bool {
+    pub fn worker_panic(&self) -> bool {
         self.fire(Site::WorkerPanic, self.spec.worker_panic)
     }
 
     /// Should this execution attempt fail transiently?
-    pub(crate) fn exec_fault(&self) -> bool {
+    pub fn exec_fault(&self) -> bool {
         self.fire(Site::ExecFail, self.spec.exec_fail)
     }
 
     /// Should this plan build fail?
-    pub(crate) fn plan_fault(&self) -> bool {
+    pub fn plan_fault(&self) -> bool {
         self.fire(Site::PlanFail, self.spec.plan_fail)
     }
 
     /// Should the batcher stall after forming this batch? Returns the
     /// sleep to inject.
-    pub(crate) fn batcher_stall(&self) -> Option<Duration> {
+    pub fn batcher_stall(&self) -> Option<Duration> {
         self.fire(Site::QueueStall, self.spec.queue_stall).then_some(self.spec.stall_delay)
     }
 }

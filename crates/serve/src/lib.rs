@@ -68,5 +68,5 @@ pub use error::{Result, ServeError};
 pub use fault::{FaultInjector, FaultSpec};
 pub use plan::{canonical_weights, CanonicalWeights, Plan, PlanKey};
 pub use runtime::{ServeConfig, ServeRuntime, Ticket};
-pub use stats::ServeStats;
+pub use stats::{Metrics, ServeStats};
 pub use trace::{open_loop_trace, replay_open_loop, Lcg, ReplayReport, TraceRequest};

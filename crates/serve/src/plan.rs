@@ -19,7 +19,7 @@ use lancet_cost::ClusterKind;
 use lancet_core::{Lancet, OptimizerStats};
 use lancet_exec::{init_weights, Bindings, Executor};
 use lancet_ir::{Op, TensorId};
-use lancet_models::{build_forward, GptMoeConfig};
+use lancet_models::{build_forward, GptMoeConfig, LayerKv};
 use lancet_tensor::Tensor;
 
 use crate::{Result, ServeError};
@@ -33,6 +33,10 @@ pub struct PlanKey {
     pub model: String,
     /// Micro-batch bucket size (the graph's batch dimension).
     pub bucket: usize,
+    /// Sequence length the graph was built for. Classic serving uses the
+    /// model's fixed `cfg.seq`; decode prefill buckets sequences by
+    /// length, so plans for different lengths must not collide.
+    pub seq: usize,
     /// Device generation the cost models were profiled for.
     pub cluster: ClusterKind,
     /// Cluster size the plan was optimized for.
@@ -87,6 +91,9 @@ pub struct Plan {
     targets_zero: Tensor,
     devices: usize,
     bucket: usize,
+    /// Per-layer K/V handles harvested for decode prefill; empty for
+    /// classic full-sequence plans (see [`Plan::build_prefill`]).
+    kv: Vec<LayerKv>,
     /// Shape of one request's response (the logits minus the batch dim).
     response_shape: Vec<usize>,
     /// Cost-model-predicted iteration time for the plan, seconds.
@@ -116,9 +123,50 @@ impl Plan {
         bucket: usize,
         canonical: &CanonicalWeights,
     ) -> Result<Plan> {
+        Plan::build_with(lancet, cfg.clone().with_batch(bucket), bucket, canonical, false)
+    }
+
+    /// Builds a **prefill** plan: `bucket` sequences of exactly `seq`
+    /// tokens, with every layer's K/V projection harvested so a decode
+    /// engine can seed its KV cache from one batched forward pass.
+    ///
+    /// Harvesting holds pre-optimization [`TensorId`]s against the
+    /// optimized graph, which is only sound when the optimizer returns
+    /// the graph unchanged — i.e. when partitioning is disabled
+    /// ([`lancet_core::LancetOptions::decode_serving`]). Any other
+    /// configuration is rejected rather than risking dangling handles.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Plan`] if `lancet` was not built with
+    /// `disable_partition`, plus every failure mode of [`Plan::build`].
+    pub fn build_prefill(
+        lancet: &Lancet,
+        cfg: &GptMoeConfig,
+        bucket: usize,
+        seq: usize,
+        canonical: &CanonicalWeights,
+    ) -> Result<Plan> {
+        if !lancet.options().disable_partition {
+            return Err(ServeError::Plan(
+                "prefill KV harvest requires disable_partition (LancetOptions::decode_serving): \
+                 partitioning renumbers tensors and would dangle the harvested K/V handles"
+                    .into(),
+            ));
+        }
+        Plan::build_with(lancet, cfg.clone().with_batch(bucket).with_seq(seq), bucket, canonical, true)
+    }
+
+    fn build_with(
+        lancet: &Lancet,
+        cfg: GptMoeConfig,
+        bucket: usize,
+        canonical: &CanonicalWeights,
+        harvest_kv: bool,
+    ) -> Result<Plan> {
         let started = Instant::now();
-        let cfg = cfg.clone().with_batch(bucket);
         let model = build_forward(&cfg).map_err(|e| ServeError::Plan(format!("graph: {e}")))?;
+        let kv = if harvest_kv { model.kv.clone() } else { Vec::new() };
         let out = lancet
             .optimize_forward(model.graph)
             .map_err(|e| ServeError::Plan(format!("optimize: {e}")))?;
@@ -180,6 +228,21 @@ impl Plan {
             }
         }
 
+        // Harvested handles must still resolve in the optimized graph
+        // (they do whenever partitioning is off and ids are preserved).
+        for h in &kv {
+            let k_dims = graph.tensor(h.k).shape.dims();
+            if k_dims != [bucket, cfg.seq, cfg.hidden] {
+                return Err(ServeError::Plan(format!(
+                    "harvested K for layer {} has shape {:?}, expected {:?} — \
+                     the optimizer did not preserve tensor ids",
+                    h.layer,
+                    k_dims,
+                    [bucket, cfg.seq, cfg.hidden]
+                )));
+            }
+        }
+
         Ok(Plan {
             targets_zero: Tensor::zeros(graph.tensor(targets).shape.dims()),
             response_shape: logits_shape[1..].to_vec(),
@@ -189,6 +252,7 @@ impl Plan {
             logits,
             devices,
             bucket,
+            kv,
             predicted_time: out.predicted_time,
             build_time: started.elapsed(),
             stats: out.stats,
@@ -240,6 +304,54 @@ impl Plan {
             .get(0, self.logits)
             .expect("executor produces the logits")
             .clone())
+    }
+
+    /// The per-layer K/V handles this plan harvests (empty unless built
+    /// by [`Plan::build_prefill`]).
+    pub fn kv_handles(&self) -> &[LayerKv] {
+        &self.kv
+    }
+
+    /// Executes a prefill plan on a `[bucket, seq]` tensor of token ids,
+    /// returning the batched logits **and** every layer's K/V projection
+    /// (`[bucket, seq, hidden]` each, layer order) — the tensors a decode
+    /// engine copies into its KV cache.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::Plan`] if this plan was not built by
+    /// [`Plan::build_prefill`]; otherwise as [`Plan::execute`].
+    pub fn execute_prefill(&self, ids: &Tensor) -> Result<(Tensor, Vec<(Tensor, Tensor)>)> {
+        if self.kv.is_empty() {
+            return Err(ServeError::Plan(
+                "plan has no harvested K/V handles; build it with Plan::build_prefill".into(),
+            ));
+        }
+        let want = self.graph.tensor(self.ids).shape.dims();
+        if ids.shape() != want {
+            return Err(ServeError::BadRequest(format!(
+                "ids shape {:?}, plan expects {:?}",
+                ids.shape(),
+                want
+            )));
+        }
+        let mut bindings = self.weights.clone();
+        bindings.set_all(self.ids, ids.clone());
+        bindings.set_all(self.targets, self.targets_zero.clone());
+        let out = Executor::new_prevalidated(&self.graph, self.devices)
+            .run(bindings)
+            .map_err(|e| ServeError::Exec(e.to_string()))?;
+        let logits = out.get(0, self.logits).expect("executor produces the logits").clone();
+        let kv = self
+            .kv
+            .iter()
+            .map(|h| {
+                let k = out.get(0, h.k).expect("executor retains the harvested K").clone();
+                let v = out.get(0, h.v).expect("executor retains the harvested V").clone();
+                (k, v)
+            })
+            .collect();
+        Ok((logits, kv))
     }
 
     /// Slices request `row`'s logits out of a batched result (shape

@@ -831,6 +831,7 @@ fn execute_entries(
     let key = PlanKey {
         model: model.into(),
         bucket,
+        seq: entry.cfg.seq,
         cluster: shared.config.cluster,
         gpus: entry.cfg.gpus,
     };

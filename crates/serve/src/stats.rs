@@ -12,24 +12,46 @@ use crate::cache::CacheStats;
 const LATENCY_WINDOW: usize = 8192;
 
 /// Shared mutable metric state, updated by every runtime thread.
+///
+/// Public (with public counters) so sibling runtimes — `lancet-decode`'s
+/// step scheduler — report through the same instrument instead of
+/// duplicating the ring/percentile machinery.
 #[derive(Debug)]
-pub(crate) struct Metrics {
+pub struct Metrics {
     started: Instant,
-    pub(crate) submitted: AtomicU64,
-    pub(crate) completed: AtomicU64,
-    pub(crate) rejected_overload: AtomicU64,
-    pub(crate) shed_deadline: AtomicU64,
-    pub(crate) failed: AtomicU64,
-    pub(crate) timed_out: AtomicU64,
-    pub(crate) batches: AtomicU64,
-    pub(crate) batched_requests: AtomicU64,
-    pub(crate) injected_faults: AtomicU64,
-    pub(crate) retried: AtomicU64,
-    pub(crate) degraded: AtomicU64,
-    pub(crate) worker_panics: AtomicU64,
-    pub(crate) placement_hits: AtomicU64,
-    pub(crate) placement_misses: AtomicU64,
+    /// Requests accepted past the submission checks.
+    pub submitted: AtomicU64,
+    /// Requests (or decode streams) answered successfully.
+    pub completed: AtomicU64,
+    /// Requests shed at the door because the queue was full.
+    pub rejected_overload: AtomicU64,
+    /// Requests shed because their latency budget had already lapsed.
+    pub shed_deadline: AtomicU64,
+    /// Requests answered with a terminal error.
+    pub failed: AtomicU64,
+    /// Requests answered with a timeout error.
+    pub timed_out: AtomicU64,
+    /// Batches executed (decode: steps run).
+    pub batches: AtomicU64,
+    /// Requests summed over executed batches (decode: step occupancy).
+    pub batched_requests: AtomicU64,
+    /// Faults the chaos injector fired.
+    pub injected_faults: AtomicU64,
+    /// Execution attempts retried after a transient failure.
+    pub retried: AtomicU64,
+    /// Batches degraded to a fallback path (smaller bucket / eager prefill).
+    pub degraded: AtomicU64,
+    /// Worker panics isolated (decode: partial-commit crashes survived).
+    pub worker_panics: AtomicU64,
+    /// Requests routed to their preferred placement.
+    pub placement_hits: AtomicU64,
+    /// Requests that missed their preferred placement.
+    pub placement_misses: AtomicU64,
     latencies: Mutex<LatencyRing>,
+    /// Time-to-first-token samples (decode serving), ms.
+    ttft: Mutex<LatencyRing>,
+    /// Inter-token-latency samples (decode serving), ms.
+    itl: Mutex<LatencyRing>,
 }
 
 #[derive(Debug, Default)]
@@ -38,8 +60,27 @@ struct LatencyRing {
     next: usize,
 }
 
+impl LatencyRing {
+    fn push(&mut self, ms: f64) {
+        if self.samples.len() < LATENCY_WINDOW {
+            self.samples.push(ms);
+        } else {
+            let at = self.next;
+            self.samples[at] = ms;
+        }
+        self.next = (self.next + 1) % LATENCY_WINDOW;
+    }
+
+    fn sorted(&self) -> Vec<f64> {
+        let mut samples = self.samples.clone();
+        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        samples
+    }
+}
+
 impl Metrics {
-    pub(crate) fn new() -> Self {
+    /// A fresh instrument; `started` anchors the throughput clock.
+    pub fn new() -> Self {
         Metrics {
             started: Instant::now(),
             submitted: AtomicU64::new(0),
@@ -57,25 +98,31 @@ impl Metrics {
             placement_hits: AtomicU64::new(0),
             placement_misses: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
+            ttft: Mutex::new(LatencyRing::default()),
+            itl: Mutex::new(LatencyRing::default()),
         }
     }
 
     /// Records one served request's end-to-end latency in milliseconds.
-    pub(crate) fn record_latency(&self, ms: f64) {
-        let mut ring = self.latencies.lock().expect("metrics lock");
-        if ring.samples.len() < LATENCY_WINDOW {
-            ring.samples.push(ms);
-        } else {
-            let at = ring.next;
-            ring.samples[at] = ms;
-        }
-        ring.next = (ring.next + 1) % LATENCY_WINDOW;
+    pub fn record_latency(&self, ms: f64) {
+        self.latencies.lock().expect("metrics lock").push(ms);
+    }
+
+    /// Records one streamed sequence's time-to-first-token, ms.
+    pub fn record_ttft(&self, ms: f64) {
+        self.ttft.lock().expect("metrics lock").push(ms);
+    }
+
+    /// Records one inter-token gap on a streamed sequence, ms.
+    pub fn record_itl(&self, ms: f64) {
+        self.itl.lock().expect("metrics lock").push(ms);
     }
 
     /// Builds a consistent snapshot.
-    pub(crate) fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServeStats {
-        let mut samples = self.latencies.lock().expect("metrics lock").samples.clone();
-        samples.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+    pub fn snapshot(&self, queue_depth: usize, cache: CacheStats) -> ServeStats {
+        let samples = self.latencies.lock().expect("metrics lock").sorted();
+        let ttft = self.ttft.lock().expect("metrics lock").sorted();
+        let itl = self.itl.lock().expect("metrics lock").sorted();
         let completed = self.completed.load(Ordering::Relaxed);
         let batches = self.batches.load(Ordering::Relaxed);
         ServeStats {
@@ -97,6 +144,10 @@ impl Metrics {
             p50_ms: percentile(&samples, 0.50),
             p95_ms: percentile(&samples, 0.95),
             p99_ms: percentile(&samples, 0.99),
+            ttft_p50_ms: percentile(&ttft, 0.50),
+            ttft_p95_ms: percentile(&ttft, 0.95),
+            itl_p50_ms: percentile(&itl, 0.50),
+            itl_p95_ms: percentile(&itl, 0.95),
             throughput_rps: completed as f64 / self.started.elapsed().as_secs_f64().max(1e-9),
             mean_batch: if batches == 0 {
                 0.0
@@ -104,6 +155,12 @@ impl Metrics {
                 self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
             },
         }
+    }
+}
+
+impl Default for Metrics {
+    fn default() -> Self {
+        Metrics::new()
     }
 }
 
@@ -167,6 +224,16 @@ pub struct ServeStats {
     pub p95_ms: f64,
     /// 99th-percentile latency over the recent window, ms.
     pub p99_ms: f64,
+    /// Median time-to-first-token over the recent window, ms. Zero
+    /// unless a decode runtime streams through these metrics.
+    pub ttft_p50_ms: f64,
+    /// 95th-percentile time-to-first-token, ms.
+    pub ttft_p95_ms: f64,
+    /// Median inter-token latency over the recent window, ms. Zero
+    /// unless a decode runtime streams through these metrics.
+    pub itl_p50_ms: f64,
+    /// 95th-percentile inter-token latency, ms.
+    pub itl_p95_ms: f64,
     /// Completed requests per second since the runtime started.
     pub throughput_rps: f64,
     /// Mean requests per executed micro-batch.

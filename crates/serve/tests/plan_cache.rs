@@ -20,7 +20,7 @@ fn optimizer(cluster: ClusterKind, gpus: usize) -> Lancet {
 }
 
 fn key(model: &str, bucket: usize, cluster: ClusterKind) -> PlanKey {
-    PlanKey { model: model.into(), bucket, cluster, gpus: 1 }
+    PlanKey { model: model.into(), bucket, seq: 4, cluster, gpus: 1 }
 }
 
 fn build_plan(cluster: ClusterKind, bucket: usize) -> Plan {

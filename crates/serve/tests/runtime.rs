@@ -84,7 +84,13 @@ fn cached_plan_matches_cold_optimize() {
     for t in tickets {
         t.wait().unwrap();
     }
-    let key = PlanKey { model: cfg.name.clone(), bucket: 2, cluster: config.cluster, gpus: cfg.gpus };
+    let key = PlanKey {
+        model: cfg.name.clone(),
+        bucket: 2,
+        seq: cfg.seq,
+        cluster: config.cluster,
+        gpus: cfg.gpus,
+    };
     let cached = runtime.plan_cache().get(&key).expect("the bucket-2 plan is resident");
 
     // Cold rebuild: fresh optimizer, same normalized config and seed.

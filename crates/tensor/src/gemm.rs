@@ -95,6 +95,7 @@ pub fn matmul_reference(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<Te
     Tensor::from_vec(vec![m, n], out)
 }
 
+#[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
 fn reference_into(
     m: usize,
     k: usize,
@@ -276,6 +277,7 @@ struct Gemm<'a> {
 
 /// Runs the packed kernel over `out`, splitting `MC` row blocks across at
 /// most `workers` tasks.
+#[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
 fn gemm_packed(
     m: usize,
     k: usize,
@@ -397,6 +399,7 @@ fn pack_a(g: &Gemm<'_>, i0: usize, mcb: usize, p0: usize, kcb: usize, apack: &mu
 /// `i0..i0+mcb` of the full output (stride `n`); columns `j0` onward are
 /// updated.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
 fn macro_tile(
     out: &mut [f32],
     n: usize,
@@ -452,6 +455,7 @@ fn tile_full(out: &mut [f32], n: usize, off: usize, kcb: usize, astrip: &[f32], 
 /// Remainder tiles (< `MR` rows or < `NR` columns): same `k`-ascending
 /// per-element order, operand widths from the packed layouts.
 #[inline(always)]
+#[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
 fn tile_edge(
     out: &mut [f32],
     n: usize,

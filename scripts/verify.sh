@@ -7,6 +7,9 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release
 
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
 echo "==> cargo test -q"
 cargo test -q
 
@@ -42,6 +45,13 @@ echo "==> lancet placement-bench --quick"
 # bit-identical, and the serving runtime's affinity dispatch must land
 # every single-worker request on its preferred worker (nonzero hits).
 ./target/release/lancet placement-bench --quick
+
+echo "==> lancet decode-bench --quick"
+# Decode-serving win floor: replays a deterministic open-loop generation
+# trace through the lancet-decode runtime under continuous and windowed
+# batching; fails unless continuous beats windowed on mean
+# time-to-first-token, every stream is gapless, and no token is lost.
+./target/release/lancet decode-bench --quick
 
 echo "==> results/BENCH_*.json are documented"
 # Every committed benchmark artifact must be referenced from

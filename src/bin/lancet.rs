@@ -6,6 +6,7 @@
 //! lancet serve-bench [--requests 64] [--rate 40] [--quick]
 //! lancet chaos-bench [--seed N] [--quick]
 //! lancet placement-bench [--seed N] [--gpus 16] [--experts 32] [--quick]
+//! lancet decode-bench [--requests 32] [--rate 200] [--inflight 8] [--quick]
 //! ```
 //!
 //! `optimize` runs the Lancet passes on one configuration and reports the
@@ -25,6 +26,11 @@
 //! strictly in simulated step time, and the serving runtime's affinity
 //! dispatch must land every single-worker request on its preferred
 //! worker. The full run writes `results/BENCH_placement.json`.
+//! `decode-bench` replays a deterministic open-loop generation trace
+//! through the `lancet-decode` runtime twice — continuous batching vs
+//! the windowed baseline — and fails unless continuous wins on mean
+//! time-to-first-token with zero lost tokens; the full run sweeps the
+//! in-flight cap and writes `results/BENCH_decode.json`.
 
 use lancet_repro::baselines::{run_system, System};
 use lancet_repro::core::{Lancet, LancetOptions};
@@ -36,7 +42,7 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench> [options]
+usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench|decode-bench> [options]
 
 placement-bench options:
   --seed <N>                histogram seed (default: LANCET_PLACEMENT_SEED, then 0x91ACE)
@@ -57,6 +63,12 @@ chaos-bench options:
   --seed <N>                fault seed (default: LANCET_CHAOS_SEED, then 0xC4A05)
   --requests <N>            serve-leg request count (default: 32; quick: 12)
   --quick                   seconds-bounded conformance run (used by verify.sh)
+
+decode-bench options:
+  --requests <N>            decode trace length (default: 32; quick: 16)
+  --rate <HZ>               mean arrival rate in req/s (default: 200)
+  --inflight <N>            max concurrently decoding sequences (default: 8)
+  --quick                   TTFT floor + zero-loss gate only (used by verify.sh)
 
 options:
   --model <s|l|mixtral|tiny>  benchmark model (default: s)
@@ -534,7 +546,11 @@ fn cmd_chaos_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         .map(|i| runtime.submit(&tiny.name, ids_for(i)))
         .collect::<Result<_, _>>()
         .map_err(|e| e.to_string())?;
-    let answered = tickets.into_iter().map(|t| t.wait()).count();
+    let mut answered = 0usize;
+    for t in tickets {
+        let _ = t.wait(); // ok or typed error — both count as answered
+        answered += 1;
+    }
     runtime.shutdown();
     let stats = runtime.stats();
     if answered != requests || stats.outstanding() != 0 {
@@ -752,6 +768,181 @@ fn cmd_placement_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+fn cmd_decode_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::decode::{
+        decode_trace, replay_decode, BatchMode, DecodeConfig, DecodeReplayReport, DecodeRuntime,
+    };
+    use lancet_repro::serve::ServeStats;
+
+    let quick = opts.contains_key("quick");
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key)
+            .map(|v| v.parse::<usize>().map_err(|_| format!("bad --{key} `{v}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let requests = parse_usize("requests", if quick { 16 } else { 32 })?;
+    let inflight = parse_usize("inflight", 8)?;
+    let rate: f64 = match opts.get("rate") {
+        Some(v) => v.parse().map_err(|_| format!("bad --rate `{v}`"))?,
+        None => 200.0,
+    };
+    let seed: u64 = 0xdec0de;
+
+    // A decode-sized model: deep enough that a step costs real time (so
+    // windowed head-of-line blocking is visible), small enough that the
+    // quick gate stays in CI budget.
+    let mut cfg = GptMoeConfig::tiny(1, GateKind::Switch);
+    cfg.name = "GPT2-XS-MoE-decode".into();
+    cfg.layers = 4;
+    cfg.hidden = 64;
+    cfg.heads = 4;
+    cfg.ffn = 128;
+    cfg.vocab = 128;
+    cfg.batch = 1;
+    cfg.seq = 32;
+
+    // Near-simultaneous arrivals with varied generation lengths: under
+    // windowed batching the whole second wave waits out the slowest
+    // first-wave sequence before its prefill, so continuous batching's
+    // step-boundary joins should win mean TTFT by construction.
+    let trace = decode_trace(requests, rate, (4, 12), (8, 24), cfg.vocab, seed);
+    let expected_tokens: usize = trace.iter().map(|r| r.max_new).sum();
+    println!(
+        "decode-bench: {requests} requests @ {rate:.0}/s (open loop), prompts 4–12, \
+         gen 8–24, model {} ({} layers, hidden {}), in-flight cap {inflight}{}",
+        cfg.name,
+        cfg.layers,
+        cfg.hidden,
+        if quick { " (quick)" } else { "" }
+    );
+
+    let run_leg = |mode: BatchMode, cap: usize| -> Result<(DecodeReplayReport, ServeStats), String> {
+        let runtime = DecodeRuntime::start(DecodeConfig {
+            mode,
+            max_inflight: cap,
+            ..DecodeConfig::default()
+        });
+        runtime.register_model(cfg.clone()).map_err(|e| e.to_string())?;
+        let report = replay_decode(&runtime, &cfg.name, &trace);
+        runtime.shutdown();
+        Ok((report, runtime.stats()))
+    };
+
+    let (cont, cont_stats) = run_leg(BatchMode::Continuous, inflight)?;
+    let (win, win_stats) = run_leg(BatchMode::Windowed, inflight)?;
+
+    println!("\n  policy       TTFT mean/p95 (ms)   ITL mean (ms)   tok/s   lost");
+    for (name, r) in [("continuous", &cont), ("windowed", &win)] {
+        println!(
+            "  {name:<12} {:>8.2} / {:<8.2} {:>13.3} {:>7.0} {:>6}",
+            r.mean_ttft_ms, r.p95_ttft_ms, r.mean_itl_ms, r.tokens_per_sec, r.token_gaps
+        );
+    }
+
+    // ── Zero-loss floor: every admitted stream delivers its full,
+    // gapless token sequence on both legs.
+    for (name, r, stats) in
+        [("continuous", &cont, &cont_stats), ("windowed", &win, &win_stats)]
+    {
+        if r.rejected != 0 || r.failed != 0 {
+            return Err(format!(
+                "decode-bench: {name} leg dropped requests ({} rejected, {} failed)",
+                r.rejected, r.failed
+            ));
+        }
+        if r.token_gaps != 0 {
+            return Err(format!(
+                "decode-bench: {name} leg violated the streaming contract ({} token gaps)",
+                r.token_gaps
+            ));
+        }
+        if r.tokens != expected_tokens {
+            return Err(format!(
+                "decode-bench: {name} leg lost tokens ({} delivered, {expected_tokens} expected)",
+                r.tokens
+            ));
+        }
+        if stats.outstanding() != 0 {
+            return Err(format!(
+                "decode-bench: {name} leg left {} streams unanswered",
+                stats.outstanding()
+            ));
+        }
+    }
+
+    // ── Win floor: continuous batching must beat the windowed baseline
+    // on mean TTFT — joining at step boundaries instead of waiting out
+    // the running batch is the whole point of the scheduler.
+    if cont.mean_ttft_ms >= win.mean_ttft_ms {
+        return Err(format!(
+            "decode-bench: continuous batching did not improve mean TTFT \
+             ({:.2} ms vs windowed {:.2} ms)",
+            cont.mean_ttft_ms, win.mean_ttft_ms
+        ));
+    }
+    println!(
+        "\nwin floor: continuous TTFT {:.2} ms < windowed {:.2} ms ({:.1}% better), \
+         {expected_tokens}/{expected_tokens} tokens, zero gaps — OK",
+        cont.mean_ttft_ms,
+        win.mean_ttft_ms,
+        (1.0 - cont.mean_ttft_ms / win.mean_ttft_ms) * 100.0
+    );
+
+    if !quick {
+        // ── In-flight sweep: throughput and latency as the continuous
+        // scheduler admits more concurrent sequences.
+        println!("\n  in-flight   tok/s   TTFT p50/p95 (ms)   ITL p50/p95 (ms)");
+        let mut sweep = Vec::new();
+        for cap in [1usize, 2, 4, 8] {
+            let (r, s) = run_leg(BatchMode::Continuous, cap)?;
+            println!(
+                "  {cap:>9} {:>7.0} {:>8.2} / {:<8.2} {:>7.3} / {:<7.3}",
+                r.tokens_per_sec, s.ttft_p50_ms, s.ttft_p95_ms, s.itl_p50_ms, s.itl_p95_ms
+            );
+            sweep.push(format!(
+                "    {{\"inflight\": {cap}, \"tokens_per_sec\": {:.1}, \
+                 \"ttft_p50_ms\": {:.3}, \"ttft_p95_ms\": {:.3}, \
+                 \"itl_p50_ms\": {:.3}, \"itl_p95_ms\": {:.3}}}",
+                r.tokens_per_sec, s.ttft_p50_ms, s.ttft_p95_ms, s.itl_p50_ms, s.itl_p95_ms
+            ));
+        }
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_decode.json");
+        let out = format!(
+            "{{\n  \"bench\": \"decode\",\n  \"workload\": {{\"requests\": {requests}, \
+             \"rate_hz\": {rate:.1}, \"prompt_len\": [4, 12], \"max_new\": [8, 24], \
+             \"tokens\": {expected_tokens}, \"seed\": {seed}}},\n  \
+             \"model\": {{\"name\": \"{}\", \"layers\": {}, \"hidden\": {}, \"heads\": {}, \
+             \"experts\": {}, \"vocab\": {}}},\n  \
+             \"comparison\": {{\n    \"inflight\": {inflight},\n    \
+             \"continuous\": {{\"mean_ttft_ms\": {:.3}, \"p95_ttft_ms\": {:.3}, \
+             \"mean_itl_ms\": {:.3}, \"tokens_per_sec\": {:.1}}},\n    \
+             \"windowed\": {{\"mean_ttft_ms\": {:.3}, \"p95_ttft_ms\": {:.3}, \
+             \"mean_itl_ms\": {:.3}, \"tokens_per_sec\": {:.1}}},\n    \
+             \"ttft_win_pct\": {:.2}\n  }},\n  \"sweep\": [\n{}\n  ]\n}}\n",
+            cfg.name,
+            cfg.layers,
+            cfg.hidden,
+            cfg.heads,
+            cfg.experts(),
+            cfg.vocab,
+            cont.mean_ttft_ms,
+            cont.p95_ttft_ms,
+            cont.mean_itl_ms,
+            cont.tokens_per_sec,
+            win.mean_ttft_ms,
+            win.p95_ttft_ms,
+            win.mean_itl_ms,
+            win.tokens_per_sec,
+            (1.0 - cont.mean_ttft_ms / win.mean_ttft_ms) * 100.0,
+            sweep.join(",\n"),
+        );
+        std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok((cmd, opts)) => {
@@ -761,6 +952,7 @@ fn main() -> ExitCode {
                 "serve-bench" => cmd_serve_bench(&opts),
                 "chaos-bench" => cmd_chaos_bench(&opts),
                 "placement-bench" => cmd_placement_bench(&opts),
+                "decode-bench" => cmd_decode_bench(&opts),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())

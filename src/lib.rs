@@ -14,11 +14,14 @@
 //! * [`baselines`] — DeepSpeed/Tutel/RAF-style baseline schedules
 //! * [`serve`] — concurrent inference-serving runtime (plan cache,
 //!   micro-batching, backpressure)
+//! * [`decode`] — autoregressive decode serving (KV cache, continuous
+//!   batching, token streaming)
 //! * [`tensor`] — dense tensor math
 
 pub use lancet_baselines as baselines;
 pub use lancet_core as core;
 pub use lancet_cost as cost;
+pub use lancet_decode as decode;
 pub use lancet_exec as exec;
 pub use lancet_ir as ir;
 pub use lancet_models as models;
