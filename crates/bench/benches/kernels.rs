@@ -19,12 +19,15 @@
 use criterion::Criterion;
 use lancet_tensor::gemm;
 use lancet_tensor::pool::default_workers;
-use lancet_tensor::TensorRng;
+use lancet_tensor::{PackedTensor, TensorRng};
 
 /// GPT2-S-MoE FFN shapes: token rows × hidden, hidden × FFN.
 const TOKENS: usize = 512;
 const HIDDEN: usize = 768;
 const FFN: usize = 3072;
+/// Decode-step token rows: a handful of single-token sequences, the
+/// steady-state serving shape where per-call weight packing dominates.
+const STEP_TOKENS: usize = 8;
 /// Expert-parallel batched shapes: experts × capacity × hidden.
 const EXPERTS: usize = 8;
 const CAPACITY: usize = 64;
@@ -32,6 +35,12 @@ const CAPACITY: usize = 64;
 /// Speedup floor enforced in both modes; the recorded full-run number is
 /// expected to be well above this (see EXPERIMENTS.md).
 const MIN_SPEEDUP: f64 = 3.0;
+/// Floor for prepacked weight panels at the decode-step shape: reusing a
+/// resident pack must beat repacking `B` on every call. At `m = 8` the
+/// pack traverses `k·n` elements while the multiply does only `8·k·n`
+/// MACs, so skipping it is a large, core-count-independent win; the floor
+/// is set conservatively for noisy CI machines.
+const MIN_PREPACK_SPEEDUP: f64 = 1.15;
 
 fn main() {
     let quick = std::env::args().any(|a| a == "--quick");
@@ -62,7 +71,28 @@ fn main() {
             "batched_matmul not bit-identical (workers={workers})"
         );
     }
-    println!("bit-identity: naive == tiled == threaded (workers 1, 2, auto)\n");
+    // Prepacked weight panels must also be bit-identical — packing moves
+    // elements, never reassociates the accumulation.
+    let a_step = rng.uniform(vec![STEP_TOKENS, HIDDEN], -1.0, 1.0);
+    let packed_b = PackedTensor::pack(&b, false).unwrap();
+    let packed_we = PackedTensor::pack_batched(&we).unwrap();
+    let step_ref = gemm::matmul_reference(&a_step, &b, false, false).unwrap();
+    assert_eq!(
+        step_ref.data(),
+        gemm::matmul_packed(&a_step, &packed_b, false, 1).unwrap().data(),
+        "prepacked step matmul not bit-identical"
+    );
+    assert_eq!(
+        naive.data(),
+        gemm::matmul_packed(&a, &packed_b, false, 1).unwrap().data(),
+        "prepacked batch matmul not bit-identical"
+    );
+    assert_eq!(
+        naive_batched.data(),
+        gemm::batched_matmul_packed(&xe, &packed_we, 1).unwrap().data(),
+        "prepacked batched matmul not bit-identical"
+    );
+    println!("bit-identity: naive == tiled == threaded == prepacked (workers 1, 2, auto)\n");
 
     let mut group = c.benchmark_group("matmul_gpt2s_moe");
     group.bench_function("naive", |bench| {
@@ -88,6 +118,36 @@ fn main() {
     });
     group.finish();
 
+    // Prepacked panels vs repack-per-call, at the decode-step shape (the
+    // steady-state serving hot path, where packing dominates), the full
+    // batch shape, and the batched expert stack.
+    let mut group = c.benchmark_group("matmul_step_prepack");
+    group.bench_function("repack", |bench| {
+        bench.iter(|| gemm::matmul_tiled(&a_step, &b, false, false, 1).unwrap())
+    });
+    group.bench_function("prepacked", |bench| {
+        bench.iter(|| gemm::matmul_packed(&a_step, &packed_b, false, 1).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("matmul_batch_prepack");
+    group.bench_function("repack", |bench| {
+        bench.iter(|| gemm::matmul_tiled(&a, &b, false, false, 1).unwrap())
+    });
+    group.bench_function("prepacked", |bench| {
+        bench.iter(|| gemm::matmul_packed(&a, &packed_b, false, 1).unwrap())
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("batched_experts_prepack");
+    group.bench_function("repack", |bench| {
+        bench.iter(|| gemm::batched_matmul_tiled(&xe, &we, 1).unwrap())
+    });
+    group.bench_function("prepacked", |bench| {
+        bench.iter(|| gemm::batched_matmul_packed(&xe, &packed_we, 1).unwrap())
+    });
+    group.finish();
+
     // Chunk-parallel reduction op, for the where-does-the-time-go story.
     let scores = rng.uniform(vec![TOKENS * 12, TOKENS], -4.0, 4.0);
     c.bench_function("softmax_attention_sized", |bench| bench.iter(|| scores.softmax_last()));
@@ -102,6 +162,10 @@ fn main() {
     let batched_tiled = speedup("batched_matmul_experts/naive", "batched_matmul_experts/tiled");
     let batched_threaded =
         speedup("batched_matmul_experts/naive", "batched_matmul_experts/threaded");
+    let prepack_step = speedup("matmul_step_prepack/repack", "matmul_step_prepack/prepacked");
+    let prepack_batch = speedup("matmul_batch_prepack/repack", "matmul_batch_prepack/prepacked");
+    let prepack_experts =
+        speedup("batched_experts_prepack/repack", "batched_experts_prepack/prepacked");
 
     println!();
     println!("speedup over naive (min-of-samples):");
@@ -109,12 +173,21 @@ fn main() {
     println!("  matmul  threaded {threaded_vs_naive:>7.2}x");
     println!("  batched tiled    {batched_tiled:>7.2}x");
     println!("  batched threaded {batched_threaded:>7.2}x");
+    println!("speedup of prepacked panels over repack-per-call:");
+    println!("  step  (m={STEP_TOKENS:<3})   {prepack_step:>7.2}x");
+    println!("  batch (m={TOKENS:<3})   {prepack_batch:>7.2}x");
+    println!("  experts (bt={EXPERTS})  {prepack_experts:>7.2}x");
     println!("  workers (auto)   {:>7}", default_workers());
 
     let best = tiled_vs_naive.max(threaded_vs_naive);
     assert!(
         best >= MIN_SPEEDUP,
         "kernel regression: best matmul speedup {best:.2}x < {MIN_SPEEDUP}x floor"
+    );
+    assert!(
+        prepack_step >= MIN_PREPACK_SPEEDUP,
+        "prepack regression: step-shape prepacked speedup {prepack_step:.2}x < \
+         {MIN_PREPACK_SPEEDUP}x floor"
     );
 
     if !quick {
@@ -127,6 +200,9 @@ fn main() {
                 ("matmul_threaded_vs_naive", threaded_vs_naive),
                 ("batched_tiled_vs_naive", batched_tiled),
                 ("batched_threaded_vs_naive", batched_threaded),
+                ("prepacked_vs_repack_step", prepack_step),
+                ("prepacked_vs_repack_batch", prepack_batch),
+                ("prepacked_vs_repack_experts", prepack_experts),
             ],
         );
         println!("\nwrote {path}");
@@ -139,7 +215,7 @@ fn write_artifact(path: &str, c: &Criterion, speedups: &[(&str, f64)]) {
     let mut out = String::from("{\n");
     out.push_str("  \"bench\": \"kernels\",\n");
     out.push_str(&format!(
-        "  \"shapes\": {{\"matmul\": [{TOKENS}, {HIDDEN}, {FFN}], \"batched\": [{EXPERTS}, {CAPACITY}, {HIDDEN}, {FFN}]}},\n"
+        "  \"shapes\": {{\"matmul\": [{TOKENS}, {HIDDEN}, {FFN}], \"step\": [{STEP_TOKENS}, {HIDDEN}, {FFN}], \"batched\": [{EXPERTS}, {CAPACITY}, {HIDDEN}, {FFN}]}},\n"
     ));
     out.push_str(&format!("  \"workers_auto\": {},\n", default_workers()));
     out.push_str(&format!(

@@ -26,11 +26,11 @@
 //! * the model has no positional embeddings — position enters only
 //!   through the causal mask — so cached rows never go stale.
 
-use lancet_exec::eval_op;
+use lancet_exec::{eval_op, eval_op_packed};
 use lancet_ir::{GateKind, Op};
 use lancet_models::GptMoeConfig;
 use lancet_serve::{CanonicalWeights, Result, ServeError};
-use lancet_tensor::Tensor;
+use lancet_tensor::{PackedTensor, Tensor};
 
 use crate::kv::{KvArena, SlotId};
 
@@ -43,23 +43,49 @@ struct Norm {
     b: Option<Tensor>,
 }
 
+/// A matmul weight held alongside its prepacked panel form. Decode runs
+/// the same weights every step, so packing once at model build and
+/// handing the panels to [`eval_op_packed`] removes the per-step `pack_b`
+/// that otherwise dominates small-`m` (one token per sequence) GEMMs.
+/// Packing never changes bits — the packed kernel accumulates in the
+/// same order — and a failed pack degrades to the repack-per-call path.
+#[derive(Debug)]
+struct Packed {
+    w: Tensor,
+    p: Option<PackedTensor>,
+}
+
+impl Packed {
+    /// A rank-2 weight consumed as `MatMul { transpose_b: false }` B.
+    fn mat(w: Tensor) -> Self {
+        let p = PackedTensor::pack(&w, false).ok();
+        Packed { w, p }
+    }
+
+    /// A rank-3 expert stack consumed as `BatchedMatMul` B.
+    fn batched(w: Tensor) -> Self {
+        let p = PackedTensor::pack_batched(&w).ok();
+        Packed { w, p }
+    }
+}
+
 #[derive(Debug)]
 struct Attn {
-    wq: Tensor,
+    wq: Packed,
     bq: Tensor,
-    wk: Tensor,
+    wk: Packed,
     bk: Tensor,
-    wv: Tensor,
+    wv: Packed,
     bv: Tensor,
-    wo: Tensor,
+    wo: Packed,
     bo: Tensor,
 }
 
 #[derive(Debug)]
 enum Ffn {
-    Dense { w1: Tensor, b1: Tensor, w2: Tensor, b2: Tensor },
-    Swiglu { w1: Tensor, w3: Tensor, w2: Tensor },
-    Moe { gate: Tensor, w1: Tensor, w2: Tensor, w3: Option<Tensor>, shared: Option<(Tensor, Tensor)> },
+    Dense { w1: Packed, b1: Tensor, w2: Packed, b2: Tensor },
+    Swiglu { w1: Packed, w3: Packed, w2: Packed },
+    Moe { gate: Packed, w1: Packed, w2: Packed, w3: Option<Packed>, shared: Option<Box<(Packed, Packed)>> },
 }
 
 #[derive(Debug)]
@@ -78,12 +104,20 @@ pub struct DecodeModel {
     wte: Tensor,
     blocks: Vec<Block>,
     ln_f: Norm,
-    lm_head: Tensor,
+    lm_head: Packed,
 }
 
 /// Run one op through the executor kernels, returning its sole output.
 fn ev(op: Op, ins: &[&Tensor]) -> Result<Tensor> {
     let mut out = eval_op(&op, ins).map_err(|e| ServeError::Exec(e.to_string()))?;
+    Ok(out.remove(0))
+}
+
+/// [`ev`] for matmul-family ops whose `B` operand is a [`Packed`] weight:
+/// the kernel reuses the resident panels instead of packing per call.
+fn evp(op: Op, a: &Tensor, b: &Packed) -> Result<Tensor> {
+    let mut out = eval_op_packed(&op, &[a, &b.w], b.p.as_ref())
+        .map_err(|e| ServeError::Exec(e.to_string()))?;
     Ok(out.remove(0))
 }
 
@@ -149,37 +183,45 @@ impl DecodeModel {
         for l in 0..cfg.layers {
             let pre = |n: &str| format!("h{l}.{n}");
             let attn = Attn {
-                wq: take(pre("attn.wq"))?,
+                wq: Packed::mat(take(pre("attn.wq"))?),
                 bq: take(pre("attn.bq"))?,
-                wk: take(pre("attn.wk"))?,
+                wk: Packed::mat(take(pre("attn.wk"))?),
                 bk: take(pre("attn.bk"))?,
-                wv: take(pre("attn.wv"))?,
+                wv: Packed::mat(take(pre("attn.wv"))?),
                 bv: take(pre("attn.bv"))?,
-                wo: take(pre("attn.wo"))?,
+                wo: Packed::mat(take(pre("attn.wo"))?),
                 bo: take(pre("attn.bo"))?,
             };
             let ffn = if cfg.moe_layers().contains(&l) {
                 Ffn::Moe {
-                    gate: take(pre("moe.gate.w"))?,
-                    w1: take(pre("moe.expert.w1"))?,
-                    w2: take(pre("moe.expert.w2"))?,
-                    w3: cfg.swiglu.then(|| take(pre("moe.expert.w3"))).transpose()?,
+                    gate: Packed::mat(take(pre("moe.gate.w"))?),
+                    w1: Packed::batched(take(pre("moe.expert.w1"))?),
+                    w2: Packed::batched(take(pre("moe.expert.w2"))?),
+                    w3: cfg
+                        .swiglu
+                        .then(|| take(pre("moe.expert.w3")).map(Packed::batched))
+                        .transpose()?,
                     shared: cfg
                         .shared_expert
-                        .then(|| Ok::<_, ServeError>((take(pre("moe.shared.w1"))?, take(pre("moe.shared.w2"))?)))
+                        .then(|| {
+                            Ok::<_, ServeError>(Box::new((
+                                Packed::mat(take(pre("moe.shared.w1"))?),
+                                Packed::mat(take(pre("moe.shared.w2"))?),
+                            )))
+                        })
                         .transpose()?,
                 }
             } else if cfg.swiglu {
                 Ffn::Swiglu {
-                    w1: take(pre("ffn.w1"))?,
-                    w3: take(pre("ffn.w3"))?,
-                    w2: take(pre("ffn.w2"))?,
+                    w1: Packed::mat(take(pre("ffn.w1"))?),
+                    w3: Packed::mat(take(pre("ffn.w3"))?),
+                    w2: Packed::mat(take(pre("ffn.w2"))?),
                 }
             } else {
                 Ffn::Dense {
-                    w1: take(pre("ffn.w1"))?,
+                    w1: Packed::mat(take(pre("ffn.w1"))?),
                     b1: take(pre("ffn.b1"))?,
-                    w2: take(pre("ffn.w2"))?,
+                    w2: Packed::mat(take(pre("ffn.w2"))?),
                     b2: take(pre("ffn.b2"))?,
                 }
             };
@@ -190,7 +232,7 @@ impl DecodeModel {
             wte: take("wte".into())?,
             blocks,
             ln_f: norm("ln_f")?,
-            lm_head: take("lm_head".into())?,
+            lm_head: Packed::mat(take("lm_head".into())?),
         })
     }
 
@@ -206,8 +248,8 @@ impl DecodeModel {
         }
     }
 
-    fn linear(&self, x: &Tensor, w: &Tensor, b: Option<&Tensor>) -> Result<Tensor> {
-        let y = ev(Op::MatMul { transpose_b: false }, &[x, w])?;
+    fn linear(&self, x: &Tensor, w: &Packed, b: Option<&Tensor>) -> Result<Tensor> {
+        let y = evp(Op::MatMul { transpose_b: false }, x, w)?;
         match b {
             Some(b) => ev(Op::BiasAdd, &[&y, b]),
             None => Ok(y),
@@ -238,34 +280,35 @@ impl DecodeModel {
                 // experts, making routing per-token and therefore
                 // batch-composition-independent.
                 let capacity = batch * seq * self.cfg.gate.k();
-                let gate_out = eval_op(
+                let gate_out = eval_op_packed(
                     &Op::Gate { kind: self.cfg.gate, experts, capacity },
-                    &[xn, gate],
+                    &[xn, &gate.w],
+                    gate.p.as_ref(),
                 )
                 .map_err(|e| ServeError::Exec(e.to_string()))?;
                 let (assign, scale) = (&gate_out[0], &gate_out[1]);
                 let buf = ev(Op::MoeDispatch { experts, capacity }, &[xn, assign, scale])?;
                 let shared_out = match shared {
-                    Some((sw1, sw2)) => {
-                        let s = self.linear(xn, sw1, None)?;
+                    Some(sw) => {
+                        let s = self.linear(xn, &sw.0, None)?;
                         let s = ev(Op::Gelu, &[&s])?;
-                        Some(self.linear(&s, sw2, None)?)
+                        Some(self.linear(&s, &sw.1, None)?)
                     }
                     None => None,
                 };
                 let loc = ev(Op::ExpertsLayout { gpus: 1 }, &[&buf])?;
                 let hx = match w3 {
                     Some(w3) => {
-                        let a = ev(Op::BatchedMatMul { transpose_b: false }, &[&loc, w1])?;
+                        let a = evp(Op::BatchedMatMul { transpose_b: false }, &loc, w1)?;
                         let a = ev(Op::Silu, &[&a])?;
-                        let b = ev(Op::BatchedMatMul { transpose_b: false }, &[&loc, w3])?;
+                        let b = evp(Op::BatchedMatMul { transpose_b: false }, &loc, w3)?;
                         let gated = ev(Op::Mul, &[&a, &b])?;
-                        ev(Op::BatchedMatMul { transpose_b: false }, &[&gated, w2])?
+                        evp(Op::BatchedMatMul { transpose_b: false }, &gated, w2)?
                     }
                     None => {
-                        let hx = ev(Op::BatchedMatMul { transpose_b: false }, &[&loc, w1])?;
+                        let hx = evp(Op::BatchedMatMul { transpose_b: false }, &loc, w1)?;
                         let hx = ev(Op::Gelu, &[&hx])?;
-                        ev(Op::BatchedMatMul { transpose_b: false }, &[&hx, w2])?
+                        evp(Op::BatchedMatMul { transpose_b: false }, &hx, w2)?
                     }
                 };
                 let back = ev(Op::ExpertsLayoutInv { gpus: 1 }, &[&hx])?;

@@ -1,8 +1,8 @@
 //! Per-device tensor bindings for graph execution.
 
 use crate::{ExecError, Result};
-use lancet_ir::{Graph, TensorId, TensorKind};
-use lancet_tensor::{Tensor, TensorRng};
+use lancet_ir::{Graph, Op, TensorId, TensorKind};
+use lancet_tensor::{PackedTensor, Tensor, TensorRng};
 use std::collections::HashMap;
 use std::sync::Arc;
 
@@ -22,6 +22,22 @@ use std::sync::Arc;
 #[derive(Debug, Clone)]
 pub struct Bindings {
     per_device: Vec<HashMap<TensorId, Arc<Tensor>>>,
+    /// Prepacked panel forms of bound weights (see
+    /// [`Bindings::prepack_weights`]), keyed like `per_device`. A pack is
+    /// a value snapshot of its tensor, so every rebinding of a tensor id
+    /// (`set`/`set_all`/output insertion) drops that id's pack.
+    packed: Vec<HashMap<TensorId, Arc<PackedTensor>>>,
+}
+
+/// What [`Bindings::prepack_weights`] built: the observable memory cost of
+/// keeping weights resident in panel form.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PrepackStats {
+    /// Distinct panel buffers built (weights replicated across devices
+    /// share one buffer, counted once).
+    pub tensors: usize,
+    /// Heap bytes held by those buffers.
+    pub bytes: u64,
 }
 
 impl Bindings {
@@ -32,7 +48,7 @@ impl Bindings {
     /// Panics if `devices == 0`.
     pub fn new(devices: usize) -> Self {
         assert!(devices > 0, "need at least one device");
-        Bindings { per_device: vec![HashMap::new(); devices] }
+        Bindings { per_device: vec![HashMap::new(); devices], packed: vec![HashMap::new(); devices] }
     }
 
     /// Number of devices.
@@ -42,6 +58,7 @@ impl Bindings {
 
     /// Binds `value` on a single device.
     pub fn set(&mut self, device: usize, tensor: TensorId, value: Tensor) {
+        self.packed[device].remove(&tensor);
         self.per_device[device].insert(tensor, Arc::new(value));
     }
 
@@ -49,7 +66,8 @@ impl Bindings {
     /// The element buffer is shared, not copied per device.
     pub fn set_all(&mut self, tensor: TensorId, value: Tensor) {
         let value = Arc::new(value);
-        for d in &mut self.per_device {
+        for (d, p) in self.per_device.iter_mut().zip(&mut self.packed) {
+            p.remove(&tensor);
             d.insert(tensor, Arc::clone(&value));
         }
     }
@@ -79,7 +97,92 @@ impl Bindings {
     }
 
     pub(crate) fn insert(&mut self, device: usize, tensor: TensorId, value: Tensor) {
+        self.packed[device].remove(&tensor);
         self.per_device[device].insert(tensor, Arc::new(value));
+    }
+
+    /// The prepacked panel form of `tensor` on `device`, if one is
+    /// resident (and not invalidated by a rebinding since
+    /// [`Bindings::prepack_weights`]).
+    pub fn packed(&self, device: usize, tensor: TensorId) -> Option<&PackedTensor> {
+        self.packed[device].get(&tensor).map(Arc::as_ref)
+    }
+
+    /// Packs every bound weight that feeds a matmul-family instruction of
+    /// `graph` as its `B` operand into the GEMM's panel layout, so
+    /// subsequent [`Executor::run`](crate::Executor::run) calls skip
+    /// per-call packing for those products. Serving plans call this once
+    /// at build time; per-request clones of the bindings share the panel
+    /// buffers (they are `Arc`ed like the values).
+    ///
+    /// Covered ops: `MatMul` (any `transpose_b`), `Gate`/`GateChunk` (the
+    /// gate weight), and `BatchedMatMul { transpose_b: false }` (rank-3
+    /// expert stacks). A weight consumed with conflicting layouts, or of
+    /// unexpected rank (e.g. sliced/transformed before the matmul), is
+    /// left unpacked — the kernels then repack per call exactly as before,
+    /// so prepacking is always safe to attempt. Weights replicated across
+    /// devices (same `Arc`) pack once and share the buffer.
+    pub fn prepack_weights(&mut self, graph: &Graph) -> PrepackStats {
+        #[derive(Clone, Copy, PartialEq, Eq)]
+        enum Want {
+            Mat { transpose_b: bool },
+            Batched,
+        }
+        let mut wanted: HashMap<TensorId, Option<Want>> = HashMap::new();
+        for instr in graph.instrs() {
+            let want = match &instr.op {
+                Op::MatMul { transpose_b } => Want::Mat { transpose_b: *transpose_b },
+                Op::Gate { .. } | Op::GateChunk { .. } => Want::Mat { transpose_b: false },
+                Op::BatchedMatMul { transpose_b: false } => Want::Batched,
+                _ => continue,
+            };
+            let Some(&tid) = instr.inputs.get(1) else { continue };
+            if graph.tensor(tid).kind != TensorKind::Weight {
+                continue;
+            }
+            wanted
+                .entry(tid)
+                .and_modify(|w| {
+                    if *w != Some(want) {
+                        *w = None;
+                    }
+                })
+                .or_insert(Some(want));
+        }
+        let mut order: Vec<(TensorId, Want)> =
+            wanted.into_iter().filter_map(|(t, w)| w.map(|w| (t, w))).collect();
+        order.sort_by_key(|(t, _)| t.0);
+
+        let mut stats = PrepackStats::default();
+        for (tid, want) in order {
+            // Replicated weights share one value Arc across devices; key
+            // built packs by that pointer so they share one panel buffer.
+            let mut built: Vec<(*const Tensor, Arc<PackedTensor>)> = Vec::new();
+            for d in 0..self.per_device.len() {
+                let Some(value) = self.per_device[d].get(&tid) else { continue };
+                let key = Arc::as_ptr(value);
+                let pack = match built.iter().find(|(k, _)| *k == key) {
+                    Some((_, p)) => Arc::clone(p),
+                    None => {
+                        let packed = match want {
+                            Want::Mat { transpose_b } if value.rank() == 2 => {
+                                PackedTensor::pack(value, transpose_b)
+                            }
+                            Want::Batched if value.rank() == 3 => PackedTensor::pack_batched(value),
+                            _ => continue,
+                        };
+                        let Ok(packed) = packed else { continue };
+                        stats.tensors += 1;
+                        stats.bytes += packed.bytes();
+                        let packed = Arc::new(packed);
+                        built.push((key, Arc::clone(&packed)));
+                        packed
+                    }
+                };
+                self.packed[d].insert(tid, pack);
+            }
+        }
+        stats
     }
 }
 

@@ -82,7 +82,19 @@ impl<'g> Executor<'g> {
                             .iter()
                             .map(|&t| bindings.get_required(d, t, &self.graph.tensor(t).name))
                             .collect::<Result<_>>()?;
-                        kernels::eval(&instr.op, &input_refs, self.devices)
+                        // Prepacked weight panels (if `prepack_weights`
+                        // ran) live beside the values; hand the matmul
+                        // family its `B` operand's pack.
+                        let packed = match &instr.op {
+                            Op::MatMul { .. }
+                            | Op::BatchedMatMul { .. }
+                            | Op::Gate { .. }
+                            | Op::GateChunk { .. } => {
+                                instr.inputs.get(1).and_then(|&t| bindings.packed(d, t))
+                            }
+                            _ => None,
+                        };
+                        kernels::eval(&instr.op, &input_refs, packed, self.devices)
                             .map_err(|e| wrap(e, instr))?
                     };
                     debug_assert_eq!(outs.len(), instr.outputs.len());

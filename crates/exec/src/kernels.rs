@@ -9,7 +9,7 @@
 use lancet_ir::{GateKind, Op};
 use lancet_moe::{route, CapacityState, Routing};
 use lancet_tensor::pool::{par_ranges, SharedSliceMut};
-use lancet_tensor::{Tensor, TensorError};
+use lancet_tensor::{PackedTensor, Tensor, TensorError};
 
 /// Internal kernel failure, wrapped with instruction context by the
 /// executor.
@@ -67,13 +67,24 @@ fn gate_scores(x: &Tensor, wg: &Tensor) -> Result<Tensor, TensorError> {
 }
 
 /// Evaluates a non-collective instruction on one device.
-pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
+///
+/// `packed_b` optionally carries the prepacked panel form of the
+/// instruction's weight operand (`ins[1]` of the matmul-family ops); when
+/// its metadata matches the bound tensor, the kernel skips per-call `B`
+/// packing. The fast path is bit-identical to the repacking path, so a
+/// stale or absent pack only costs time, never correctness — but callers
+/// (the executor via `Bindings`) still invalidate packs on rebinding,
+/// because a pack is a *value* snapshot `matches` cannot vouch for.
+pub(crate) fn eval(op: &Op, ins: &[&Tensor], packed_b: Option<&PackedTensor>, _devices: usize) -> KResult {
     match op {
         Op::MatMul { transpose_b } => {
             let x = ins[0];
             let w = ins[1];
             let rows = as_rows(x)?;
-            let y = rows.matmul_t(w, false, *transpose_b)?;
+            let y = match packed_b {
+                Some(pb) if pb.matches(w, *transpose_b) => rows.matmul_prepacked(pb)?,
+                _ => rows.matmul_t(w, false, *transpose_b)?,
+            };
             let mut dims = x.shape().to_vec();
             *dims.last_mut().expect("rank>=1") = y.shape()[1];
             Ok(vec![y.reshape(dims)?])
@@ -85,6 +96,11 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
         }
         Op::BatchedMatMul { transpose_b } => {
             let x = ins[0];
+            if !*transpose_b {
+                if let Some(pb) = packed_b.filter(|pb| pb.matches(ins[1], false)) {
+                    return Ok(vec![x.batched_matmul_prepacked(pb)?]);
+                }
+            }
             let wt;
             let w = if *transpose_b {
                 wt = ins[1].permute(&[0, 2, 1])?;
@@ -415,13 +431,13 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
             Ok(vec![d])
         }
         Op::Gate { kind, experts: _, capacity } => {
-            let scores_input = gate_scores_input(ins)?;
+            let scores_input = gate_scores_input(ins, packed_b)?;
             let r = route_from_scores(*kind, &scores_input, *capacity, None)?;
             let (assign, scale) = routing_tensors(&r);
             Ok(vec![assign, scale])
         }
         Op::GateChunk { kind, experts, capacity, .. } => {
-            let scores_input = gate_scores_input(ins)?;
+            let scores_input = gate_scores_input(ins, packed_b)?;
             let cap_in = ins[2];
             let mut state = CapacityState::from_used(
                 cap_in.data().iter().map(|&x| x as u32).collect(),
@@ -658,10 +674,14 @@ pub(crate) fn eval(op: &Op, ins: &[&Tensor], _devices: usize) -> KResult {
     }
 }
 
-/// Extracts `(T,E)` logits for a gate instruction's inputs `[x, wg, …]`.
-fn gate_scores_input(ins: &[&Tensor]) -> Result<Tensor, KernelFailure> {
+/// Extracts `(T,E)` logits for a gate instruction's inputs `[x, wg, …]`,
+/// using the prepacked form of `wg` when one matches.
+fn gate_scores_input(ins: &[&Tensor], packed: Option<&PackedTensor>) -> Result<Tensor, KernelFailure> {
     let rows = as_rows(ins[0])?;
-    Ok(rows.matmul(ins[1])?)
+    Ok(match packed {
+        Some(pb) if pb.matches(ins[1], false) => rows.matmul_prepacked(pb)?,
+        _ => rows.matmul(ins[1])?,
+    })
 }
 
 fn route_from_scores(

@@ -34,7 +34,7 @@ mod error;
 mod executor;
 mod kernels;
 
-pub use bindings::{init_weights, Bindings};
+pub use bindings::{init_weights, Bindings, PrepackStats};
 pub use error::ExecError;
 pub use executor::Executor;
 
@@ -56,9 +56,28 @@ pub type Result<T> = std::result::Result<T, ExecError>;
 /// does not have). The error's instruction id is a placeholder
 /// (`InstrId(u32::MAX)`) since no graph instruction exists.
 pub fn eval_op(op: &lancet_ir::Op, ins: &[&lancet_tensor::Tensor]) -> Result<Vec<lancet_tensor::Tensor>> {
+    eval_op_packed(op, ins, None)
+}
+
+/// [`eval_op`] with an optional prepacked form of the op's `B` operand
+/// (`ins[1]` of the matmul family). When the pack's metadata matches the
+/// tensor, the kernel skips per-call weight packing — the decode engine
+/// packs its weights once at model load and routes every step's matmuls
+/// through here. Results are bit-identical to [`eval_op`]; callers are
+/// responsible for the pack actually being a snapshot of `ins[1]`'s
+/// current values (metadata checks cannot detect a stale pack).
+///
+/// # Errors
+///
+/// Same conditions as [`eval_op`].
+pub fn eval_op_packed(
+    op: &lancet_ir::Op,
+    ins: &[&lancet_tensor::Tensor],
+    packed_b: Option<&lancet_tensor::PackedTensor>,
+) -> Result<Vec<lancet_tensor::Tensor>> {
     use kernels::KernelFailure;
     let instr = lancet_ir::InstrId(u32::MAX);
-    kernels::eval(op, ins, 1).map_err(|e| match e {
+    kernels::eval(op, ins, packed_b, 1).map_err(|e| match e {
         KernelFailure::Tensor(source) => ExecError::Kernel { instr, op: op.name(), source },
         KernelFailure::Moe(source) => ExecError::Moe { instr, op: op.name(), source },
         KernelFailure::Unsupported(detail) => ExecError::Unsupported { instr, detail },

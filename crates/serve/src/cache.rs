@@ -29,6 +29,10 @@ pub struct CacheStats {
     pub evictions: u64,
     /// Plans currently resident.
     pub len: usize,
+    /// Heap bytes held by resident plans' prepacked weight panels (the
+    /// memory cost of skipping per-call GEMM packing; see
+    /// [`lancet_exec::PrepackStats`]).
+    pub packed_bytes: u64,
 }
 
 impl CacheStats {
@@ -151,6 +155,7 @@ impl PlanCache {
             misses: inner.misses,
             evictions: inner.evictions,
             len: inner.entries.len(),
+            packed_bytes: inner.entries.iter().map(|(_, p)| p.prepack.bytes).sum(),
         }
     }
 

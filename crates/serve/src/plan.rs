@@ -17,7 +17,7 @@ use std::time::{Duration, Instant};
 
 use lancet_cost::ClusterKind;
 use lancet_core::{Lancet, OptimizerStats};
-use lancet_exec::{init_weights, Bindings, Executor};
+use lancet_exec::{init_weights, Bindings, Executor, PrepackStats};
 use lancet_ir::{Op, TensorId};
 use lancet_models::{build_forward, GptMoeConfig, LayerKv};
 use lancet_tensor::Tensor;
@@ -101,6 +101,10 @@ pub struct Plan {
     /// Wall-clock time plan construction took (graph build + optimize +
     /// weight binding) — the cost a cache hit avoids.
     pub build_time: Duration,
+    /// What prepacking the plan's weights into GEMM panel form cost in
+    /// resident memory. Per-request clones share these buffers, so this is
+    /// the whole footprint regardless of traffic.
+    pub prepack: PrepackStats,
     /// Partition-search statistics from the optimizer.
     pub stats: OptimizerStats,
 }
@@ -227,6 +231,10 @@ impl Plan {
                 weights.set(d, id, value.clone());
             }
         }
+        // Pack matmul weights into the GEMM's panel layout once, at build
+        // time — every execution of this cached plan then skips per-call
+        // packing (the steady-state serving win PR 8 measures).
+        let prepack = weights.prepack_weights(&graph);
 
         // Harvested handles must still resolve in the optimized graph
         // (they do whenever partitioning is off and ids are preserved).
@@ -255,6 +263,7 @@ impl Plan {
             kv,
             predicted_time: out.predicted_time,
             build_time: started.elapsed(),
+            prepack,
             stats: out.stats,
             graph,
         })

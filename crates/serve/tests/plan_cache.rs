@@ -103,6 +103,25 @@ fn counters_match_scripted_sequence() {
 }
 
 #[test]
+fn packed_bytes_track_resident_plans() {
+    let cache = PlanCache::new(2);
+    let k1 = key("tiny", 1, ClusterKind::A100);
+    let plan = cache.get_or_insert_with(&k1, || Ok(build_plan(ClusterKind::A100, 1))).unwrap();
+    assert!(plan.prepack.tensors > 0, "a GPT-MoE plan has matmul weights to prepack");
+    assert!(plan.prepack.bytes > 0);
+    assert_eq!(cache.stats().packed_bytes, plan.prepack.bytes);
+
+    let k2 = key("tiny", 2, ClusterKind::A100);
+    let plan2 = cache.get_or_insert_with(&k2, || Ok(build_plan(ClusterKind::A100, 2))).unwrap();
+    assert_eq!(cache.stats().packed_bytes, plan.prepack.bytes + plan2.prepack.bytes);
+
+    // Eviction releases the evicted plan's share of the footprint.
+    let k3 = key("tiny", 4, ClusterKind::A100);
+    let plan3 = cache.get_or_insert_with(&k3, || Ok(build_plan(ClusterKind::A100, 4))).unwrap();
+    assert_eq!(cache.stats().packed_bytes, plan2.prepack.bytes + plan3.prepack.bytes);
+}
+
+#[test]
 fn failed_build_inserts_nothing() {
     let cache = PlanCache::new(2);
     let k = key("tiny", 1, ClusterKind::A100);

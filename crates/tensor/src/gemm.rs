@@ -8,27 +8,39 @@
 //! row re-streamed the whole `B` matrix from memory. This module instead
 //! follows the classic GotoBLAS/BLIS structure:
 //!
-//! 1. **Pack `B` once** into `KC × NC` panels of `NR`-wide column strips
+//! 1. **Pack `B` once** into `kc × nc` panels of `NR`-wide column strips
 //!    (transposes are resolved during packing, so the micro-kernel only
 //!    ever streams contiguous data).
-//! 2. **Pack `A`** per `MC × KC` block into a worker-local buffer,
+//! 2. **Pack `A`** per `mc × kc` block into a worker-local buffer,
 //!    interleaved in `MR`-row groups.
 //! 3. A **register-tiled micro-kernel** updates an `MR × NR` output tile
-//!    with the accumulators held in registers across the whole `KC`
+//!    with the accumulators held in registers across the whole `kc`
 //!    depth — one output load and one store per tile instead of one per
 //!    `k` step. On x86-64 an AVX-512 or AVX2-compiled copy of the kernel
 //!    is selected at runtime (vectorizing across *independent* output
 //!    elements only, so lane width never changes results; no FMA
 //!    contraction is used).
 //!
+//! The cache blocking `mc/kc/nc` is a runtime [`BlockSpec`]: fixed
+//! constants by default, optionally specialized per shape class and ISA by
+//! the [`crate::tune`] autotuner. Weights that never change between calls
+//! can skip step 1 entirely by being packed once into a
+//! [`PackedTensor`](crate::PackedTensor) and multiplied via
+//! [`matmul_packed`] / [`batched_matmul_packed`].
+//!
 //! # Determinism contract
 //!
 //! Every kernel in this module accumulates each output element in **the
-//! same order: `k` ascending** (`KC` blocks ascending, offsets ascending
+//! same order: `k` ascending** (`kc` blocks ascending, offsets ascending
 //! inside a block — exactly the reference kernel's order). Workers split
 //! the *output* by row blocks, so each element is written by one task.
-//! Consequently [`matmul_tiled`] is bit-identical to [`matmul_reference`]
-//! for every shape, transpose combination, worker count, and SIMD path —
+//! The blocking parameters only change how the iteration space is *cut*,
+//! never the per-element accumulation order: the accumulator tile is
+//! loaded from and stored back to `out` per `kc` block, so the adds stay
+//! left-associated and `k`-ascending for any `BlockSpec`. Consequently
+//! [`matmul_tiled`], [`matmul_tiled_with`] (any valid spec) and
+//! [`matmul_packed`] are all bit-identical to [`matmul_reference`] for
+//! every shape, transpose combination, worker count, and SIMD path —
 //! enforced by `tests/backend_props.rs` and relied on by the fig05
 //! equivalence harness.
 //!
@@ -36,14 +48,15 @@
 //! a zero multiplicand silently dropped `0 · ∞` and `0 · NaN`
 //! contributions, diverging from IEEE semantics on non-finite inputs.
 
+use crate::pack::PackedTensor;
 use crate::pool::{self, SharedSliceMut};
 use crate::{Result, Tensor, TensorError};
 
-/// Rows per packed `A` block (output rows processed per task step).
+/// Default rows per packed `A` block (output rows processed per task step).
 pub const MC: usize = 64;
-/// Depth of a packed panel (the `k`-blocking factor).
+/// Default depth of a packed panel (the `k`-blocking factor).
 pub const KC: usize = 256;
-/// Columns per packed `B` panel.
+/// Default columns per packed `B` panel.
 pub const NC: usize = 512;
 /// Output rows per register tile.
 const MR: usize = 4;
@@ -55,6 +68,56 @@ const NR: usize = 16;
 /// Problems smaller than this many multiply-adds skip packing and run the
 /// reference kernel directly (identical bits, less setup).
 const SMALL_GEMM: usize = 32 * 32 * 32;
+
+/// Runtime cache-blocking parameters for the packed engine.
+///
+/// `MR`/`NR` (the register tile) stay compile-time constants — the
+/// micro-kernel holds its accumulators in fixed-size arrays — but the
+/// cache blocking is data: [`BlockSpec::DEFAULT`] reproduces the fixed
+/// constants, and the [`crate::tune`] module can substitute per-shape,
+/// per-ISA tuned values. Any valid spec produces bit-identical results
+/// (see the module docs); only wall-clock changes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct BlockSpec {
+    /// Rows per packed `A` block.
+    pub mc: usize,
+    /// Depth of a packed `B` panel (`k`-blocking factor).
+    pub kc: usize,
+    /// Columns per packed `B` panel.
+    pub nc: usize,
+}
+
+impl BlockSpec {
+    /// The compiled-in blocking ([`MC`], [`KC`], [`NC`]) — the default and
+    /// the fallback whenever no tuned entry applies.
+    pub const DEFAULT: BlockSpec = BlockSpec { mc: MC, kc: KC, nc: NC };
+
+    /// Bounds-checks a spec (e.g. one parsed from a tuned table on disk)
+    /// so corrupt input cannot request absurd pack buffers or a zero
+    /// blocking factor. Entry points silently substitute
+    /// [`BlockSpec::DEFAULT`] for invalid specs, per the repo-wide
+    /// "garbage degrades to the default" configuration rule.
+    pub fn is_valid(&self) -> bool {
+        (1..=8192).contains(&self.mc)
+            && (1..=8192).contains(&self.kc)
+            && (1..=8192).contains(&self.nc)
+    }
+
+    /// `self` if valid, otherwise the default blocking.
+    fn sanitized(self) -> BlockSpec {
+        if self.is_valid() {
+            self
+        } else {
+            BlockSpec::DEFAULT
+        }
+    }
+}
+
+impl Default for BlockSpec {
+    fn default() -> Self {
+        BlockSpec::DEFAULT
+    }
+}
 
 /// Validates rank-2 shapes and resolves virtual transposes to `(m, k, n)`.
 fn matmul_dims(a: &Tensor, b: &Tensor, ta: bool, tb: bool) -> Result<(usize, usize, usize)> {
@@ -124,7 +187,9 @@ fn reference_into(
 ///
 /// `workers = 0` auto-sizes from the shared pool
 /// ([`pool::default_workers`]); `workers = 1` runs sequentially on the
-/// calling thread. Any value is bit-identical to [`matmul_reference`].
+/// calling thread. Blocking comes from the active tuned table
+/// ([`crate::tune::spec_for`]), falling back to [`BlockSpec::DEFAULT`].
+/// Any value of either knob is bit-identical to [`matmul_reference`].
 ///
 /// # Errors
 ///
@@ -134,10 +199,73 @@ pub fn matmul_tiled(a: &Tensor, b: &Tensor, ta: bool, tb: bool, workers: usize) 
     if m * k * n <= SMALL_GEMM {
         return matmul_reference(a, b, ta, tb);
     }
+    matmul_tiled_spec(a, b, ta, tb, workers, crate::tune::spec_for(m, k, n))
+}
+
+/// [`matmul_tiled`] with an explicit [`BlockSpec`] and no small-problem
+/// cutoff — the autotuner's measurement entry point, also used by tests to
+/// pin non-default blockings. Invalid specs degrade to the default.
+///
+/// # Errors
+///
+/// Same conditions as [`Tensor::matmul_t`].
+pub fn matmul_tiled_with(
+    a: &Tensor,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+    workers: usize,
+    spec: BlockSpec,
+) -> Result<Tensor> {
+    matmul_tiled_spec(a, b, ta, tb, workers, spec.sanitized())
+}
+
+fn matmul_tiled_spec(
+    a: &Tensor,
+    b: &Tensor,
+    ta: bool,
+    tb: bool,
+    workers: usize,
+    spec: BlockSpec,
+) -> Result<Tensor> {
+    let (m, k, n) = matmul_dims(a, b, ta, tb)?;
     let mut out = vec![0.0f32; m * n];
     let w = pool::resolve_workers(workers);
-    let bpack = pack_b(k, n, b.data(), b.shape()[1], tb, w);
-    gemm_packed(m, k, n, a.data(), a.shape()[1], ta, &bpack, &mut out, w);
+    let bpack = pack_b(spec, k, n, b.data(), b.shape()[1], tb, w);
+    gemm_packed(spec, m, k, n, a.data(), a.shape()[1], ta, &bpack, &mut out, w);
+    Tensor::from_vec(vec![m, n], out)
+}
+
+/// Matmul against a weight already resident in panel layout: the
+/// steady-state serving fast path, skipping `pack_b` entirely.
+///
+/// Uses the blocking the panels were packed with, so the result is
+/// bit-identical to [`matmul_reference`] (and to the repacking paths)
+/// regardless of which spec that was. The packed operand must be rank-2
+/// (`batch == 1`).
+///
+/// # Errors
+///
+/// [`TensorError::RankMismatch`] for a non-rank-2 `a`;
+/// [`TensorError::ShapeMismatch`] when `a`'s inner dimension disagrees
+/// with the packed `k` or the packed operand is batched.
+pub fn matmul_packed(a: &Tensor, b: &PackedTensor, ta: bool, workers: usize) -> Result<Tensor> {
+    if a.rank() != 2 {
+        return Err(TensorError::RankMismatch { op: "matmul", expected: 2, actual: a.rank() });
+    }
+    let (ar, ac) = (a.shape()[0], a.shape()[1]);
+    let (m, k) = if ta { (ac, ar) } else { (ar, ac) };
+    if b.batch() != 1 || k != b.k() {
+        return Err(TensorError::ShapeMismatch {
+            op: "matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.src_shape().to_vec(),
+        });
+    }
+    let n = b.n();
+    let mut out = vec![0.0f32; m * n];
+    let w = pool::resolve_workers(workers);
+    gemm_packed(b.spec(), m, k, n, a.data(), ac, ta, b.panels(0), &mut out, w);
     Tensor::from_vec(vec![m, n], out)
 }
 
@@ -167,11 +295,14 @@ pub fn batched_matmul_reference(a: &Tensor, b: &Tensor) -> Result<Tensor> {
     Tensor::from_vec(vec![bt, m, n], out)
 }
 
-/// Tiled batched matmul, parallelized over the leading (expert) axis.
+/// Tiled batched matmul. Packs every expert's panels in parallel over the
+/// shared pool, then splits the `(expert, row-block)` grid across workers
+/// — so parallelism no longer collapses when `bt` is smaller than the
+/// worker count, and packing is no longer serialized per expert.
 ///
-/// Each expert's product runs the packed kernel sequentially inside its
-/// task, so results are bit-identical to [`batched_matmul_reference`]
-/// for any `workers` (`0` = auto).
+/// Per-element accumulation order is unchanged, so results are
+/// bit-identical to [`batched_matmul_reference`] for any `workers`
+/// (`0` = auto).
 ///
 /// # Errors
 ///
@@ -181,24 +312,47 @@ pub fn batched_matmul_tiled(a: &Tensor, b: &Tensor, workers: usize) -> Result<Te
     if bt == 0 || m * k * n <= SMALL_GEMM {
         return batched_matmul_reference(a, b);
     }
+    let spec = crate::tune::spec_for(m, k, n);
     let mut out = vec![0.0f32; bt * m * n];
     let w = pool::resolve_workers(workers);
-    if bt == 1 {
-        // A single expert cannot use the batch axis; split rows instead.
-        let bpack = pack_b(k, n, b.data(), n, false, w);
-        gemm_packed(m, k, n, a.data(), k, false, &bpack, &mut out, w);
-        return Tensor::from_vec(vec![bt, m, n], out);
+    let bpack = pack_b_batched(spec, bt, k, n, b.data(), w);
+    batched_gemm_packed(spec, bt, m, k, n, a.data(), &bpack, false, &mut out, w);
+    Tensor::from_vec(vec![bt, m, n], out)
+}
+
+/// Batched matmul against prepacked per-expert (or shared) weight panels:
+/// `(B, M, K) x packed (B, K, N) -> (B, M, N)`.
+///
+/// A packed operand with `batch == 1` is broadcast across the batch axis —
+/// the shared-`B` case packs (and stores) one panel set instead of `B`
+/// copies. Bit-identical to [`batched_matmul_reference`] against the
+/// equivalent materialized operand.
+///
+/// # Errors
+///
+/// [`TensorError::RankMismatch`] for a non-rank-3 `a`;
+/// [`TensorError::ShapeMismatch`] when the batch axes disagree (and the
+/// packed operand is not broadcastable) or the inner dimensions disagree.
+pub fn batched_matmul_packed(a: &Tensor, b: &PackedTensor, workers: usize) -> Result<Tensor> {
+    if a.rank() != 3 {
+        return Err(TensorError::RankMismatch {
+            op: "batched_matmul",
+            expected: 3,
+            actual: a.rank(),
+        });
     }
-    let view = SharedSliceMut::new(&mut out);
-    let (a_data, b_data) = (a.data(), b.data());
-    pool::par_ranges(bt, w, |experts| {
-        for bi in experts {
-            // SAFETY: expert output ranges are disjoint across tasks.
-            let out_e = unsafe { view.range_mut(bi * m * n..(bi + 1) * m * n) };
-            let bpack = pack_b(k, n, &b_data[bi * k * n..(bi + 1) * k * n], n, false, 1);
-            gemm_packed(m, k, n, &a_data[bi * m * k..(bi + 1) * m * k], k, false, &bpack, out_e, 1);
-        }
-    });
+    let (bt, m, k) = (a.shape()[0], a.shape()[1], a.shape()[2]);
+    if (b.batch() != bt && b.batch() != 1) || k != b.k() {
+        return Err(TensorError::ShapeMismatch {
+            op: "batched_matmul",
+            lhs: a.shape().to_vec(),
+            rhs: b.src_shape().to_vec(),
+        });
+    }
+    let n = b.n();
+    let mut out = vec![0.0f32; bt * m * n];
+    let w = pool::resolve_workers(workers);
+    batched_gemm_packed(b.spec(), bt, m, k, n, a.data(), b.buf(), b.batch() == 1, &mut out, w);
     Tensor::from_vec(vec![bt, m, n], out)
 }
 
@@ -222,40 +376,113 @@ fn batched_dims(a: &Tensor, b: &Tensor) -> Result<(usize, usize, usize, usize)> 
     Ok((bt, m, k, n))
 }
 
-/// Packs `B` (resolving a virtual transpose) into `KC × NC` panels laid
+/// Elements one matrix occupies in panel layout under `spec` (`kc × nc`
+/// slots, edge panels padded to full size so panel addressing stays a
+/// multiplication).
+pub(crate) fn packed_len(spec: BlockSpec, k: usize, n: usize) -> usize {
+    k.div_ceil(spec.kc) * n.div_ceil(spec.nc) * spec.kc * spec.nc
+}
+
+/// Resolves panel index `panel` to its geometry: `(p0, j0, kcb, ncb)`.
+fn panel_dims(
+    spec: BlockSpec,
+    k: usize,
+    n: usize,
+    panel: usize,
+    num_nc: usize,
+) -> (usize, usize, usize, usize) {
+    let (kci, nci) = (panel / num_nc, panel % num_nc);
+    let (p0, j0) = (kci * spec.kc, nci * spec.nc);
+    (p0, j0, spec.kc.min(k - p0), spec.nc.min(n - j0))
+}
+
+/// Fills `dst` (length `kcb * ncb`) with panel `panel` of `B`, resolving a
+/// virtual transpose. Within a panel, columns are grouped into `NR`-wide
+/// strips; strip `s` starts at `s * kcb * NR`, is `pp`-major and
+/// contiguous, so the micro-kernel streams `B` linearly while sweeping `k`.
+#[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
+fn pack_panel(
+    spec: BlockSpec,
+    k: usize,
+    n: usize,
+    b: &[f32],
+    bc: usize,
+    tb: bool,
+    panel: usize,
+    num_nc: usize,
+    dst: &mut [f32],
+) {
+    let (p0, j0, kcb, ncb) = panel_dims(spec, k, n, panel, num_nc);
+    for (s, strip) in dst[..kcb * ncb].chunks_mut(kcb * NR).enumerate() {
+        let c0 = s * NR;
+        let w = NR.min(ncb - c0);
+        for pp in 0..kcb {
+            let row = &mut strip[pp * w..pp * w + w];
+            if tb {
+                for (c, x) in row.iter_mut().enumerate() {
+                    *x = b[(j0 + c0 + c) * bc + (p0 + pp)];
+                }
+            } else {
+                let src = (p0 + pp) * bc + j0 + c0;
+                row.copy_from_slice(&b[src..src + w]);
+            }
+        }
+    }
+}
+
+/// Packs `B` (resolving a virtual transpose) into `kc × nc` panels laid
 /// out panel-major: panel `(kci, nci)` starts at `(kci * num_nc + nci) *
-/// KC * NC`. Within a panel, columns are grouped into `NR`-wide strips;
-/// strip `s` starts at `s * kcb * NR`, is `pp`-major and contiguous, so
-/// the micro-kernel streams `B` linearly while sweeping `k`.
-fn pack_b(k: usize, n: usize, b: &[f32], bc: usize, tb: bool, workers: usize) -> Vec<f32> {
-    let num_kc = k.div_ceil(KC);
-    let num_nc = n.div_ceil(NC);
-    let mut pack = vec![0.0f32; num_kc * num_nc * KC * NC];
+/// kc * nc`. Panels pack in parallel over the shared pool.
+pub(crate) fn pack_b(
+    spec: BlockSpec,
+    k: usize,
+    n: usize,
+    b: &[f32],
+    bc: usize,
+    tb: bool,
+    workers: usize,
+) -> Vec<f32> {
+    let num_nc = n.div_ceil(spec.nc);
+    let panels = k.div_ceil(spec.kc) * num_nc;
+    let mut pack = vec![0.0f32; panels * spec.kc * spec.nc];
     let view = SharedSliceMut::new(&mut pack);
-    pool::par_ranges(num_kc * num_nc, workers, |panels| {
-        for panel in panels {
-            let (kci, nci) = (panel / num_nc, panel % num_nc);
-            let (p0, j0) = (kci * KC, nci * NC);
-            let kcb = KC.min(k - p0);
-            let ncb = NC.min(n - j0);
-            let base = panel * KC * NC;
+    pool::par_ranges(panels, workers, |range| {
+        for panel in range {
+            let (_, _, kcb, ncb) = panel_dims(spec, k, n, panel, num_nc);
+            let base = panel * spec.kc * spec.nc;
             // SAFETY: panel ranges are disjoint across tasks.
             let dst = unsafe { view.range_mut(base..base + kcb * ncb) };
-            for (s, strip) in dst.chunks_mut(kcb * NR).enumerate() {
-                let c0 = s * NR;
-                let w = NR.min(ncb - c0);
-                for pp in 0..kcb {
-                    let row = &mut strip[pp * w..pp * w + w];
-                    if tb {
-                        for (c, x) in row.iter_mut().enumerate() {
-                            *x = b[(j0 + c0 + c) * bc + (p0 + pp)];
-                        }
-                    } else {
-                        let src = (p0 + pp) * bc + j0 + c0;
-                        row.copy_from_slice(&b[src..src + w]);
-                    }
-                }
-            }
+            pack_panel(spec, k, n, b, bc, tb, panel, num_nc, dst);
+        }
+    });
+    pack
+}
+
+/// Packs every slice of a contiguous `(B, K, N)` operand into panel
+/// layout, parallelizing over the full `(slice, panel)` grid — the fix for
+/// the old per-expert `workers: 1` packing, and the builder behind
+/// [`PackedTensor::pack_batched`](crate::PackedTensor::pack_batched).
+pub(crate) fn pack_b_batched(
+    spec: BlockSpec,
+    bt: usize,
+    k: usize,
+    n: usize,
+    b: &[f32],
+    workers: usize,
+) -> Vec<f32> {
+    let num_nc = n.div_ceil(spec.nc);
+    let per = k.div_ceil(spec.kc) * num_nc;
+    let plen = packed_len(spec, k, n);
+    let mut pack = vec![0.0f32; bt * plen];
+    let view = SharedSliceMut::new(&mut pack);
+    pool::par_ranges(bt * per, workers, |units| {
+        for u in units {
+            let (bi, panel) = (u / per, u % per);
+            let (_, _, kcb, ncb) = panel_dims(spec, k, n, panel, num_nc);
+            let base = bi * plen + panel * spec.kc * spec.nc;
+            // SAFETY: (slice, panel) ranges are disjoint across tasks.
+            let dst = unsafe { view.range_mut(base..base + kcb * ncb) };
+            pack_panel(spec, k, n, &b[bi * k * n..(bi + 1) * k * n], n, false, panel, num_nc, dst);
         }
     });
     pack
@@ -263,6 +490,7 @@ fn pack_b(k: usize, n: usize, b: &[f32], bc: usize, tb: bool, workers: usize) ->
 
 /// Arguments threaded through the blocked kernels.
 struct Gemm<'a> {
+    spec: BlockSpec,
     m: usize,
     k: usize,
     n: usize,
@@ -273,12 +501,16 @@ struct Gemm<'a> {
     bpack: &'a [f32],
     num_nc: usize,
     out: SharedSliceMut<'a>,
+    /// Element offset of this product's output inside `out` (the batched
+    /// kernel points every slice's tasks at one shared buffer).
+    out_base: usize,
 }
 
-/// Runs the packed kernel over `out`, splitting `MC` row blocks across at
+/// Runs the packed kernel over `out`, splitting `mc` row blocks across at
 /// most `workers` tasks.
 #[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
 fn gemm_packed(
+    spec: BlockSpec,
     m: usize,
     k: usize,
     n: usize,
@@ -292,9 +524,111 @@ fn gemm_packed(
     if m == 0 || n == 0 || k == 0 {
         return;
     }
-    let g = Gemm { m, k, n, a, ac, ta, bpack, num_nc: n.div_ceil(NC), out: SharedSliceMut::new(out) };
-    let num_mc = m.div_ceil(MC);
-    pool::par_ranges(num_mc, workers, |blocks| compute_blocks(&g, blocks));
+    let g = Gemm {
+        spec,
+        m,
+        k,
+        n,
+        a,
+        ac,
+        ta,
+        bpack,
+        num_nc: n.div_ceil(spec.nc),
+        out: SharedSliceMut::new(out),
+        out_base: 0,
+    };
+    pool::par_ranges(m.div_ceil(spec.mc), workers, |blocks| compute_blocks(&g, blocks));
+}
+
+/// Runs the packed kernel for every slice of a batched product over one
+/// shared `(slice, row-block)` task grid. `shared_b` broadcasts a single
+/// panel set across the batch axis.
+#[allow(clippy::too_many_arguments)] // flat slice+stride kernel signature
+fn batched_gemm_packed(
+    spec: BlockSpec,
+    bt: usize,
+    m: usize,
+    k: usize,
+    n: usize,
+    a: &[f32],
+    bpack: &[f32],
+    shared_b: bool,
+    out: &mut [f32],
+    workers: usize,
+) {
+    if bt == 0 || m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let plen = packed_len(spec, k, n);
+    let num_mc = m.div_ceil(spec.mc);
+    let num_nc = n.div_ceil(spec.nc);
+    let view = SharedSliceMut::new(out);
+    pool::par_ranges(bt * num_mc, workers, |units| {
+        // Group the contiguous unit range by slice so each slice gets one
+        // `compute_blocks` call (one `apack` buffer) per task.
+        let mut u = units.start;
+        while u < units.end {
+            let bi = u / num_mc;
+            let end = ((bi + 1) * num_mc).min(units.end);
+            let poff = if shared_b { 0 } else { bi * plen };
+            let g = Gemm {
+                spec,
+                m,
+                k,
+                n,
+                a: &a[bi * m * k..(bi + 1) * m * k],
+                ac: k,
+                ta: false,
+                bpack: &bpack[poff..poff + plen],
+                num_nc,
+                out: view,
+                out_base: bi * m * n,
+            };
+            compute_blocks(&g, (u - bi * num_mc)..(end - bi * num_mc));
+            u = end;
+        }
+    });
+}
+
+#[cfg(target_arch = "x86_64")]
+#[derive(Clone, Copy)]
+enum Isa {
+    Avx512,
+    Avx2,
+    Portable,
+}
+
+#[cfg(target_arch = "x86_64")]
+fn isa() -> Isa {
+    use std::sync::OnceLock;
+    static ISA: OnceLock<Isa> = OnceLock::new();
+    *ISA.get_or_init(|| {
+        if std::arch::is_x86_feature_detected!("avx512f") {
+            Isa::Avx512
+        } else if std::arch::is_x86_feature_detected!("avx2") {
+            Isa::Avx2
+        } else {
+            Isa::Portable
+        }
+    })
+}
+
+/// The SIMD path the micro-kernel dispatches to on this machine:
+/// `"avx512"`, `"avx2"`, or `"portable"`. Tuned tables are keyed by this
+/// string so a table recorded on one ISA never steers another.
+pub fn detected_isa() -> &'static str {
+    #[cfg(target_arch = "x86_64")]
+    {
+        match isa() {
+            Isa::Avx512 => "avx512",
+            Isa::Avx2 => "avx2",
+            Isa::Portable => "portable",
+        }
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    {
+        "portable"
+    }
 }
 
 /// Dispatches a block range to the widest kernel the CPU supports. The
@@ -304,24 +638,7 @@ fn gemm_packed(
 fn compute_blocks(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
     #[cfg(target_arch = "x86_64")]
     {
-        use std::sync::OnceLock;
-        #[derive(Clone, Copy)]
-        enum Isa {
-            Avx512,
-            Avx2,
-            Portable,
-        }
-        static ISA: OnceLock<Isa> = OnceLock::new();
-        let isa = *ISA.get_or_init(|| {
-            if std::arch::is_x86_feature_detected!("avx512f") {
-                Isa::Avx512
-            } else if std::arch::is_x86_feature_detected!("avx2") {
-                Isa::Avx2
-            } else {
-                Isa::Portable
-            }
-        });
-        match isa {
+        match isa() {
             // SAFETY: the matching CPU feature was verified at runtime.
             Isa::Avx512 => return unsafe { compute_blocks_avx512(g, blocks) },
             // SAFETY: as above.
@@ -348,25 +665,28 @@ fn compute_blocks_portable(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
     compute_blocks_impl(g, blocks);
 }
 
-/// The blocked loop nest for a contiguous range of `MC` row blocks.
+/// The blocked loop nest for a contiguous range of `mc` row blocks.
 /// `#[inline(always)]` so each dispatch wrapper compiles its own copy
 /// with its own target features.
 #[inline(always)]
 fn compute_blocks_impl(g: &Gemm<'_>, blocks: std::ops::Range<usize>) {
-    let mut apack = vec![0.0f32; MC * KC];
+    let (mc, kc, nc) = (g.spec.mc, g.spec.kc, g.spec.nc);
+    let mut apack = vec![0.0f32; mc * kc];
     for blk in blocks {
-        let i0 = blk * MC;
-        let mcb = MC.min(g.m - i0);
-        // SAFETY: `MC` row-block ranges are disjoint across tasks.
-        let out_rows = unsafe { g.out.range_mut(i0 * g.n..(i0 + mcb) * g.n) };
-        for kci in 0..g.k.div_ceil(KC) {
-            let p0 = kci * KC;
-            let kcb = KC.min(g.k - p0);
+        let i0 = blk * mc;
+        let mcb = mc.min(g.m - i0);
+        let o0 = g.out_base + i0 * g.n;
+        // SAFETY: `(slice, row-block)` output ranges are disjoint across
+        // tasks.
+        let out_rows = unsafe { g.out.range_mut(o0..o0 + mcb * g.n) };
+        for kci in 0..g.k.div_ceil(kc) {
+            let p0 = kci * kc;
+            let kcb = kc.min(g.k - p0);
             pack_a(g, i0, mcb, p0, kcb, &mut apack);
             for nci in 0..g.num_nc {
-                let j0 = nci * NC;
-                let ncb = NC.min(g.n - j0);
-                let base = (kci * g.num_nc + nci) * (KC * NC);
+                let j0 = nci * nc;
+                let ncb = nc.min(g.n - j0);
+                let base = (kci * g.num_nc + nci) * (kc * nc);
                 let panel = &g.bpack[base..base + kcb * ncb];
                 macro_tile(out_rows, g.n, j0, mcb, kcb, ncb, &apack[..mcb * kcb], panel);
             }
@@ -527,6 +847,56 @@ mod tests {
                 close(&batched_matmul_tiled(&a, &b, workers).unwrap(), &reference);
             }
         }
+    }
+
+    #[test]
+    fn batched_parallel_packing_is_bit_identical_beyond_expert_count() {
+        // Regression for the old path that packed each expert's panels
+        // with `workers: 1` inside a per-expert task: the rebuilt kernel
+        // parallelizes the (expert, panel) and (expert, row-block) grids,
+        // so worker counts far beyond `bt` must still be bit-identical.
+        let mut rng = TensorRng::seed(14);
+        let (bt, m, k, n) = (2, 130, 257, 100);
+        let a = rng.uniform(vec![bt, m, k], -1.0, 1.0);
+        let b = rng.uniform(vec![bt, k, n], -1.0, 1.0);
+        let reference = batched_matmul_reference(&a, &b).unwrap();
+        for workers in [1, 2, 3, 7, 16, 0] {
+            close(&batched_matmul_tiled(&a, &b, workers).unwrap(), &reference);
+        }
+    }
+
+    #[test]
+    fn explicit_blockings_are_bit_identical() {
+        // Runtime mc/kc/nc only re-cut the iteration space; the
+        // accumulation order per element is pinned, so every valid spec
+        // must reproduce the reference bits exactly.
+        let mut rng = TensorRng::seed(15);
+        let (m, k, n) = (70, 130, 90);
+        let a = rng.uniform(vec![m, k], -1.0, 1.0);
+        let b = rng.uniform(vec![k, n], -1.0, 1.0);
+        let reference = matmul_reference(&a, &b, false, false).unwrap();
+        for spec in [
+            BlockSpec::DEFAULT,
+            BlockSpec { mc: 4, kc: 1, nc: 16 },
+            BlockSpec { mc: 32, kc: 128, nc: 256 },
+            BlockSpec { mc: 128, kc: 512, nc: 1024 },
+            BlockSpec { mc: 33, kc: 17, nc: 23 },
+        ] {
+            for workers in [1, 3] {
+                close(&matmul_tiled_with(&a, &b, false, false, workers, spec).unwrap(), &reference);
+            }
+        }
+    }
+
+    #[test]
+    fn invalid_spec_degrades_to_default() {
+        let mut rng = TensorRng::seed(16);
+        let a = rng.uniform(vec![40, 50], -1.0, 1.0);
+        let b = rng.uniform(vec![50, 60], -1.0, 1.0);
+        let reference = matmul_reference(&a, &b, false, false).unwrap();
+        let bad = BlockSpec { mc: 0, kc: 0, nc: 0 };
+        assert!(!bad.is_valid());
+        close(&matmul_tiled_with(&a, &b, false, false, 1, bad).unwrap(), &reference);
     }
 
     #[test]

@@ -29,12 +29,16 @@ mod error;
 pub mod gemm;
 mod init;
 mod ops;
+pub mod pack;
 pub mod pool;
 mod shape;
 mod tensor;
+pub mod tune;
 
 pub use error::TensorError;
+pub use gemm::BlockSpec;
 pub use init::TensorRng;
+pub use pack::PackedTensor;
 pub use shape::{stride_for, Shape};
 pub use tensor::Tensor;
 

@@ -194,6 +194,33 @@ impl Tensor {
         crate::gemm::batched_matmul_tiled(self, other, 0)
     }
 
+    /// Matrix product against a weight already resident in panel layout
+    /// (`(M, K) x packed (K, N) -> (M, N)`): the steady-state serving fast
+    /// path, skipping the per-call `B` packing. Bit-identical to
+    /// [`Tensor::matmul`] against the tensor the panels were packed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`] for a non-rank-2 input and
+    /// [`TensorError::ShapeMismatch`] when the inner dimension disagrees
+    /// with the packed operand (or the packed operand is batched).
+    pub fn matmul_prepacked(&self, packed: &crate::PackedTensor) -> Result<Tensor> {
+        crate::gemm::matmul_packed(self, packed, false, 0)
+    }
+
+    /// Batched matrix product against prepacked per-expert panels
+    /// (`(B, M, K) x packed (B, K, N) -> (B, M, N)`; a `batch == 1` pack
+    /// broadcasts). Bit-identical to [`Tensor::batched_matmul`] against
+    /// the tensor the panels were packed from.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::RankMismatch`]/[`TensorError::ShapeMismatch`]
+    /// on malformed or incompatible inputs.
+    pub fn batched_matmul_prepacked(&self, packed: &crate::PackedTensor) -> Result<Tensor> {
+        crate::gemm::batched_matmul_packed(self, packed, 0)
+    }
+
     /// Rectified linear unit.
     pub fn relu(&self) -> Tensor {
         let data = unary_map(self.data(), |x| x.max(0.0));

@@ -1,0 +1,279 @@
+//! Prepacked weight panels: pay [`pack_b`](crate::gemm) once, reuse
+//! forever.
+//!
+//! Every call through [`Tensor::matmul`](crate::Tensor::matmul) packs its
+//! `B` operand into the GEMM's panel layout before computing. For model
+//! weights — bound once into a serving plan and then multiplied on every
+//! request — that repacking is pure steady-state overhead, and for small
+//! `m` (a decode step multiplies a handful of rows against a large weight)
+//! it *dominates* the call. A [`PackedTensor`] holds the panel layout
+//! itself: built once (at `Plan::build` time, or when a decode model
+//! loads), then consumed by
+//! [`matmul_packed`](crate::gemm::matmul_packed) /
+//! [`batched_matmul_packed`](crate::gemm::batched_matmul_packed), which
+//! skip `pack_b` entirely.
+//!
+//! The panels embed the [`BlockSpec`] they were packed with, and the
+//! compute path uses exactly that spec — so a packed multiply is
+//! bit-identical to the repacking path (and to
+//! [`matmul_reference`](crate::gemm::matmul_reference)) no matter which
+//! valid blocking produced the panels.
+//!
+//! # Staleness
+//!
+//! A `PackedTensor` is a snapshot of the source values at pack time.
+//! [`PackedTensor::matches`] checks shape/transpose metadata only — cheap
+//! enough for a per-call guard — so holders are responsible for
+//! invalidating packs when the source tensor is rebound (the executor's
+//! `Bindings` drop a tensor's pack on every rebinding for this reason).
+
+use crate::gemm::{self, BlockSpec};
+use crate::{pool, Result, Tensor, TensorError};
+
+/// A `B` operand resident in the GEMM's panel layout.
+///
+/// Rank-2 sources pack to `batch == 1`; rank-3 sources (per-expert weight
+/// stacks) pack each leading slice and record `batch == B`. A `batch == 1`
+/// pack broadcasts across the batch axis of
+/// [`batched_matmul_packed`](crate::gemm::batched_matmul_packed).
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedTensor {
+    buf: Vec<f32>,
+    batch: usize,
+    k: usize,
+    n: usize,
+    spec: BlockSpec,
+    /// Panel elements per batch slice (`buf.len() == batch * panel_len`).
+    panel_len: usize,
+    src_shape: Vec<usize>,
+    transposed: bool,
+}
+
+impl PackedTensor {
+    /// Packs a rank-2 operand (resolving a virtual transpose), choosing
+    /// blocking from the active tuned table
+    /// ([`crate::tune::spec_for_pack`]) and auto-sizing workers.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `b` is rank-2.
+    pub fn pack(b: &Tensor, transpose_b: bool) -> Result<PackedTensor> {
+        if b.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "pack", expected: 2, actual: b.rank() });
+        }
+        let (br, bc) = (b.shape()[0], b.shape()[1]);
+        let (k, n) = if transpose_b { (bc, br) } else { (br, bc) };
+        Self::pack_with(b, transpose_b, crate::tune::spec_for_pack(k, n), 0)
+    }
+
+    /// [`PackedTensor::pack`] with an explicit blocking and worker count.
+    /// Invalid specs degrade to [`BlockSpec::DEFAULT`].
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `b` is rank-2.
+    pub fn pack_with(
+        b: &Tensor,
+        transpose_b: bool,
+        spec: BlockSpec,
+        workers: usize,
+    ) -> Result<PackedTensor> {
+        if b.rank() != 2 {
+            return Err(TensorError::RankMismatch { op: "pack", expected: 2, actual: b.rank() });
+        }
+        let spec = if spec.is_valid() { spec } else { BlockSpec::DEFAULT };
+        let (br, bc) = (b.shape()[0], b.shape()[1]);
+        let (k, n) = if transpose_b { (bc, br) } else { (br, bc) };
+        let w = pool::resolve_workers(workers);
+        let buf = gemm::pack_b(spec, k, n, b.data(), bc, transpose_b, w);
+        Ok(PackedTensor {
+            panel_len: buf.len(),
+            buf,
+            batch: 1,
+            k,
+            n,
+            spec,
+            src_shape: b.shape().to_vec(),
+            transposed: transpose_b,
+        })
+    }
+
+    /// Packs a rank-3 `(B, K, N)` operand — every slice in parallel over
+    /// the shared pool — choosing blocking from the active tuned table.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `b` is rank-3.
+    pub fn pack_batched(b: &Tensor) -> Result<PackedTensor> {
+        if b.rank() != 3 {
+            return Err(TensorError::RankMismatch { op: "pack", expected: 3, actual: b.rank() });
+        }
+        Self::pack_batched_with(b, crate::tune::spec_for_pack(b.shape()[1], b.shape()[2]), 0)
+    }
+
+    /// [`PackedTensor::pack_batched`] with an explicit blocking and worker
+    /// count. Invalid specs degrade to [`BlockSpec::DEFAULT`].
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::RankMismatch`] unless `b` is rank-3.
+    pub fn pack_batched_with(
+        b: &Tensor,
+        spec: BlockSpec,
+        workers: usize,
+    ) -> Result<PackedTensor> {
+        if b.rank() != 3 {
+            return Err(TensorError::RankMismatch { op: "pack", expected: 3, actual: b.rank() });
+        }
+        let spec = if spec.is_valid() { spec } else { BlockSpec::DEFAULT };
+        let (bt, k, n) = (b.shape()[0], b.shape()[1], b.shape()[2]);
+        let w = pool::resolve_workers(workers);
+        let buf = gemm::pack_b_batched(spec, bt, k, n, b.data(), w);
+        Ok(PackedTensor {
+            panel_len: gemm::packed_len(spec, k, n),
+            buf,
+            batch: bt,
+            k,
+            n,
+            spec,
+            src_shape: b.shape().to_vec(),
+            transposed: false,
+        })
+    }
+
+    /// Whether these panels were packed from a tensor of `b`'s shape with
+    /// the same transpose interpretation — the checked fast-path guard.
+    ///
+    /// Metadata only: it cannot detect that `b`'s *values* changed since
+    /// packing. Holders must invalidate packs on rebinding.
+    pub fn matches(&self, b: &Tensor, transpose_b: bool) -> bool {
+        self.src_shape == b.shape() && self.transposed == transpose_b
+    }
+
+    /// Leading batch extent (`1` for a rank-2 source).
+    pub fn batch(&self) -> usize {
+        self.batch
+    }
+
+    /// Inner (contraction) dimension after transpose resolution.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Output-column dimension after transpose resolution.
+    pub fn n(&self) -> usize {
+        self.n
+    }
+
+    /// The blocking the panels are laid out with (and the compute path
+    /// will use).
+    pub fn spec(&self) -> BlockSpec {
+        self.spec
+    }
+
+    /// Shape of the tensor the panels were packed from.
+    pub fn src_shape(&self) -> &[usize] {
+        &self.src_shape
+    }
+
+    /// Whether the source was interpreted as transposed while packing.
+    pub fn transposed(&self) -> bool {
+        self.transposed
+    }
+
+    /// Heap bytes held by the panel buffer — the memory cost of keeping
+    /// this weight resident in packed form (surfaced by the serve plan
+    /// cache stats).
+    pub fn bytes(&self) -> u64 {
+        (self.buf.len() * std::mem::size_of::<f32>()) as u64
+    }
+
+    /// Panels of batch slice `bi`.
+    pub(crate) fn panels(&self, bi: usize) -> &[f32] {
+        &self.buf[bi * self.panel_len..(bi + 1) * self.panel_len]
+    }
+
+    /// The whole panel buffer (all batch slices, contiguous).
+    pub(crate) fn buf(&self) -> &[f32] {
+        &self.buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gemm::{batched_matmul_packed, batched_matmul_reference, matmul_packed, matmul_reference};
+    use crate::TensorRng;
+
+    #[test]
+    fn packed_matmul_is_bit_identical() {
+        let mut rng = TensorRng::seed(21);
+        let (m, k, n) = (33, 257, 70);
+        let a = rng.uniform(vec![m, k], -1.0, 1.0);
+        for tb in [false, true] {
+            let b = rng.uniform(if tb { vec![n, k] } else { vec![k, n] }, -1.0, 1.0);
+            let reference = matmul_reference(&a, &b, false, tb).unwrap();
+            let pb = PackedTensor::pack(&b, tb).unwrap();
+            assert!(pb.matches(&b, tb));
+            assert!(!pb.matches(&b, !tb));
+            let y = matmul_packed(&a, &pb, false, 0).unwrap();
+            assert_eq!(y.data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn packed_batched_matmul_is_bit_identical() {
+        let mut rng = TensorRng::seed(22);
+        let (bt, m, k, n) = (3, 40, 65, 50);
+        let a = rng.uniform(vec![bt, m, k], -1.0, 1.0);
+        let b = rng.uniform(vec![bt, k, n], -1.0, 1.0);
+        let reference = batched_matmul_reference(&a, &b).unwrap();
+        let pb = PackedTensor::pack_batched(&b).unwrap();
+        assert_eq!(pb.batch(), bt);
+        for workers in [1, 2, 0] {
+            let y = batched_matmul_packed(&a, &pb, workers).unwrap();
+            assert_eq!(y.data(), reference.data());
+        }
+    }
+
+    #[test]
+    fn shared_b_broadcasts_across_batch() {
+        // batch == 1 panels applied to every slice of a batched A must
+        // equal materializing B per slice.
+        let mut rng = TensorRng::seed(23);
+        let (bt, m, k, n) = (4, 20, 48, 36);
+        let a = rng.uniform(vec![bt, m, k], -1.0, 1.0);
+        let b2 = rng.uniform(vec![k, n], -1.0, 1.0);
+        let mut stacked = Vec::with_capacity(bt * k * n);
+        for _ in 0..bt {
+            stacked.extend_from_slice(b2.data());
+        }
+        let b3 = Tensor::from_vec(vec![bt, k, n], stacked).unwrap();
+        let reference = batched_matmul_reference(&a, &b3).unwrap();
+        let pb = PackedTensor::pack(&b2, false).unwrap();
+        assert_eq!(pb.batch(), 1);
+        let y = batched_matmul_packed(&a, &pb, 0).unwrap();
+        assert_eq!(y.data(), reference.data());
+    }
+
+    #[test]
+    fn mismatched_pack_is_rejected() {
+        let a = Tensor::zeros(vec![4, 7]);
+        let b = Tensor::zeros(vec![9, 5]);
+        let pb = PackedTensor::pack(&b, false).unwrap();
+        assert!(matmul_packed(&a, &pb, false, 0).is_err(), "k mismatch must error");
+        let a3 = Tensor::zeros(vec![2, 4, 9]);
+        let pb3 = PackedTensor::pack_batched(&Tensor::zeros(vec![3, 9, 5])).unwrap();
+        assert!(batched_matmul_packed(&a3, &pb3, 0).is_err(), "batch mismatch must error");
+        assert!(PackedTensor::pack(&Tensor::zeros(vec![2, 3, 4]), false).is_err());
+        assert!(PackedTensor::pack_batched(&Tensor::zeros(vec![3, 4])).is_err());
+    }
+
+    #[test]
+    fn bytes_reports_panel_buffer() {
+        let b = Tensor::zeros(vec![100, 100]);
+        let pb = PackedTensor::pack_with(&b, false, BlockSpec::DEFAULT, 1).unwrap();
+        // One 256×512 panel slot (edges padded to full size).
+        assert_eq!(pb.bytes(), (256 * 512 * 4) as u64);
+    }
+}

@@ -7,7 +7,7 @@
 //! (`MR`/`NR`/`MC`/`KC`/`NC`), so packed-edge and full-tile code paths are
 //! both exercised, and compare `Tensor::data()` exactly.
 
-use lancet_tensor::{gemm, Tensor, TensorRng};
+use lancet_tensor::{gemm, BlockSpec, PackedTensor, Tensor, TensorRng};
 use proptest::prelude::*;
 
 /// Worker counts the contract quantifies over: sequential, two-way, auto.
@@ -67,6 +67,94 @@ proptest! {
             prop_assert!(
                 reference.data() == tiled.data(),
                 "batched_matmul diverged from reference: e={e} m={m} k={k} n={n} workers={workers}"
+            );
+        }
+    }
+
+    /// Prepacked weight panels are a pure layout change: a matmul through
+    /// a resident [`PackedTensor`] equals the reference bit for bit across
+    /// ragged shapes, both `B` transposes, and all worker counts.
+    #[test]
+    fn prepacked_matmul_is_bit_identical(
+        dims in (1usize..80, 1usize..300, 1usize..560),
+        tb in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = dims;
+        let a = random_tensor(vec![m, k], seed);
+        let b = if tb {
+            random_tensor(vec![n, k], seed ^ 0x9E37_79B9)
+        } else {
+            random_tensor(vec![k, n], seed ^ 0x9E37_79B9)
+        };
+        let reference = gemm::matmul_reference(&a, &b, false, tb).unwrap();
+        let packed = PackedTensor::pack(&b, tb).unwrap();
+        for workers in WORKER_COUNTS {
+            let fast = gemm::matmul_packed(&a, &packed, false, workers).unwrap();
+            prop_assert_eq!(reference.shape(), fast.shape());
+            prop_assert!(
+                reference.data() == fast.data(),
+                "prepacked matmul diverged: m={m} k={k} n={n} tb={tb} workers={workers}"
+            );
+        }
+    }
+
+    /// Prepacking under a non-default (tuned) blocking still matches the
+    /// reference exactly — any `BlockSpec` a tuned table could load only
+    /// changes traversal order, never the per-element accumulation order.
+    #[test]
+    fn prepacked_matmul_with_tuned_spec_is_bit_identical(
+        dims in (1usize..60, 1usize..200, 1usize..300),
+        spec_idx in 0usize..4,
+        seed in any::<u64>(),
+    ) {
+        let (m, k, n) = dims;
+        let specs = [
+            BlockSpec { mc: 32, kc: 128, nc: 256 },
+            BlockSpec { mc: 128, kc: 512, nc: 1024 },
+            BlockSpec { mc: 4, kc: 16, nc: 16 },
+            BlockSpec { mc: 33, kc: 17, nc: 23 },
+        ];
+        let a = random_tensor(vec![m, k], seed);
+        let b = random_tensor(vec![k, n], seed ^ 0xB10C);
+        let reference = gemm::matmul_reference(&a, &b, false, false).unwrap();
+        let packed = PackedTensor::pack_with(&b, false, specs[spec_idx], 1).unwrap();
+        for workers in WORKER_COUNTS {
+            let fast = gemm::matmul_packed(&a, &packed, false, workers).unwrap();
+            prop_assert!(
+                reference.data() == fast.data(),
+                "tuned-spec prepacked matmul diverged: m={m} k={k} n={n} spec={:?} workers={workers}",
+                specs[spec_idx]
+            );
+        }
+    }
+
+    /// The batched prepacked engine matches the reference for per-expert
+    /// stacks and for a shared (batch = 1) `B` broadcast across slices,
+    /// including worker counts far beyond the expert count (the parallel
+    /// per-slice packing regression).
+    #[test]
+    fn prepacked_batched_matmul_is_bit_identical(
+        dims in (1usize..5, 1usize..40, 1usize..70, 1usize..90),
+        shared in any::<bool>(),
+        seed in any::<u64>(),
+    ) {
+        let (e, m, k, n) = dims;
+        let a = random_tensor(vec![e, m, k], seed);
+        let b = random_tensor(vec![if shared { 1 } else { e }, k, n], seed ^ 0x5EED);
+        // The reference has no broadcast; materialize the shared operand.
+        let b_full = if shared {
+            Tensor::from_vec(vec![e, k, n], b.data().repeat(e)).unwrap()
+        } else {
+            b.clone()
+        };
+        let reference = gemm::batched_matmul_reference(&a, &b_full).unwrap();
+        let packed = PackedTensor::pack_batched(&b).unwrap();
+        for workers in [1, 2, 7, 16, 0] {
+            let fast = gemm::batched_matmul_packed(&a, &packed, workers).unwrap();
+            prop_assert!(
+                reference.data() == fast.data(),
+                "prepacked batched matmul diverged: e={e} m={m} k={k} n={n} shared={shared} workers={workers}"
             );
         }
     }

@@ -22,8 +22,26 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps
 echo "==> cargo bench -p lancet-bench --bench kernels -- --quick"
 # Smoke run of the compute-backend benchmark: asserts the tiled engine is
 # bit-identical to the naive reference and still beats it by the floor in
-# ISSUE/EXPERIMENTS (no artifact is written in --quick mode).
+# ISSUE/EXPERIMENTS, and that prepacked weight panels beat repack-per-call
+# at the decode-step shape (no artifact is written in --quick mode).
 cargo bench -p lancet-bench --bench kernels -- --quick
+
+echo "==> committed BENCH_kernels.json records the prepack win"
+# The committed artifact must carry the prepacked-vs-repack speedups the
+# quick run just gated on; a stale artifact (regenerated before the
+# prepack benches existed, or below the floor) fails here. Regenerate
+# with: cargo bench -p lancet-bench --bench kernels
+awk '
+    /"prepacked_vs_repack_step"/ { found = 1; v = $2 + 0
+        if (v < 1.15) { printf "error: prepacked_vs_repack_step %.2f < 1.15 floor\n", v; exit 1 } }
+    END { if (!found) { print "error: BENCH_kernels.json lacks prepacked_vs_repack_step"; exit 1 } }
+' results/BENCH_kernels.json
+
+echo "==> lancet tune-gemm --quick"
+# Smoke of the GEMM autotuner: searches the reduced candidate grid on the
+# detected ISA (no artifact written). The committed results/TUNE_gemm.json
+# is the full-grid table; regenerate with: lancet tune-gemm
+./target/release/lancet tune-gemm --quick --samples 1
 
 echo "==> lancet serve-bench --quick"
 # Seconds-bounded smoke of the serving runtime: replays a short open-loop

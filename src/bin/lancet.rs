@@ -7,6 +7,7 @@
 //! lancet chaos-bench [--seed N] [--quick]
 //! lancet placement-bench [--seed N] [--gpus 16] [--experts 32] [--quick]
 //! lancet decode-bench [--requests 32] [--rate 200] [--inflight 8] [--quick]
+//! lancet tune-gemm [--samples 3] [--quick]
 //! ```
 //!
 //! `optimize` runs the Lancet passes on one configuration and reports the
@@ -31,6 +32,11 @@
 //! the windowed baseline — and fails unless continuous wins on mean
 //! time-to-first-token with zero lost tokens; the full run sweeps the
 //! in-flight cap and writes `results/BENCH_decode.json`.
+//! `tune-gemm` searches GEMM cache blockings (`MC/KC/NC`) per weight
+//! shape and `m` class on the detected ISA and writes the table to
+//! `results/TUNE_gemm.json`; runtimes opt in via `LANCET_GEMM_TUNE`.
+//! Blocking never changes computed bits, only traversal, so a tuned
+//! table is purely a performance knob.
 
 use lancet_repro::baselines::{run_system, System};
 use lancet_repro::core::{Lancet, LancetOptions};
@@ -42,7 +48,11 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench|decode-bench> [options]
+usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench|decode-bench|tune-gemm> [options]
+
+tune-gemm options:
+  --samples <N>             timed runs per candidate blocking (default: 3)
+  --quick                   small candidate grid, no artifact written
 
 placement-bench options:
   --seed <N>                histogram seed (default: LANCET_PLACEMENT_SEED, then 0x91ACE)
@@ -294,6 +304,48 @@ fn serving_scaled_gpt2s(quick: bool) -> GptMoeConfig {
     }
 }
 
+fn cmd_tune_gemm(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::tensor::gemm::detected_isa;
+    use lancet_repro::tensor::tune::{tune_gpt2s_moe, TuneOptions, GPT2S_MOE_SHAPES};
+
+    let quick = opts.contains_key("quick");
+    let samples = opts
+        .get("samples")
+        .map(|v| v.parse::<usize>().map_err(|_| format!("bad --samples `{v}`")))
+        .transpose()?
+        .unwrap_or(3);
+    println!(
+        "tune-gemm: searching MC/KC/NC blockings for {} GPT2-S-MoE weight shapes on `{}`{}",
+        GPT2S_MOE_SHAPES.len(),
+        detected_isa(),
+        if quick { " (quick grid)" } else { "" }
+    );
+    let table = tune_gpt2s_moe(TuneOptions { samples, quick, ..TuneOptions::default() }, |e| {
+        println!(
+            "  {:>8} m={:<3} k={:<4} n={:<4} -> mc={:<3} kc={:<3} nc={:<4}  {:>6.0} us (default {:.0} us, {:.2}x)",
+            e.m_class.name(),
+            e.m_class.representative_m(),
+            e.k,
+            e.n,
+            e.spec.mc,
+            e.spec.kc,
+            e.spec.nc,
+            e.tuned_ns as f64 / 1e3,
+            e.default_ns as f64 / 1e3,
+            e.default_ns as f64 / e.tuned_ns.max(1) as f64
+        );
+    });
+    if quick {
+        println!("\nquick run: table not written (rerun without --quick for the artifact)");
+        return Ok(());
+    }
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/TUNE_gemm.json");
+    std::fs::write(path, table.to_json()).map_err(|e| format!("write {path}: {e}"))?;
+    println!("\nwrote {} entries to {path}", table.len());
+    println!("enable with LANCET_GEMM_TUNE=1 (or a path to the table)");
+    Ok(())
+}
+
 fn cmd_serve_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     use lancet_repro::serve::{
         canonical_weights, open_loop_trace, replay_open_loop, Plan, ServeConfig, ServeRuntime,
@@ -389,12 +441,14 @@ fn cmd_serve_bench(opts: &HashMap<String, String>) -> Result<(), String> {
         stats.p50_ms, stats.p95_ms, stats.p99_ms, stats.throughput_rps, stats.mean_batch
     );
     println!(
-        "plan cache: {} hits, {} misses ({:.0}% hit rate), {} evictions, {} resident",
+        "plan cache: {} hits, {} misses ({:.0}% hit rate), {} evictions, {} resident, \
+         {:.1} KiB prepacked weights",
         stats.cache.hits,
         stats.cache.misses,
         stats.cache_hit_rate() * 100.0,
         stats.cache.evictions,
-        stats.cache.len
+        stats.cache.len,
+        stats.cache.packed_bytes as f64 / 1024.0
     );
     runtime.shutdown();
 
@@ -950,6 +1004,7 @@ fn main() -> ExitCode {
                 "optimize" => cmd_optimize(&opts),
                 "compare" => cmd_compare(&opts),
                 "serve-bench" => cmd_serve_bench(&opts),
+                "tune-gemm" => cmd_tune_gemm(&opts),
                 "chaos-bench" => cmd_chaos_bench(&opts),
                 "placement-bench" => cmd_placement_bench(&opts),
                 "decode-bench" => cmd_decode_bench(&opts),
