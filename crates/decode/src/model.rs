@@ -67,6 +67,29 @@ impl Packed {
         let p = PackedTensor::pack_batched(&w).ok();
         Packed { w, p }
     }
+
+    /// Like [`mat`](Self::mat)/[`batched`](Self::batched), but adopting a
+    /// store-carried panel when it matches the weight (decode consumes
+    /// every B un-transposed). A missing or stale pack falls back to
+    /// packing fresh, so adoption never changes results — only skips
+    /// work.
+    fn adopt(
+        w: Tensor,
+        pack: Option<&std::sync::Arc<PackedTensor>>,
+        batched: bool,
+    ) -> Self {
+        if let Some(p) = pack {
+            let rank_ok = if batched { w.shape().len() == 3 } else { w.shape().len() == 2 };
+            if rank_ok && !p.transposed() && p.matches(&w, false) {
+                return Packed { w, p: Some((**p).clone()) };
+            }
+        }
+        if batched {
+            Packed::batched(w)
+        } else {
+            Packed::mat(w)
+        }
+    }
 }
 
 #[derive(Debug)]
@@ -146,6 +169,23 @@ impl DecodeModel {
     ///   batch*, so a token's output depends on its batch-mates even
     ///   drop-free, which breaks the batched-equals-solo contract.
     pub fn new(cfg: &GptMoeConfig, canonical: &CanonicalWeights) -> Result<Self> {
+        Self::new_with_packs(cfg, canonical, None)
+    }
+
+    /// [`new`](Self::new), additionally adopting prepacked GEMM panels
+    /// (typically mapped zero-copy from a model store) for the weights
+    /// they name — a store-loaded decode engine then packs nothing at
+    /// build time. Stale packs are rejected per weight and repacked, so
+    /// a wrong pack set degrades to [`new`](Self::new).
+    ///
+    /// # Errors
+    ///
+    /// As [`new`](Self::new).
+    pub fn new_with_packs(
+        cfg: &GptMoeConfig,
+        canonical: &CanonicalWeights,
+        packs: Option<&std::collections::HashMap<String, std::sync::Arc<PackedTensor>>>,
+    ) -> Result<Self> {
         if cfg.gpus != 1 {
             return Err(ServeError::BadRequest(format!(
                 "decode serving is single-device; `{}` wants {} gpus",
@@ -179,49 +219,54 @@ impl DecodeModel {
                 b: if cfg.rms_norm { None } else { Some(take(format!("{name}.b"))?) },
             })
         };
+        let mat = |name: String| -> Result<Packed> {
+            let w = take(name.clone())?;
+            Ok(Packed::adopt(w, packs.and_then(|m| m.get(&name)), false))
+        };
+        let batched = |name: String| -> Result<Packed> {
+            let w = take(name.clone())?;
+            Ok(Packed::adopt(w, packs.and_then(|m| m.get(&name)), true))
+        };
         let mut blocks = Vec::with_capacity(cfg.layers);
         for l in 0..cfg.layers {
             let pre = |n: &str| format!("h{l}.{n}");
             let attn = Attn {
-                wq: Packed::mat(take(pre("attn.wq"))?),
+                wq: mat(pre("attn.wq"))?,
                 bq: take(pre("attn.bq"))?,
-                wk: Packed::mat(take(pre("attn.wk"))?),
+                wk: mat(pre("attn.wk"))?,
                 bk: take(pre("attn.bk"))?,
-                wv: Packed::mat(take(pre("attn.wv"))?),
+                wv: mat(pre("attn.wv"))?,
                 bv: take(pre("attn.bv"))?,
-                wo: Packed::mat(take(pre("attn.wo"))?),
+                wo: mat(pre("attn.wo"))?,
                 bo: take(pre("attn.bo"))?,
             };
             let ffn = if cfg.moe_layers().contains(&l) {
                 Ffn::Moe {
-                    gate: Packed::mat(take(pre("moe.gate.w"))?),
-                    w1: Packed::batched(take(pre("moe.expert.w1"))?),
-                    w2: Packed::batched(take(pre("moe.expert.w2"))?),
-                    w3: cfg
-                        .swiglu
-                        .then(|| take(pre("moe.expert.w3")).map(Packed::batched))
-                        .transpose()?,
+                    gate: mat(pre("moe.gate.w"))?,
+                    w1: batched(pre("moe.expert.w1"))?,
+                    w2: batched(pre("moe.expert.w2"))?,
+                    w3: cfg.swiglu.then(|| batched(pre("moe.expert.w3"))).transpose()?,
                     shared: cfg
                         .shared_expert
                         .then(|| {
                             Ok::<_, ServeError>(Box::new((
-                                Packed::mat(take(pre("moe.shared.w1"))?),
-                                Packed::mat(take(pre("moe.shared.w2"))?),
+                                mat(pre("moe.shared.w1"))?,
+                                mat(pre("moe.shared.w2"))?,
                             )))
                         })
                         .transpose()?,
                 }
             } else if cfg.swiglu {
                 Ffn::Swiglu {
-                    w1: Packed::mat(take(pre("ffn.w1"))?),
-                    w3: Packed::mat(take(pre("ffn.w3"))?),
-                    w2: Packed::mat(take(pre("ffn.w2"))?),
+                    w1: mat(pre("ffn.w1"))?,
+                    w3: mat(pre("ffn.w3"))?,
+                    w2: mat(pre("ffn.w2"))?,
                 }
             } else {
                 Ffn::Dense {
-                    w1: Packed::mat(take(pre("ffn.w1"))?),
+                    w1: mat(pre("ffn.w1"))?,
                     b1: take(pre("ffn.b1"))?,
-                    w2: Packed::mat(take(pre("ffn.w2"))?),
+                    w2: mat(pre("ffn.w2"))?,
                     b2: take(pre("ffn.b2"))?,
                 }
             };
@@ -232,7 +277,7 @@ impl DecodeModel {
             wte: take("wte".into())?,
             blocks,
             ln_f: norm("ln_f")?,
-            lm_head: Packed::mat(take("lm_head".into())?),
+            lm_head: mat("lm_head".into())?,
         })
     }
 

@@ -256,7 +256,35 @@ impl DecodeRuntime {
     pub fn register_model(&self, cfg: GptMoeConfig) -> Result<()> {
         let normalized = cfg.clone().with_capacity_factor(cfg.experts() as f64);
         let canonical = canonical_weights(&normalized, self.shared.seed)?;
-        let model = Arc::new(DecodeModel::new(&normalized, &canonical)?);
+        self.register_entry(normalized, canonical, None)
+    }
+
+    /// [`register_model`](Self::register_model) with caller-supplied
+    /// weights — the model-store load path. `packs` carries prepacked
+    /// GEMM panels (decode is single-device, so only device 0's map);
+    /// matching panels are adopted instead of re-packed, stale ones are
+    /// repacked fresh.
+    ///
+    /// # Errors
+    ///
+    /// As [`register_model`](Self::register_model).
+    pub fn register_model_with_weights(
+        &self,
+        cfg: GptMoeConfig,
+        canonical: CanonicalWeights,
+        packs: Option<&std::collections::HashMap<String, Arc<lancet_tensor::PackedTensor>>>,
+    ) -> Result<()> {
+        let normalized = cfg.clone().with_capacity_factor(cfg.experts() as f64);
+        self.register_entry(normalized, canonical, packs)
+    }
+
+    fn register_entry(
+        &self,
+        normalized: GptMoeConfig,
+        canonical: CanonicalWeights,
+        packs: Option<&std::collections::HashMap<String, Arc<lancet_tensor::PackedTensor>>>,
+    ) -> Result<()> {
+        let model = Arc::new(DecodeModel::new_with_packs(&normalized, &canonical, packs)?);
         let lancet = Lancet::new(
             ClusterSpec::of(self.shared.limits.cluster, 1),
             normalized.gpus,

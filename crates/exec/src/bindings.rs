@@ -38,6 +38,10 @@ pub struct PrepackStats {
     pub tensors: usize,
     /// Heap bytes held by those buffers.
     pub bytes: u64,
+    /// Bindings whose resident pack (installed via
+    /// [`Bindings::install_pack`], e.g. loaded from a model store) already
+    /// matched and was reused instead of re-packing.
+    pub reused: usize,
 }
 
 impl Bindings {
@@ -108,6 +112,32 @@ impl Bindings {
         self.packed[device].get(&tensor).map(Arc::as_ref)
     }
 
+    /// Installs an externally built panel buffer (e.g. deserialized from a
+    /// model store) as `tensor`'s resident pack on `device`, sharing the
+    /// buffer via its `Arc`. Returns whether the pack was accepted: it is
+    /// rejected (and nothing changes) unless the tensor is bound on the
+    /// device and the pack's source shape matches the bound value —
+    /// the same staleness contract [`PackedTensor::matches`] enforces at
+    /// call time, checked here so a mismatched store degrades to the
+    /// repack path instead of silently shadowing it.
+    ///
+    /// A subsequent [`Bindings::prepack_weights`] leaves matching
+    /// installed packs in place (counted in [`PrepackStats::reused`]), so
+    /// store-loaded replicas skip the packing pass entirely.
+    pub fn install_pack(
+        &mut self,
+        device: usize,
+        tensor: TensorId,
+        pack: Arc<PackedTensor>,
+    ) -> bool {
+        let Some(value) = self.per_device[device].get(&tensor) else { return false };
+        if !pack.matches(value, pack.transposed()) {
+            return false;
+        }
+        self.packed[device].insert(tensor, pack);
+        true
+    }
+
     /// Packs every bound weight that feeds a matmul-family instruction of
     /// `graph` as its `B` operand into the GEMM's panel layout, so
     /// subsequent [`Executor::run`](crate::Executor::run) calls skip
@@ -160,6 +190,18 @@ impl Bindings {
             let mut built: Vec<(*const Tensor, Arc<PackedTensor>)> = Vec::new();
             for d in 0..self.per_device.len() {
                 let Some(value) = self.per_device[d].get(&tid) else { continue };
+                // A matching resident pack (installed from a model store)
+                // already serves this binding — keep it, skip the pack.
+                if let Some(existing) = self.packed[d].get(&tid) {
+                    let keeps = match want {
+                        Want::Mat { transpose_b } => existing.matches(value, transpose_b),
+                        Want::Batched => value.rank() == 3 && existing.matches(value, false),
+                    };
+                    if keeps {
+                        stats.reused += 1;
+                        continue;
+                    }
+                }
                 let key = Arc::as_ptr(value);
                 let pack = match built.iter().find(|(k, _)| *k == key) {
                     Some((_, p)) => Arc::clone(p),
@@ -249,6 +291,37 @@ mod tests {
     #[should_panic(expected = "at least one device")]
     fn zero_devices_panics() {
         let _ = Bindings::new(0);
+    }
+
+    #[test]
+    fn installed_packs_are_validated_and_reused() {
+        let mut g = Graph::new();
+        let w = g.weight("w", vec![4, 6]);
+        let x = g.input("x", vec![2, 4]);
+        let _ = g.emit(Op::MatMul { transpose_b: false }, &[x, w], Role::Forward).unwrap();
+
+        let mut b = Bindings::new(2);
+        let value = Tensor::full(vec![4, 6], 0.5);
+        b.set_all(w, value.clone());
+
+        // Unbound tensor or mismatched shape: rejected, nothing installed.
+        let wrong = Arc::new(PackedTensor::pack(&Tensor::zeros(vec![5, 6]), false).unwrap());
+        assert!(!b.install_pack(0, w, Arc::clone(&wrong)));
+        assert!(!b.install_pack(0, TensorId(999), Arc::clone(&wrong)));
+        assert!(b.packed(0, w).is_none());
+
+        // A matching pack installs and prepack_weights keeps it.
+        let good = Arc::new(PackedTensor::pack(&value, false).unwrap());
+        assert!(b.install_pack(0, w, Arc::clone(&good)));
+        assert!(b.install_pack(1, w, Arc::clone(&good)));
+        let stats = b.prepack_weights(&g);
+        assert_eq!(stats.reused, 2);
+        assert_eq!(stats.tensors, 0);
+        assert!(std::ptr::eq(b.packed(0, w).unwrap(), good.as_ref()));
+
+        // Rebinding still invalidates an installed pack.
+        b.set(0, w, Tensor::full(vec![4, 6], 1.5));
+        assert!(b.packed(0, w).is_none());
     }
 
     #[test]

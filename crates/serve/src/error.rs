@@ -33,6 +33,12 @@ pub enum ServeError {
     },
     /// The runtime is shutting down and no longer accepts work.
     ShuttingDown,
+    /// The replica serving this request crashed (chaos testing / fleet
+    /// fail-over) while the request was queued. Unlike `ShuttingDown`
+    /// this is abrupt: queued work is drained with this error instead of
+    /// being executed. A fleet front-end treats it as retriable and
+    /// re-routes the request to a healthy replica.
+    Crashed,
     /// Plan construction failed (graph build / optimization error).
     Plan(String),
     /// Graph execution failed.
@@ -58,6 +64,7 @@ impl std::fmt::Display for ServeError {
                 write!(f, "timed out after {waited_ms:.1} ms")
             }
             ServeError::ShuttingDown => write!(f, "runtime is shutting down"),
+            ServeError::Crashed => write!(f, "replica crashed with the request queued"),
             ServeError::Plan(why) => write!(f, "plan construction failed: {why}"),
             ServeError::Exec(why) => write!(f, "execution failed: {why}"),
             ServeError::WorkerPanic(why) => write!(f, "worker panicked: {why}"),

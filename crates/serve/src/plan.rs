@@ -13,6 +13,7 @@
 //! micro-batched responses being bit-identical to solo serving.
 
 use std::collections::HashMap;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use lancet_cost::ClusterKind;
@@ -20,7 +21,7 @@ use lancet_core::{Lancet, OptimizerStats};
 use lancet_exec::{init_weights, Bindings, Executor, PrepackStats};
 use lancet_ir::{Op, TensorId};
 use lancet_models::{build_forward, GptMoeConfig, LayerKv};
-use lancet_tensor::Tensor;
+use lancet_tensor::{PackedTensor, Tensor};
 
 use crate::{Result, ServeError};
 
@@ -43,8 +44,43 @@ pub struct PlanKey {
     pub gpus: usize,
 }
 
+impl PlanKey {
+    /// A deterministic hash of the key, **stable across processes and
+    /// runs** — FNV-1a over a canonical little-endian field encoding.
+    ///
+    /// The fleet router's consistent routing keys on this value: two
+    /// front-end processes (or the same one after a restart) must route a
+    /// given plan key to the same replica, or every restart would scatter
+    /// traffic and cold every replica's plan cache. `Hash`/`HashMap`'s
+    /// default `RandomState` is seeded per process and therefore must
+    /// never be used on the routing path; this encoding is pinned by a
+    /// regression test on its literal value.
+    pub fn stable_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        let mut eat = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x0000_0100_0000_01b3);
+            }
+        };
+        eat(self.model.as_bytes());
+        eat(&[0xFF]); // field separator: a name can't contain 0xFF (UTF-8)
+        eat(&(self.bucket as u64).to_le_bytes());
+        eat(&(self.seq as u64).to_le_bytes());
+        eat(self.cluster.name().as_bytes());
+        eat(&[0xFF]);
+        eat(&(self.gpus as u64).to_le_bytes());
+        h
+    }
+}
+
 /// Per-device canonical weights for one model, keyed by tensor name.
 pub type CanonicalWeights = Vec<HashMap<String, Tensor>>;
+
+/// Per-device prepacked GEMM panels, keyed by weight name — what a model
+/// store carries alongside [`CanonicalWeights`] so plans skip the packing
+/// pass at build time (see [`Plan::build_with_packs`]).
+pub type PackSet = Vec<HashMap<String, Arc<PackedTensor>>>;
 
 /// Materializes the canonical weights for `cfg`: one name → tensor map
 /// per device, initialized from the *batch = 1* forward graph so the
@@ -127,7 +163,28 @@ impl Plan {
         bucket: usize,
         canonical: &CanonicalWeights,
     ) -> Result<Plan> {
-        Plan::build_with(lancet, cfg.clone().with_batch(bucket), bucket, canonical, false)
+        Plan::build_with(lancet, cfg.clone().with_batch(bucket), bucket, canonical, None, false)
+    }
+
+    /// [`Plan::build`], additionally adopting prepacked panels (typically
+    /// loaded zero-copy from a model store) for the weights they name.
+    /// Matching packs are installed before the prepack pass, which then
+    /// skips those weights ([`PrepackStats::reused`]) — a store-loaded
+    /// replica builds plans without re-packing anything. Stale or
+    /// mismatched packs are rejected per weight and repacked fresh, so a
+    /// wrong pack set degrades to [`Plan::build`] rather than failing.
+    ///
+    /// # Errors
+    ///
+    /// As [`Plan::build`].
+    pub fn build_with_packs(
+        lancet: &Lancet,
+        cfg: &GptMoeConfig,
+        bucket: usize,
+        canonical: &CanonicalWeights,
+        packs: Option<&PackSet>,
+    ) -> Result<Plan> {
+        Plan::build_with(lancet, cfg.clone().with_batch(bucket), bucket, canonical, packs, false)
     }
 
     /// Builds a **prefill** plan: `bucket` sequences of exactly `seq`
@@ -158,7 +215,14 @@ impl Plan {
                     .into(),
             ));
         }
-        Plan::build_with(lancet, cfg.clone().with_batch(bucket).with_seq(seq), bucket, canonical, true)
+        Plan::build_with(
+            lancet,
+            cfg.clone().with_batch(bucket).with_seq(seq),
+            bucket,
+            canonical,
+            None,
+            true,
+        )
     }
 
     fn build_with(
@@ -166,6 +230,7 @@ impl Plan {
         cfg: GptMoeConfig,
         bucket: usize,
         canonical: &CanonicalWeights,
+        packs: Option<&PackSet>,
         harvest_kv: bool,
     ) -> Result<Plan> {
         let started = Instant::now();
@@ -231,9 +296,22 @@ impl Plan {
                 weights.set(d, id, value.clone());
             }
         }
+        // Adopt store-carried panels first: install_pack validates each
+        // against the bound value, so a stale set degrades to repacking.
+        if let Some(packs) = packs {
+            for id in graph.weights() {
+                let def = graph.tensor(id);
+                for (d, map) in packs.iter().enumerate().take(devices) {
+                    if let Some(pack) = map.get(&def.name) {
+                        weights.install_pack(d, id, Arc::clone(pack));
+                    }
+                }
+            }
+        }
         // Pack matmul weights into the GEMM's panel layout once, at build
         // time — every execution of this cached plan then skips per-call
-        // packing (the steady-state serving win PR 8 measures).
+        // packing (the steady-state serving win PR 8 measures). Weights
+        // covered by adopted panels are skipped (`PrepackStats::reused`).
         let prepack = weights.prepack_weights(&graph);
 
         // Harvested handles must still resolve in the optimized graph

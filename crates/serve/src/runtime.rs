@@ -44,7 +44,7 @@ use lancet_tensor::{pool, Tensor};
 
 use crate::cache::PlanCache;
 use crate::fault::{FaultInjector, FaultSpec};
-use crate::plan::{canonical_weights, CanonicalWeights, Plan, PlanKey};
+use crate::plan::{canonical_weights, CanonicalWeights, PackSet, Plan, PlanKey};
 use crate::stats::{Metrics, ServeStats};
 use crate::{Result, ServeError};
 
@@ -114,6 +114,13 @@ pub struct ServeConfig {
     /// [`ServeStats`]. Off by default: batches go to whichever worker
     /// frees up first and the counters stay zero.
     pub affinity: bool,
+    /// Minimum wall-clock service time per executed batch: when a batch
+    /// finishes faster, the worker sleeps out the remainder. Zero (the
+    /// default) disables the floor. This emulates a fixed-latency device
+    /// for fleet-scaling experiments on small hosts — N replicas sleeping
+    /// concurrently scale near-linearly the way N accelerators would,
+    /// where N CPU-bound replicas on one core would not.
+    pub service_floor: Duration,
 }
 
 impl Default for ServeConfig {
@@ -133,6 +140,7 @@ impl Default for ServeConfig {
             retry_backoff: Duration::from_millis(1),
             fault: None,
             affinity: false,
+            service_floor: Duration::ZERO,
         }
     }
 }
@@ -148,6 +156,9 @@ struct ModelEntry {
     /// Expert→worker plan for affinity dispatch (`None` unless
     /// [`ServeConfig::affinity`] is set).
     placement: Option<PlacementPlan>,
+    /// Prepacked GEMM panels carried in from a model store; plan builds
+    /// adopt them instead of re-packing (`None` for generated weights).
+    packs: Option<Arc<PackSet>>,
 }
 
 /// A request waiting in a queue.
@@ -231,6 +242,9 @@ struct Shared {
     exec_not_full: Condvar,
     shutting_down: AtomicBool,
     batcher_done: AtomicBool,
+    /// Abrupt-stop flag ([`ServeRuntime::crash`]): queued work is drained
+    /// with [`ServeError::Crashed`] instead of being executed.
+    crashed: AtomicBool,
     injector: Option<FaultInjector>,
 }
 
@@ -285,6 +299,7 @@ impl ServeRuntime {
             exec_not_full: Condvar::new(),
             shutting_down: AtomicBool::new(false),
             batcher_done: AtomicBool::new(false),
+            crashed: AtomicBool::new(false),
             injector,
             config,
         });
@@ -322,6 +337,60 @@ impl ServeRuntime {
     pub fn register_model(&self, cfg: GptMoeConfig) -> Result<()> {
         let cfg = cfg.clone().with_capacity_factor(cfg.experts() as f64);
         let canonical = canonical_weights(&cfg, self.shared.config.seed)?;
+        self.register_entry(cfg, canonical, None)
+    }
+
+    /// Registers `cfg` with caller-supplied weights — the model-store
+    /// load path, where the canonical weights (and, optionally, the
+    /// prepacked GEMM panels) come from a mapped store file instead of
+    /// seeded generation. When `packs` is given, plan builds adopt the
+    /// panels instead of re-packing, so a store-loaded replica's first
+    /// plan build does no packing work at all.
+    ///
+    /// The capacity factor is normalized exactly as in
+    /// [`register_model`](Self::register_model) — normalization never
+    /// changes weight shapes, only routing capacity, so stored weights
+    /// stay valid.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::BadRequest`] if the name is taken or the weights
+    /// don't cover `cfg.gpus` devices; [`ServeError::Plan`] if the model
+    /// graph cannot be built.
+    pub fn register_model_with_weights(
+        &self,
+        cfg: GptMoeConfig,
+        canonical: CanonicalWeights,
+        packs: Option<PackSet>,
+    ) -> Result<()> {
+        let cfg = cfg.clone().with_capacity_factor(cfg.experts() as f64);
+        if canonical.len() != cfg.gpus {
+            return Err(ServeError::BadRequest(format!(
+                "weights cover {} devices, model `{}` needs {}",
+                canonical.len(),
+                cfg.name,
+                cfg.gpus
+            )));
+        }
+        if let Some(p) = &packs {
+            if p.len() != cfg.gpus {
+                return Err(ServeError::BadRequest(format!(
+                    "packs cover {} devices, model `{}` needs {}",
+                    p.len(),
+                    cfg.name,
+                    cfg.gpus
+                )));
+            }
+        }
+        self.register_entry(cfg, canonical, packs.map(Arc::new))
+    }
+
+    fn register_entry(
+        &self,
+        cfg: GptMoeConfig,
+        canonical: CanonicalWeights,
+        packs: Option<Arc<PackSet>>,
+    ) -> Result<()> {
         let lancet = Lancet::new(
             ClusterSpec::of(self.shared.config.cluster, 1),
             cfg.gpus,
@@ -364,8 +433,10 @@ impl ServeRuntime {
                 cfg.name
             )));
         }
-        models
-            .insert(cfg.name.clone(), Arc::new(ModelEntry { cfg, lancet, canonical, placement }));
+        models.insert(
+            cfg.name.clone(),
+            Arc::new(ModelEntry { cfg, lancet, canonical, placement, packs }),
+        );
         Ok(())
     }
 
@@ -380,6 +451,9 @@ impl ServeRuntime {
     /// bound, or [`ServeError::ShuttingDown`].
     pub fn submit(&self, model: &str, ids: Vec<f32>) -> Result<Ticket> {
         let shared = &self.shared;
+        if shared.crashed.load(Ordering::Acquire) {
+            return Err(ServeError::Crashed);
+        }
         if shared.shutting_down.load(Ordering::Acquire) {
             return Err(ServeError::ShuttingDown);
         }
@@ -448,6 +522,56 @@ impl ServeRuntime {
         self.shared.queue_depth
     }
 
+    /// Requests waiting in the admission queue right now. Cheap (one
+    /// lock, no snapshot) — the fleet front-end polls this per submit
+    /// for its work-stealing decision.
+    pub fn queue_len(&self) -> usize {
+        self.shared.admission.lock().expect("admission lock").len()
+    }
+
+    /// Pre-builds `model`'s execution plan for every batch bucket
+    /// (1, 2, 4, …, up to `max_batch` rounded to a power of two) into the
+    /// plan cache, so the first real requests measure steady-state
+    /// service instead of plan compilation. Management-plane operation:
+    /// it bypasses admission, batching, and fault injection, and is
+    /// idempotent — buckets already cached are left untouched.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::UnknownModel`] if `model` was never registered;
+    /// [`ServeError::Plan`] if a plan cannot be built.
+    pub fn warm_model(&self, model: &str) -> Result<()> {
+        let entry = {
+            let models = self.shared.models.read().expect("models lock");
+            models.get(model).cloned().ok_or_else(|| ServeError::UnknownModel(model.into()))?
+        };
+        let top = bucket_for(self.shared.config.max_batch);
+        let mut bucket = 1usize;
+        loop {
+            let key = PlanKey {
+                model: model.into(),
+                bucket,
+                seq: entry.cfg.seq,
+                cluster: self.shared.config.cluster,
+                gpus: entry.cfg.gpus,
+            };
+            self.shared.cache.get_or_insert_with(&key, || {
+                Plan::build_with_packs(
+                    &entry.lancet,
+                    &entry.cfg,
+                    bucket,
+                    &entry.canonical,
+                    entry.packs.as_deref(),
+                )
+            })?;
+            if bucket >= top {
+                break;
+            }
+            bucket *= 2;
+        }
+        Ok(())
+    }
+
     /// Records one request's end-to-end latency (used by `serve-bench`
     /// to attribute the full submit→response time, including the
     /// caller-side wait the runtime can't see).
@@ -471,6 +595,63 @@ impl ServeRuntime {
             worker.join().expect("exec worker panicked");
         }
     }
+
+    /// Kills the replica abruptly (chaos testing / fleet fail-over
+    /// drills). Unlike [`shutdown`](Self::shutdown) — which executes
+    /// everything already admitted — `crash` answers every *queued*
+    /// request with [`ServeError::Crashed`] without executing it.
+    /// Batches a worker had already started still complete and deliver
+    /// normally (they are in no queue), preserving exactly-once
+    /// delivery: after `crash` returns, every admitted request has been
+    /// answered — with its response or with `Crashed` — and
+    /// [`ServeStats::outstanding`] is zero.
+    ///
+    /// Idempotent, and a later `shutdown` (or `Drop`) is a no-op.
+    ///
+    /// [`ServeStats::outstanding`]: crate::ServeStats::outstanding
+    pub fn crash(&self) {
+        let threads = self.threads.lock().expect("threads lock").take();
+        let shared = &self.shared;
+        shared.crashed.store(true, Ordering::Release);
+        shared.shutting_down.store(true, Ordering::Release);
+        shared.admitted.notify_all();
+        shared.exec_not_full.notify_all();
+        shared.exec_not_empty.notify_all();
+        if let Some(threads) = threads {
+            threads.batcher.join().expect("batcher panicked");
+            shared.batcher_done.store(true, Ordering::Release);
+            shared.exec_not_empty.notify_all();
+            for worker in threads.workers {
+                worker.join().expect("exec worker panicked");
+            }
+        }
+        // All threads are gone; whatever is still queued was admitted but
+        // never started. Drain it with the typed crash error.
+        let queued: Vec<Pending> = shared
+            .admission
+            .lock()
+            .expect("admission lock")
+            .drain(..)
+            .chain(
+                shared
+                    .exec
+                    .lock()
+                    .expect("exec lock")
+                    .drain(..)
+                    .flat_map(|batch| batch.entries),
+            )
+            .collect();
+        deliver_crashed(shared, queued);
+    }
+}
+
+/// Answers `entries` with [`ServeError::Crashed`], counting each.
+fn deliver_crashed(shared: &Shared, entries: Vec<Pending>) {
+    for pending in entries {
+        shared.metrics.crashed.fetch_add(1, Ordering::Relaxed);
+        let delivered = pending.slot.deliver(Err(ServeError::Crashed));
+        debug_assert!(delivered, "a queued request cannot already have a response");
+    }
 }
 
 impl Drop for ServeRuntime {
@@ -492,6 +673,11 @@ fn batcher_loop(shared: &Shared) {
         let batch = {
             let mut queue = shared.admission.lock().expect("admission lock");
             loop {
+                // A crash is abrupt: leave everything queued for the
+                // crash drain instead of batching it.
+                if shared.crashed.load(Ordering::Acquire) {
+                    return;
+                }
                 shed_expired(shared, &mut queue);
                 let Some(front) = queue.front() else {
                     if shared.shutting_down.load(Ordering::Acquire) {
@@ -569,10 +755,18 @@ fn extract(queue: &mut VecDeque<Pending>, model: &str, max: usize) -> Batch {
     Batch { model: model.into(), entries, preferred: None }
 }
 
-/// Blocks until the (bounded) exec queue has room, then enqueues.
+/// Blocks until the (bounded) exec queue has room, then enqueues. If the
+/// runtime crashes while the batcher is blocked here, the in-hand batch
+/// is answered with [`ServeError::Crashed`] (it can no longer execute —
+/// the workers are exiting).
 fn push_batch(shared: &Shared, batch: Batch) {
     let mut exec = shared.exec.lock().expect("exec lock");
     while exec.len() >= shared.exec_depth {
+        if shared.crashed.load(Ordering::Acquire) {
+            drop(exec);
+            deliver_crashed(shared, batch.entries);
+            return;
+        }
         exec = shared.exec_not_full.wait(exec).expect("exec lock");
     }
     exec.push_back(batch);
@@ -588,6 +782,12 @@ fn worker_loop(shared: &Shared, index: usize) {
         let batch = {
             let mut exec = shared.exec.lock().expect("exec lock");
             loop {
+                // A crash is abrupt: stop picking up queued batches (the
+                // crash drain answers them). The batch this worker may
+                // already be running is not in any queue and completes.
+                if shared.crashed.load(Ordering::Acquire) {
+                    return;
+                }
                 // Affinity: take the first batch preferring this worker;
                 // otherwise steal the front one (preference is soft — a
                 // free worker never idles while work is queued).
@@ -844,7 +1044,13 @@ fn execute_entries(
                 return Err(ServeError::Plan("injected plan-build fault".into()));
             }
         }
-        Plan::build(&entry.lancet, &entry.cfg, bucket, &entry.canonical)
+        Plan::build_with_packs(
+            &entry.lancet,
+            &entry.cfg,
+            bucket,
+            &entry.canonical,
+            entry.packs.as_deref(),
+        )
     })?;
 
     let seq = entry.cfg.seq;
@@ -862,7 +1068,18 @@ fn execute_entries(
             return Err(ServeError::Exec("injected transient execution fault".into()));
         }
     }
+    let exec_started = Instant::now();
     let logits = plan.execute(&ids)?;
+    // Device emulation: pad the batch out to the configured service
+    // floor, so fleet-scaling runs on small hosts see accelerator-like
+    // fixed service times instead of CPU contention.
+    let floor = shared.config.service_floor;
+    if !floor.is_zero() {
+        let elapsed = exec_started.elapsed();
+        if elapsed < floor {
+            std::thread::sleep(floor - elapsed);
+        }
+    }
     Ok((plan, logits))
 }
 

@@ -47,6 +47,9 @@ pub struct Metrics {
     pub placement_hits: AtomicU64,
     /// Requests that missed their preferred placement.
     pub placement_misses: AtomicU64,
+    /// Requests answered [`ServeError::Crashed`](crate::ServeError::Crashed)
+    /// because their replica was killed while they were queued.
+    pub crashed: AtomicU64,
     latencies: Mutex<LatencyRing>,
     /// Time-to-first-token samples (decode serving), ms.
     ttft: Mutex<LatencyRing>,
@@ -97,6 +100,7 @@ impl Metrics {
             worker_panics: AtomicU64::new(0),
             placement_hits: AtomicU64::new(0),
             placement_misses: AtomicU64::new(0),
+            crashed: AtomicU64::new(0),
             latencies: Mutex::new(LatencyRing::default()),
             ttft: Mutex::new(LatencyRing::default()),
             itl: Mutex::new(LatencyRing::default()),
@@ -139,6 +143,7 @@ impl Metrics {
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             placement_hits: self.placement_hits.load(Ordering::Relaxed),
             placement_misses: self.placement_misses.load(Ordering::Relaxed),
+            crashed: self.crashed.load(Ordering::Relaxed),
             queue_depth,
             cache,
             p50_ms: percentile(&samples, 0.50),
@@ -154,6 +159,9 @@ impl Metrics {
             } else {
                 self.batched_requests.load(Ordering::Relaxed) as f64 / batches as f64
             },
+            latency_samples: samples,
+            ttft_samples: ttft,
+            itl_samples: itl,
         }
     }
 }
@@ -214,6 +222,13 @@ pub struct ServeStats {
     /// preference is soft, so a free worker never idles while work is
     /// queued. Zero without affinity dispatch.
     pub placement_misses: u64,
+    /// Requests answered [`ServeError::Crashed`] because their replica
+    /// was killed while they were queued (chaos testing / fleet
+    /// fail-over). The fleet front-end re-routes these; a standalone
+    /// runtime surfaces them to the caller.
+    ///
+    /// [`ServeError::Crashed`]: crate::ServeError::Crashed
+    pub crashed: u64,
     /// Requests waiting in the admission queue right now.
     pub queue_depth: usize,
     /// Plan-cache effectiveness counters.
@@ -238,6 +253,15 @@ pub struct ServeStats {
     pub throughput_rps: f64,
     /// Mean requests per executed micro-batch.
     pub mean_batch: f64,
+    /// The sorted end-to-end latency window behind the `p*_ms` fields.
+    /// Carried so [`ServeStats::merge`] can recompute exact fleet-wide
+    /// percentiles instead of averaging per-replica ones (averaged
+    /// percentiles are statistically meaningless under skew).
+    pub latency_samples: Vec<f64>,
+    /// The sorted time-to-first-token window behind `ttft_p*_ms`.
+    pub ttft_samples: Vec<f64>,
+    /// The sorted inter-token-latency window behind `itl_p*_ms`.
+    pub itl_samples: Vec<f64>,
 }
 
 impl ServeStats {
@@ -249,7 +273,99 @@ impl ServeStats {
     /// Requests that were admitted but never answered. Zero whenever the
     /// runtime has drained (the exactly-once delivery invariant).
     pub fn outstanding(&self) -> u64 {
-        self.submitted - self.completed - self.shed_deadline - self.failed - self.timed_out
+        self.submitted
+            - self.completed
+            - self.shed_deadline
+            - self.failed
+            - self.timed_out
+            - self.crashed
+    }
+
+    /// Aggregates per-replica snapshots into one fleet-wide view.
+    ///
+    /// Counters sum. Latency/TTFT/ITL percentiles are recomputed over the
+    /// *pooled* sample windows — never averaged per replica, which would
+    /// understate tail latency whenever one replica is slower than the
+    /// rest. Throughput sums (replicas serve concurrently); `mean_batch`
+    /// is weighted by each replica's batch count.
+    pub fn merge(stats: &[ServeStats]) -> ServeStats {
+        let mut out = ServeStats::default();
+        let mut batch_weighted = 0.0;
+        for s in stats {
+            out.submitted += s.submitted;
+            out.completed += s.completed;
+            out.rejected_overload += s.rejected_overload;
+            out.shed_deadline += s.shed_deadline;
+            out.failed += s.failed;
+            out.timed_out += s.timed_out;
+            out.batches += s.batches;
+            out.injected_faults += s.injected_faults;
+            out.retried += s.retried;
+            out.degraded += s.degraded;
+            out.worker_panics += s.worker_panics;
+            out.placement_hits += s.placement_hits;
+            out.placement_misses += s.placement_misses;
+            out.crashed += s.crashed;
+            out.queue_depth += s.queue_depth;
+            out.cache.hits += s.cache.hits;
+            out.cache.misses += s.cache.misses;
+            out.cache.evictions += s.cache.evictions;
+            out.cache.len += s.cache.len;
+            out.cache.packed_bytes += s.cache.packed_bytes;
+            out.throughput_rps += s.throughput_rps;
+            batch_weighted += s.mean_batch * s.batches as f64;
+            out.latency_samples.extend_from_slice(&s.latency_samples);
+            out.ttft_samples.extend_from_slice(&s.ttft_samples);
+            out.itl_samples.extend_from_slice(&s.itl_samples);
+        }
+        let sort = |v: &mut Vec<f64>| v.sort_by(|a, b| a.partial_cmp(b).expect("finite latency"));
+        sort(&mut out.latency_samples);
+        sort(&mut out.ttft_samples);
+        sort(&mut out.itl_samples);
+        out.p50_ms = percentile(&out.latency_samples, 0.50);
+        out.p95_ms = percentile(&out.latency_samples, 0.95);
+        out.p99_ms = percentile(&out.latency_samples, 0.99);
+        out.ttft_p50_ms = percentile(&out.ttft_samples, 0.50);
+        out.ttft_p95_ms = percentile(&out.ttft_samples, 0.95);
+        out.itl_p50_ms = percentile(&out.itl_samples, 0.50);
+        out.itl_p95_ms = percentile(&out.itl_samples, 0.95);
+        out.mean_batch = if out.batches == 0 { 0.0 } else { batch_weighted / out.batches as f64 };
+        out
+    }
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            submitted: 0,
+            completed: 0,
+            rejected_overload: 0,
+            shed_deadline: 0,
+            failed: 0,
+            timed_out: 0,
+            batches: 0,
+            injected_faults: 0,
+            retried: 0,
+            degraded: 0,
+            worker_panics: 0,
+            placement_hits: 0,
+            placement_misses: 0,
+            crashed: 0,
+            queue_depth: 0,
+            cache: CacheStats::default(),
+            p50_ms: 0.0,
+            p95_ms: 0.0,
+            p99_ms: 0.0,
+            ttft_p50_ms: 0.0,
+            ttft_p95_ms: 0.0,
+            itl_p50_ms: 0.0,
+            itl_p95_ms: 0.0,
+            throughput_rps: 0.0,
+            mean_batch: 0.0,
+            latency_samples: Vec::new(),
+            ttft_samples: Vec::new(),
+            itl_samples: Vec::new(),
+        }
     }
 }
 
@@ -265,6 +381,71 @@ mod tests {
         assert_eq!(percentile(&s, 0.99), 99.0);
         assert_eq!(percentile(&[], 0.5), 0.0);
         assert_eq!(percentile(&[7.0], 0.99), 7.0);
+    }
+
+    #[test]
+    fn merge_matches_single_instrument_oracle() {
+        // Two replicas that each saw half the traffic must merge into the
+        // same snapshot one instrument would have produced seeing it all.
+        let whole = Metrics::new();
+        let a = Metrics::new();
+        let b = Metrics::new();
+        for i in 0..200u64 {
+            let ms = ((i * 37) % 91) as f64 + 0.5;
+            whole.record_latency(ms);
+            if i % 2 == 0 { a.record_latency(ms) } else { b.record_latency(ms) }
+            if i % 3 == 0 {
+                whole.record_ttft(ms * 2.0);
+                a.record_ttft(ms * 2.0);
+            }
+            if i % 5 == 0 {
+                whole.record_itl(ms / 4.0);
+                b.record_itl(ms / 4.0);
+            }
+        }
+        for (m, n) in [(&whole, 200u64), (&a, 100), (&b, 100)] {
+            m.submitted.store(n + 8, Ordering::Relaxed);
+            m.completed.store(n, Ordering::Relaxed);
+            m.failed.store(3, Ordering::Relaxed);
+            m.timed_out.store(2, Ordering::Relaxed);
+            m.shed_deadline.store(2, Ordering::Relaxed);
+            m.crashed.store(1, Ordering::Relaxed);
+            m.batches.store(n / 4, Ordering::Relaxed);
+            m.batched_requests.store(n, Ordering::Relaxed);
+        }
+
+        let oracle = whole.snapshot(3, CacheStats::default());
+        let merged = ServeStats::merge(&[
+            a.snapshot(1, CacheStats::default()),
+            b.snapshot(2, CacheStats::default()),
+        ]);
+
+        assert_eq!(merged.completed, oracle.completed);
+        assert_eq!(merged.submitted, 216);
+        assert_eq!(merged.failed, 6);
+        assert_eq!(merged.crashed, 2);
+        assert_eq!(merged.queue_depth, 3);
+        assert_eq!(merged.batches, oracle.batches);
+        assert_eq!(merged.latency_samples, oracle.latency_samples);
+        assert_eq!(merged.p50_ms, oracle.p50_ms);
+        assert_eq!(merged.p95_ms, oracle.p95_ms);
+        assert_eq!(merged.p99_ms, oracle.p99_ms);
+        assert_eq!(merged.ttft_p50_ms, oracle.ttft_p50_ms);
+        assert_eq!(merged.ttft_p95_ms, oracle.ttft_p95_ms);
+        assert_eq!(merged.itl_p50_ms, oracle.itl_p50_ms);
+        assert_eq!(merged.itl_p95_ms, oracle.itl_p95_ms);
+        assert!((merged.mean_batch - oracle.mean_batch).abs() < 1e-12);
+        // outstanding() accounts crashed rows: 216 - 200 - 4 - 6 - 4 - 2 = 0.
+        assert_eq!(merged.outstanding(), 0);
+    }
+
+    #[test]
+    fn merge_of_nothing_is_empty() {
+        let merged = ServeStats::merge(&[]);
+        assert_eq!(merged.submitted, 0);
+        assert_eq!(merged.p99_ms, 0.0);
+        assert_eq!(merged.mean_batch, 0.0);
+        assert_eq!(merged.outstanding(), 0);
     }
 
     #[test]

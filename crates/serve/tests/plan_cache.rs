@@ -122,6 +122,30 @@ fn packed_bytes_track_resident_plans() {
 }
 
 #[test]
+fn stable_hash_is_pinned_across_processes() {
+    // Fleet routing keys on this value; it must never depend on process
+    // state (`RandomState`, ASLR, …). The literal pins the FNV-1a
+    // construction — if this test breaks, replicas built from different
+    // binaries would route the same key to different shards.
+    let k = key("tiny", 2, ClusterKind::A100);
+    assert_eq!(k.stable_hash(), 0xf7a9_5dee_d97e_f35c);
+    assert_eq!(k.stable_hash(), k.clone().stable_hash(), "pure function of the key");
+
+    // Every field must perturb the hash.
+    let base = k.stable_hash();
+    let variants = [
+        key("tinz", 2, ClusterKind::A100),
+        key("tiny", 4, ClusterKind::A100),
+        key("tiny", 2, ClusterKind::V100),
+        PlanKey { seq: 8, ..k.clone() },
+        PlanKey { gpus: 2, ..k.clone() },
+    ];
+    for v in variants {
+        assert_ne!(v.stable_hash(), base, "{v:?} must hash differently");
+    }
+}
+
+#[test]
 fn failed_build_inserts_nothing() {
     let cache = PlanCache::new(2);
     let k = key("tiny", 1, ClusterKind::A100);

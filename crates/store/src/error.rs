@@ -1,0 +1,86 @@
+//! Typed failures for the on-disk model store.
+
+use lancet_tensor::TensorError;
+
+/// Everything that can go wrong opening, validating, or writing a store
+/// file. Corrupt input is always a typed error — never UB, never a panic.
+#[derive(Debug)]
+pub enum StoreError {
+    /// Underlying filesystem failure.
+    Io(std::io::Error),
+    /// The file does not start with the store magic.
+    BadMagic,
+    /// The file's format version is not one this reader understands.
+    WrongVersion {
+        /// Version found in the header.
+        found: u32,
+        /// Version this reader supports.
+        expected: u32,
+    },
+    /// The header's endianness tag does not decode as little-endian — the
+    /// file was written by a byte-swapped producer (or is corrupt).
+    BadEndianTag,
+    /// The file is shorter than a section the header promises.
+    Truncated {
+        /// Bytes the section needs.
+        needed: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// A section's recorded checksum does not match its bytes.
+    ChecksumMismatch {
+        /// Which section failed (`"toc"` or `"data"`).
+        section: &'static str,
+    },
+    /// The table of contents is structurally invalid (bad entry kind,
+    /// unaligned or out-of-bounds payload, non-UTF-8 name, …).
+    BadToc(String),
+    /// Reconstructing a tensor or packed panels from a mapped window
+    /// failed validation.
+    Tensor(TensorError),
+}
+
+impl std::fmt::Display for StoreError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            StoreError::Io(e) => write!(f, "store i/o error: {e}"),
+            StoreError::BadMagic => write!(f, "not a lancet model store (bad magic)"),
+            StoreError::WrongVersion { found, expected } => {
+                write!(f, "unsupported store format version {found} (reader supports {expected})")
+            }
+            StoreError::BadEndianTag => {
+                write!(f, "store endianness tag invalid (byte-swapped or corrupt header)")
+            }
+            StoreError::Truncated { needed, actual } => {
+                write!(f, "store file truncated: need {needed} bytes, have {actual}")
+            }
+            StoreError::ChecksumMismatch { section } => {
+                write!(f, "store {section} checksum mismatch (corrupt file)")
+            }
+            StoreError::BadToc(why) => write!(f, "store TOC invalid: {why}"),
+            StoreError::Tensor(e) => write!(f, "store tensor reconstruction failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for StoreError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StoreError::Io(e) => Some(e),
+            StoreError::Tensor(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for StoreError {
+    fn from(e: std::io::Error) -> Self {
+        StoreError::Io(e)
+    }
+}
+
+impl From<TensorError> for StoreError {
+    fn from(e: TensorError) -> Self {
+        StoreError::Tensor(e)
+    }
+}

@@ -32,6 +32,7 @@ mod ops;
 pub mod pack;
 pub mod pool;
 mod shape;
+pub mod storage;
 mod tensor;
 pub mod tune;
 
@@ -40,6 +41,7 @@ pub use gemm::BlockSpec;
 pub use init::TensorRng;
 pub use pack::PackedTensor;
 pub use shape::{stride_for, Shape};
+pub use storage::{Buf, BufOwner, VecOwner};
 pub use tensor::Tensor;
 
 /// Result alias for fallible tensor operations.

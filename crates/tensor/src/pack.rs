@@ -27,7 +27,10 @@
 //! invalidating packs when the source tensor is rebound (the executor's
 //! `Bindings` drop a tensor's pack on every rebinding for this reason).
 
+use std::sync::Arc;
+
 use crate::gemm::{self, BlockSpec};
+use crate::storage::{Buf, BufOwner};
 use crate::{pool, Result, Tensor, TensorError};
 
 /// A `B` operand resident in the GEMM's panel layout.
@@ -38,7 +41,7 @@ use crate::{pool, Result, Tensor, TensorError};
 /// [`batched_matmul_packed`](crate::gemm::batched_matmul_packed).
 #[derive(Debug, Clone, PartialEq)]
 pub struct PackedTensor {
-    buf: Vec<f32>,
+    buf: Buf,
     batch: usize,
     k: usize,
     n: usize,
@@ -88,7 +91,7 @@ impl PackedTensor {
         let buf = gemm::pack_b(spec, k, n, b.data(), bc, transpose_b, w);
         Ok(PackedTensor {
             panel_len: buf.len(),
-            buf,
+            buf: Buf::Owned(buf),
             batch: 1,
             k,
             n,
@@ -131,7 +134,7 @@ impl PackedTensor {
         let buf = gemm::pack_b_batched(spec, bt, k, n, b.data(), w);
         Ok(PackedTensor {
             panel_len: gemm::packed_len(spec, k, n),
-            buf,
+            buf: Buf::Owned(buf),
             batch: bt,
             k,
             n,
@@ -139,6 +142,73 @@ impl PackedTensor {
             src_shape: b.shape().to_vec(),
             transposed: false,
         })
+    }
+
+    /// Reconstructs packed panels from a shared buffer owner — the
+    /// zero-copy load path used by the `lancet-store` model format, which
+    /// serializes panels with [`PackedTensor::panel_data`] at pack time so
+    /// replicas skip re-packing at load.
+    ///
+    /// The window must hold exactly `batch` panel slices for `(k, n)`
+    /// under `spec` (i.e. `words == batch * packed_len(spec, k, n)`), laid
+    /// out exactly as [`PackedTensor::pack_with`] /
+    /// [`PackedTensor::pack_batched_with`] produce them; the panel layout
+    /// is part of the store's format contract.
+    ///
+    /// # Errors
+    ///
+    /// [`TensorError::LengthMismatch`] if the window is out of the owner's
+    /// bounds or `words` disagrees with the metadata;
+    /// [`TensorError::RankMismatch`] if `src_shape`/`batch` are not a
+    /// valid rank-2 or rank-3 pack description.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_shared_panels(
+        owner: Arc<dyn BufOwner>,
+        offset: usize,
+        words: usize,
+        batch: usize,
+        k: usize,
+        n: usize,
+        spec: BlockSpec,
+        src_shape: Vec<usize>,
+        transposed: bool,
+    ) -> Result<PackedTensor> {
+        let spec = if spec.is_valid() { spec } else { BlockSpec::DEFAULT };
+        let rank_ok = match src_shape.len() {
+            2 => batch == 1,
+            3 => batch == src_shape[0] && !transposed,
+            _ => false,
+        };
+        if !rank_ok {
+            return Err(TensorError::RankMismatch {
+                op: "pack",
+                expected: if batch == 1 { 2 } else { 3 },
+                actual: src_shape.len(),
+            });
+        }
+        let panel_len = gemm::packed_len(spec, k, n);
+        let expected = batch.saturating_mul(panel_len);
+        if words != expected {
+            return Err(TensorError::LengthMismatch { expected, actual: words });
+        }
+        let total = owner.as_f32().len();
+        let buf = Buf::shared(owner, offset, words).ok_or(TensorError::LengthMismatch {
+            expected: offset.saturating_add(words),
+            actual: total,
+        })?;
+        Ok(PackedTensor { buf, batch, k, n, spec, panel_len, src_shape, transposed })
+    }
+
+    /// The raw panel buffer (all batch slices, contiguous) — the bytes the
+    /// model store serializes so a later [`PackedTensor::from_shared_panels`]
+    /// can rebuild these panels without re-packing.
+    pub fn panel_data(&self) -> &[f32] {
+        self.buf.as_slice()
+    }
+
+    /// Whether the panels are borrowed zero-copy from a shared owner.
+    pub fn is_shared(&self) -> bool {
+        self.buf.is_shared()
     }
 
     /// Whether these panels were packed from a tensor of `b`'s shape with
@@ -190,12 +260,12 @@ impl PackedTensor {
 
     /// Panels of batch slice `bi`.
     pub(crate) fn panels(&self, bi: usize) -> &[f32] {
-        &self.buf[bi * self.panel_len..(bi + 1) * self.panel_len]
+        &self.buf.as_slice()[bi * self.panel_len..(bi + 1) * self.panel_len]
     }
 
     /// The whole panel buffer (all batch slices, contiguous).
     pub(crate) fn buf(&self) -> &[f32] {
-        &self.buf
+        self.buf.as_slice()
     }
 }
 
@@ -267,6 +337,60 @@ mod tests {
         assert!(batched_matmul_packed(&a3, &pb3, 0).is_err(), "batch mismatch must error");
         assert!(PackedTensor::pack(&Tensor::zeros(vec![2, 3, 4]), false).is_err());
         assert!(PackedTensor::pack_batched(&Tensor::zeros(vec![3, 4])).is_err());
+    }
+
+    #[test]
+    fn shared_panels_round_trip_bit_identically() {
+        use crate::storage::VecOwner;
+        use std::sync::Arc;
+        let mut rng = TensorRng::seed(24);
+        let a = rng.uniform(vec![9, 33], -1.0, 1.0);
+        let b = rng.uniform(vec![33, 21], -1.0, 1.0);
+        let pb = PackedTensor::pack(&b, false).unwrap();
+        let owner: Arc<dyn crate::storage::BufOwner> =
+            Arc::new(VecOwner(pb.panel_data().to_vec()));
+        let shared = PackedTensor::from_shared_panels(
+            Arc::clone(&owner),
+            0,
+            pb.panel_data().len(),
+            pb.batch(),
+            pb.k(),
+            pb.n(),
+            pb.spec(),
+            pb.src_shape().to_vec(),
+            pb.transposed(),
+        )
+        .unwrap();
+        assert!(shared.is_shared());
+        assert_eq!(shared, pb);
+        let y = matmul_packed(&a, &shared, false, 0).unwrap();
+        let reference = matmul_reference(&a, &b, false, false).unwrap();
+        assert_eq!(y.data(), reference.data());
+        // Wrong word counts and out-of-bounds windows are typed errors.
+        assert!(PackedTensor::from_shared_panels(
+            Arc::clone(&owner),
+            0,
+            7,
+            pb.batch(),
+            pb.k(),
+            pb.n(),
+            pb.spec(),
+            pb.src_shape().to_vec(),
+            pb.transposed(),
+        )
+        .is_err());
+        assert!(PackedTensor::from_shared_panels(
+            owner,
+            64,
+            pb.panel_data().len(),
+            pb.batch(),
+            pb.k(),
+            pb.n(),
+            pb.spec(),
+            pb.src_shape().to_vec(),
+            pb.transposed(),
+        )
+        .is_err());
     }
 
     #[test]

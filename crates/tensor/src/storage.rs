@@ -1,0 +1,187 @@
+//! Element-buffer storage: owned heap vectors or slices borrowed from a
+//! shared owner (e.g. a memory-mapped model store).
+//!
+//! A [`Tensor`](crate::Tensor) historically owned its elements in a
+//! `Vec<f32>`. Zero-copy model loading (the `lancet-store` crate) needs
+//! tensors whose elements live inside a mapped file region instead, so N
+//! serving replicas on one host share the same physical pages and
+//! cold-start is O(open) rather than O(copy). [`Buf`] is that seam: an
+//! owned vector, or an `(owner, offset, len)` window into any
+//! [`BufOwner`].
+//!
+//! The read path (`as_slice`) is identical either way; mutation goes
+//! through [`Buf::make_mut`], which copies a shared window into an owned
+//! vector first (copy-on-write), so existing kernels never observe the
+//! difference.
+
+use std::sync::Arc;
+
+/// Owner of an immutable `f32` buffer that tensors may borrow windows of.
+///
+/// Implementors guarantee the returned slice is stable for the owner's
+/// lifetime (mapped file regions, pinned allocations, leaked vectors…).
+/// The `Send + Sync` bounds let borrowing tensors cross threads, which the
+/// serving runtime requires.
+pub trait BufOwner: Send + Sync + 'static {
+    /// The full buffer, as aligned little-endian `f32` words.
+    fn as_f32(&self) -> &[f32];
+}
+
+/// A plain heap-backed owner, useful as a non-mmap fallback: the store
+/// reader uses it when mapping is unavailable and tests use it to exercise
+/// the shared path without touching the filesystem.
+#[derive(Debug)]
+pub struct VecOwner(pub Vec<f32>);
+
+impl BufOwner for VecOwner {
+    fn as_f32(&self) -> &[f32] {
+        &self.0
+    }
+}
+
+/// Tensor element storage: owned, or a window borrowed from a shared
+/// [`BufOwner`].
+#[derive(Clone)]
+pub enum Buf {
+    /// Elements owned by this buffer (the historical representation).
+    Owned(Vec<f32>),
+    /// A `[offset, offset + len)` window into a shared owner. Cloning
+    /// bumps the owner's refcount; the elements are never copied until
+    /// someone mutates them.
+    Shared {
+        /// The buffer's owner (kept alive by this handle).
+        owner: Arc<dyn BufOwner>,
+        /// Start of the window, in `f32` words.
+        offset: usize,
+        /// Window length, in `f32` words.
+        len: usize,
+    },
+}
+
+impl Buf {
+    /// A shared window into `owner`.
+    ///
+    /// Returns `None` if `[offset, offset + len)` is out of the owner's
+    /// bounds.
+    pub fn shared(owner: Arc<dyn BufOwner>, offset: usize, len: usize) -> Option<Buf> {
+        let total = owner.as_f32().len();
+        match offset.checked_add(len) {
+            Some(end) if end <= total => Some(Buf::Shared { owner, offset, len }),
+            _ => None,
+        }
+    }
+
+    /// The elements, regardless of representation.
+    pub fn as_slice(&self) -> &[f32] {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Shared { owner, offset, len } => &owner.as_f32()[*offset..*offset + *len],
+        }
+    }
+
+    /// Element count.
+    pub fn len(&self) -> usize {
+        match self {
+            Buf::Owned(v) => v.len(),
+            Buf::Shared { len, .. } => *len,
+        }
+    }
+
+    /// Whether the buffer holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Whether the elements are borrowed from a shared owner.
+    pub fn is_shared(&self) -> bool {
+        matches!(self, Buf::Shared { .. })
+    }
+
+    /// Mutable access, copying a shared window into an owned vector first
+    /// (copy-on-write). After this call the buffer is always `Owned`.
+    pub fn make_mut(&mut self) -> &mut Vec<f32> {
+        if let Buf::Shared { .. } = self {
+            *self = Buf::Owned(self.as_slice().to_vec());
+        }
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Shared { .. } => unreachable!("make_mut just materialized Owned"),
+        }
+    }
+
+    /// Consumes the buffer, returning an owned vector (copying only if
+    /// shared).
+    pub fn into_vec(self) -> Vec<f32> {
+        match self {
+            Buf::Owned(v) => v,
+            Buf::Shared { .. } => self.as_slice().to_vec(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Buf {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Buf::Owned(v) => f.debug_tuple("Owned").field(&v.len()).finish(),
+            Buf::Shared { offset, len, .. } => f
+                .debug_struct("Shared")
+                .field("offset", offset)
+                .field("len", len)
+                .finish(),
+        }
+    }
+}
+
+impl PartialEq for Buf {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl From<Vec<f32>> for Buf {
+    fn from(v: Vec<f32>) -> Self {
+        Buf::Owned(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shared_window_reads_and_cow_writes() {
+        let owner: Arc<dyn BufOwner> = Arc::new(VecOwner(vec![0.0, 1.0, 2.0, 3.0, 4.0]));
+        let mut buf = Buf::shared(Arc::clone(&owner), 1, 3).unwrap();
+        assert!(buf.is_shared());
+        assert_eq!(buf.as_slice(), &[1.0, 2.0, 3.0]);
+        buf.make_mut()[0] = 9.0;
+        assert!(!buf.is_shared());
+        assert_eq!(buf.as_slice(), &[9.0, 2.0, 3.0]);
+        // The owner is untouched.
+        assert_eq!(owner.as_f32()[1], 1.0);
+    }
+
+    #[test]
+    fn shared_bounds_are_checked() {
+        let owner: Arc<dyn BufOwner> = Arc::new(VecOwner(vec![0.0; 4]));
+        assert!(Buf::shared(Arc::clone(&owner), 0, 4).is_some());
+        assert!(Buf::shared(Arc::clone(&owner), 2, 3).is_none());
+        assert!(Buf::shared(Arc::clone(&owner), usize::MAX, 2).is_none());
+    }
+
+    #[test]
+    fn owned_and_shared_compare_by_contents() {
+        let owner: Arc<dyn BufOwner> = Arc::new(VecOwner(vec![1.0, 2.0]));
+        let shared = Buf::shared(owner, 0, 2).unwrap();
+        assert_eq!(shared, Buf::Owned(vec![1.0, 2.0]));
+        assert_ne!(shared, Buf::Owned(vec![1.0, 2.5]));
+    }
+
+    #[test]
+    fn into_vec_copies_shared() {
+        let owner: Arc<dyn BufOwner> = Arc::new(VecOwner(vec![5.0, 6.0, 7.0]));
+        let shared = Buf::shared(owner, 1, 2).unwrap();
+        assert_eq!(shared.into_vec(), vec![6.0, 7.0]);
+        assert_eq!(Buf::Owned(vec![8.0]).into_vec(), vec![8.0]);
+    }
+}

@@ -1,10 +1,16 @@
+use std::sync::Arc;
+
+use crate::storage::{Buf, BufOwner};
 use crate::{Result, Shape, TensorError, DEFAULT_ATOL, DEFAULT_RTOL};
 
 /// A dense, row-major `f32` tensor.
 ///
 /// The element buffer is always contiguous; all views are materialized
 /// copies. This keeps the executor simple and makes equivalence checks
-/// trivially bit-exact.
+/// trivially bit-exact. Elements are either owned on the heap or borrowed
+/// zero-copy from a shared [`BufOwner`] (a mapped model store); the two
+/// representations are observationally identical — mutation copies on
+/// write — so every kernel and equality check behaves the same either way.
 ///
 /// # Example
 ///
@@ -18,7 +24,7 @@ use crate::{Result, Shape, TensorError, DEFAULT_ATOL, DEFAULT_RTOL};
 #[derive(Debug, Clone, PartialEq)]
 pub struct Tensor {
     shape: Shape,
-    data: Vec<f32>,
+    data: Buf,
 }
 
 impl Tensor {
@@ -36,26 +42,59 @@ impl Tensor {
                 actual: data.len(),
             });
         }
+        Ok(Tensor { shape, data: Buf::Owned(data) })
+    }
+
+    /// Creates a tensor whose elements are a zero-copy window into a
+    /// shared buffer owner (typically a mapped model store). Cloning the
+    /// result bumps the owner's refcount; the elements are copied only if
+    /// mutated.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::LengthMismatch`] if the window is out of the
+    /// owner's bounds or its length differs from the shape volume.
+    pub fn from_shared(
+        shape: impl Into<Shape>,
+        owner: Arc<dyn BufOwner>,
+        offset: usize,
+        len: usize,
+    ) -> Result<Self> {
+        let shape = shape.into();
+        if shape.volume() != len {
+            return Err(TensorError::LengthMismatch { expected: shape.volume(), actual: len });
+        }
+        let total = owner.as_f32().len();
+        let data = Buf::shared(owner, offset, len).ok_or(TensorError::LengthMismatch {
+            expected: offset.saturating_add(len),
+            actual: total,
+        })?;
         Ok(Tensor { shape, data })
+    }
+
+    /// Whether the elements are borrowed from a shared owner (no mutation
+    /// has detached them yet).
+    pub fn is_shared(&self) -> bool {
+        self.data.is_shared()
     }
 
     /// A tensor filled with zeros.
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
-        let data = vec![0.0; shape.volume()];
+        let data = Buf::Owned(vec![0.0; shape.volume()]);
         Tensor { shape, data }
     }
 
     /// A tensor filled with `value`.
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
-        let data = vec![value; shape.volume()];
+        let data = Buf::Owned(vec![value; shape.volume()]);
         Tensor { shape, data }
     }
 
     /// A rank-0 tensor holding a single value.
     pub fn scalar(value: f32) -> Self {
-        Tensor { shape: Shape::scalar(), data: vec![value] }
+        Tensor { shape: Shape::scalar(), data: Buf::Owned(vec![value]) }
     }
 
     /// The tensor's shape extents.
@@ -80,20 +119,25 @@ impl Tensor {
 
     /// Read-only view of the element buffer (row-major).
     pub fn data(&self) -> &[f32] {
-        &self.data
+        self.data.as_slice()
     }
 
-    /// Mutable view of the element buffer (row-major).
+    /// Mutable view of the element buffer (row-major). If the elements
+    /// were borrowed from a shared owner they are copied on this call
+    /// (copy-on-write), so the owner is never mutated through a tensor.
     pub fn data_mut(&mut self) -> &mut [f32] {
-        &mut self.data
+        self.data.make_mut()
     }
 
-    /// Consumes the tensor, returning the element buffer.
+    /// Consumes the tensor, returning the element buffer (copying only if
+    /// the elements were borrowed from a shared owner).
     pub fn into_vec(self) -> Vec<f32> {
-        self.data
+        self.data.into_vec()
     }
 
-    /// Reinterprets the buffer with a new shape of equal volume.
+    /// Reinterprets the buffer with a new shape of equal volume. A
+    /// shared-storage tensor reshapes without copying (the clone is a
+    /// refcount bump).
     ///
     /// # Errors
     ///
@@ -122,7 +166,7 @@ impl Tensor {
             assert!(ix < self.shape.dim(i), "index out of bounds");
             off += ix * st;
         }
-        self.data[off]
+        self.data.as_slice()[off]
     }
 
     /// Returns `true` if every element is within `atol + rtol * |other|`
@@ -137,8 +181,9 @@ impl Tensor {
             return false;
         }
         self.data
+            .as_slice()
             .iter()
-            .zip(&other.data)
+            .zip(other.data.as_slice())
             .all(|(&a, &b)| (a - b).abs() <= atol + rtol * b.abs())
     }
 
@@ -149,8 +194,9 @@ impl Tensor {
         }
         Some(
             self.data
+                .as_slice()
                 .iter()
-                .zip(&other.data)
+                .zip(other.data.as_slice())
                 .map(|(&a, &b)| (a - b).abs())
                 .fold(0.0f32, f32::max),
         )
@@ -160,14 +206,15 @@ impl Tensor {
 impl std::fmt::Display for Tensor {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "Tensor{}[", self.shape)?;
-        let n = self.data.len().min(8);
-        for (i, v) in self.data[..n].iter().enumerate() {
+        let data = self.data.as_slice();
+        let n = data.len().min(8);
+        for (i, v) in data[..n].iter().enumerate() {
             if i > 0 {
                 write!(f, ", ")?;
             }
             write!(f, "{v}")?;
         }
-        if self.data.len() > n {
+        if data.len() > n {
             write!(f, ", …")?;
         }
         write!(f, "]")
@@ -223,6 +270,30 @@ mod tests {
         assert_eq!(a.max_abs_diff(&b), Some(0.5));
         let c = Tensor::zeros(vec![3]);
         assert_eq!(a.max_abs_diff(&c), None);
+    }
+
+    #[test]
+    fn shared_storage_is_observationally_owned() {
+        use crate::storage::VecOwner;
+        let owner: Arc<dyn BufOwner> = Arc::new(VecOwner((0..6).map(|x| x as f32).collect()));
+        let t = Tensor::from_shared(vec![2, 3], Arc::clone(&owner), 0, 6).unwrap();
+        let o = Tensor::from_vec(vec![2, 3], (0..6).map(|x| x as f32).collect()).unwrap();
+        assert!(t.is_shared());
+        assert_eq!(t, o);
+        assert_eq!(t.at(&[1, 2]), 5.0);
+        // Reshape keeps sharing; clone is a refcount bump.
+        let r = t.reshape(vec![3, 2]).unwrap();
+        assert!(r.is_shared());
+        assert_eq!(r.data(), o.data());
+        // Copy-on-write: mutation detaches without touching the owner.
+        let mut m = t.clone();
+        m.data_mut()[0] = 99.0;
+        assert!(!m.is_shared());
+        assert_eq!(t.data()[0], 0.0);
+        assert_eq!(owner.as_f32()[0], 0.0);
+        // Bounds and volume are checked.
+        assert!(Tensor::from_shared(vec![2, 3], Arc::clone(&owner), 2, 6).is_err());
+        assert!(Tensor::from_shared(vec![2, 2], Arc::clone(&owner), 0, 6).is_err());
     }
 
     #[test]

@@ -71,6 +71,19 @@ echo "==> lancet decode-bench --quick"
 # time-to-first-token, every stream is gapless, and no token is lost.
 ./target/release/lancet decode-bench --quick
 
+echo "==> store round trip (pack → mmap load → bit-identical forward)"
+# The on-disk model store gate: every model-zoo variant packs to a store
+# file, loads back through the zero-copy path, and must be bit-identical
+# to generated weights — raw bits and a full serving forward pass.
+cargo test -q --release --test store_roundtrip
+
+echo "==> lancet fleet-bench --quick"
+# Fleet scaling floor: a closed burst through 1→4 store-backed replicas
+# (fixed service floor emulating device time) must reach ≥ 2.5x the
+# single-replica throughput at N=4, and the chaos leg (crash the routed
+# replica with a full queue) must lose zero admitted tickets.
+./target/release/lancet fleet-bench --quick
+
 echo "==> results/BENCH_*.json are documented"
 # Every committed benchmark artifact must be referenced from
 # EXPERIMENTS.md so readers can find the regeneration instructions.

@@ -8,6 +8,8 @@
 //! lancet placement-bench [--seed N] [--gpus 16] [--experts 32] [--quick]
 //! lancet decode-bench [--requests 32] [--rate 200] [--inflight 8] [--quick]
 //! lancet tune-gemm [--samples 3] [--quick]
+//! lancet pack-model [--model tiny] [--gpus 1] [--out results/model-tiny.lancet]
+//! lancet fleet-bench [--replicas 4] [--requests 96] [--floor 10] [--quick]
 //! ```
 //!
 //! `optimize` runs the Lancet passes on one configuration and reports the
@@ -37,6 +39,14 @@
 //! `results/TUNE_gemm.json`; runtimes opt in via `LANCET_GEMM_TUNE`.
 //! Blocking never changes computed bits, only traversal, so a tuned
 //! table is purely a performance knob.
+//! `pack-model` writes a model's canonical weights and prepacked GEMM
+//! panels to a `lancet-store` file that runtimes load zero-copy (mmap).
+//! `fleet-bench` drives closed bursts through 1→N replica fleets and
+//! fails unless throughput scales (quick gate: 4 replicas ≥ 2.5× one)
+//! and a mid-burst replica crash loses zero admitted requests; the full
+//! run writes `results/BENCH_fleet.json` including cold-start timings
+//! (store-mapped vs generated registration, separate from first-request
+//! latency).
 
 use lancet_repro::baselines::{run_system, System};
 use lancet_repro::core::{Lancet, LancetOptions};
@@ -48,7 +58,20 @@ use std::collections::HashMap;
 use std::process::ExitCode;
 
 const USAGE: &str = "\
-usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench|decode-bench|tune-gemm> [options]
+usage: lancet <optimize|compare|serve-bench|chaos-bench|placement-bench|decode-bench|tune-gemm|pack-model|fleet-bench> [options]
+
+pack-model options:
+  --model <s|l|mixtral|tiny>  model to pack (default: tiny)
+  --gpus <N>                device count to canonicalize for (default: 1)
+  --out <FILE>              store path (default: results/model-<name>.lancet)
+  --seed <N>                weight seed (default: the serving default)
+
+fleet-bench options:
+  --replicas <N>            largest fleet size swept (default: 4)
+  --requests <N>            burst size per fleet size (default: 96; quick: 48)
+  --floor <MS>              per-batch service floor, emulating a fixed-latency
+                            device on small hosts (default: 10)
+  --quick                   scaling + crash gates only, no artifact (verify.sh)
 
 tune-gemm options:
   --samples <N>             timed runs per candidate blocking (default: 3)
@@ -997,6 +1020,375 @@ fn cmd_decode_bench(opts: &HashMap<String, String>) -> Result<(), String> {
     Ok(())
 }
 
+/// Builds the prepacked GEMM panels that `write_store` serializes next to
+/// the canonical weights: bind every weight, run the executor's prepack
+/// pass, and harvest the per-device panels keyed by weight name.
+fn store_pack_panels(
+    cfg: &GptMoeConfig,
+    canonical: &lancet_repro::serve::CanonicalWeights,
+) -> Result<lancet_repro::store::StoredPacks, String> {
+    use lancet_repro::exec::Bindings;
+
+    let model = build_forward(cfg).map_err(|e| format!("model graph: {e}"))?;
+    let graph = model.graph;
+    let devices = canonical.len();
+    let mut bindings = Bindings::new(devices);
+    for id in graph.weights() {
+        let def = graph.tensor(id);
+        for (d, map) in canonical.iter().enumerate() {
+            let value = map
+                .get(&def.name)
+                .ok_or_else(|| format!("canonical weights missing `{}`", def.name))?;
+            bindings.set(d, id, value.clone());
+        }
+    }
+    bindings.prepack_weights(&graph);
+
+    let mut packs: lancet_repro::store::StoredPacks = vec![HashMap::new(); devices];
+    for id in graph.weights() {
+        let name = &graph.tensor(id).name;
+        for (d, map) in packs.iter_mut().enumerate() {
+            if let Some(p) = bindings.packed(d, id) {
+                map.insert(name.clone(), std::sync::Arc::new(p.clone()));
+            }
+        }
+    }
+    Ok(packs)
+}
+
+fn cmd_pack_model(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::serve::{canonical_weights, ServeConfig};
+    use lancet_repro::store::{open_store_with, write_store, OpenOptions};
+    use std::time::Instant;
+
+    // pack-model defaults to the smallest single-device model; serving
+    // hosts are the consumers, not the 16-GPU training sweeps.
+    let mut opts = opts.clone();
+    opts.entry("model".into()).or_insert_with(|| "tiny".into());
+    opts.entry("gpus".into()).or_insert_with(|| "1".into());
+    let model_key = opts.get("model").cloned().unwrap_or_else(|| "tiny".into());
+    let (cfg, _cluster) = build_config(&opts)?;
+    let seed: u64 = match opts.get("seed") {
+        Some(v) => v.parse().map_err(|_| format!("bad --seed `{v}`"))?,
+        None => ServeConfig::default().seed,
+    };
+    let out = opts.get("out").cloned().unwrap_or_else(|| {
+        format!("{}/results/model-{model_key}.lancet", env!("CARGO_MANIFEST_DIR"))
+    });
+
+    // The store must hold exactly what register_model would generate, so
+    // normalize the capacity factor the same way the runtime does.
+    let cfg = cfg.clone().with_capacity_factor(cfg.experts() as f64);
+    println!(
+        "pack-model: {} ({} layers, hidden {}, {} experts) × {} device(s), seed {seed:#x}",
+        cfg.name,
+        cfg.layers,
+        cfg.hidden,
+        cfg.experts(),
+        cfg.gpus
+    );
+
+    let t = Instant::now();
+    let canonical = canonical_weights(&cfg, seed).map_err(|e| e.to_string())?;
+    let gen_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let packs = store_pack_panels(&cfg, &canonical)?;
+    let pack_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let summary = write_store(std::path::Path::new(&out), &cfg.name, &canonical, &packs)
+        .map_err(|e| format!("write {out}: {e}"))?;
+    let write_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    // Reopen with the full data checksum on and prove the round trip is
+    // bit-identical before calling the file good.
+    let t = Instant::now();
+    let stored = open_store_with(
+        std::path::Path::new(&out),
+        OpenOptions { mmap: None, verify_data: Some(true) },
+    )
+    .map_err(|e| format!("verify {out}: {e}"))?;
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+    for (d, map) in canonical.iter().enumerate() {
+        for (name, tensor) in map {
+            let got = stored.weights[d]
+                .get(name)
+                .ok_or_else(|| format!("round trip lost `{name}` on device {d}"))?;
+            if got.data() != tensor.data() {
+                return Err(format!("round trip corrupted `{name}` on device {d}"));
+            }
+        }
+    }
+
+    println!(
+        "  weights   {:>8.1} ms to generate, {} tensors ({} deduped to shared payloads)",
+        gen_ms, summary.tensors, summary.deduped
+    );
+    println!("  panels    {:>8.1} ms to prepack, {} pack entries", pack_ms, summary.packs);
+    println!(
+        "  store     {:>8.1} ms to write, {:.2} MiB, full-checksum reopen {:.1} ms ({})",
+        write_ms,
+        summary.bytes as f64 / (1024.0 * 1024.0),
+        open_ms,
+        if stored.mapped { "mapped" } else { "heap fallback" }
+    );
+    println!("wrote {out}");
+    Ok(())
+}
+
+fn cmd_fleet_bench(opts: &HashMap<String, String>) -> Result<(), String> {
+    use lancet_repro::fleet::{Fleet, FleetConfig};
+    use lancet_repro::serve::{canonical_weights, ServeConfig, ServeRuntime};
+    use lancet_repro::store::{open_store, write_store};
+    use std::time::{Duration, Instant};
+
+    let quick = opts.contains_key("quick");
+    let parse_usize = |key: &str, default: usize| -> Result<usize, String> {
+        opts.get(key)
+            .map(|v| v.parse::<usize>().map_err(|_| format!("bad --{key} `{v}`")))
+            .transpose()
+            .map(|v| v.unwrap_or(default))
+    };
+    let replicas_max = parse_usize("replicas", 4)?.max(1);
+    let requests = parse_usize("requests", if quick { 64 } else { 96 })?.max(replicas_max);
+    let floor_ms = parse_usize("floor", 10)? as u64;
+
+    // One exec worker per replica and a fixed per-batch service floor
+    // emulate N fixed-latency devices, so the scaling table measures the
+    // fleet's routing/stealing, not host-CPU contention.
+    let serve = ServeConfig {
+        max_batch: 2,
+        batch_window: Duration::from_millis(1),
+        exec_workers: 1,
+        service_floor: Duration::from_millis(floor_ms),
+        ..ServeConfig::default()
+    };
+    let cfg = {
+        let mut c = GptMoeConfig::tiny(1, GateKind::Switch);
+        c.name = "GPT2-XS-MoE-fleet".into();
+        c
+    };
+    println!(
+        "fleet-bench: {requests} requests, 1→{replicas_max} replicas, {floor_ms} ms service \
+         floor, model {}{}",
+        cfg.name,
+        if quick { " (quick)" } else { "" }
+    );
+
+    // ── Cold start: pack the model once, then time the store path
+    // against regenerating weights, keeping first-request latency (plan
+    // build + execute) separate from load time.
+    let normalized = cfg.clone().with_capacity_factor(cfg.experts() as f64);
+    let canonical = canonical_weights(&normalized, serve.seed).map_err(|e| e.to_string())?;
+    let packs = store_pack_panels(&normalized, &canonical)?;
+    let store_path =
+        std::env::temp_dir().join(format!("lancet-fleet-bench-{}.lancet", std::process::id()));
+    let t = Instant::now();
+    let summary = write_store(&store_path, &normalized.name, &canonical, &packs)
+        .map_err(|e| e.to_string())?;
+    let pack_write_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let t = Instant::now();
+    let stored = open_store(&store_path).map_err(|e| e.to_string())?;
+    let open_ms = t.elapsed().as_secs_f64() * 1e3;
+
+    let prompt = |salt: usize| -> Vec<f32> {
+        (0..cfg.seq).map(|t| ((t + salt) % cfg.vocab) as f32).collect()
+    };
+
+    let rt_stored = ServeRuntime::start(serve.clone());
+    let t = Instant::now();
+    rt_stored
+        .register_model_with_weights(cfg.clone(), stored.weights.clone(), Some(stored.packs.clone()))
+        .map_err(|e| e.to_string())?;
+    let register_stored_ms = t.elapsed().as_secs_f64() * 1e3;
+    let t = Instant::now();
+    let stored_reply = rt_stored.submit_blocking(&cfg.name, prompt(0)).map_err(|e| e.to_string())?;
+    let first_request_ms = t.elapsed().as_secs_f64() * 1e3;
+    rt_stored.shutdown();
+
+    let rt_gen = ServeRuntime::start(serve.clone());
+    let t = Instant::now();
+    rt_gen.register_model(cfg.clone()).map_err(|e| e.to_string())?;
+    let register_generated_ms = t.elapsed().as_secs_f64() * 1e3;
+    let gen_reply = rt_gen.submit_blocking(&cfg.name, prompt(0)).map_err(|e| e.to_string())?;
+    rt_gen.shutdown();
+    if stored_reply != gen_reply {
+        return Err("fleet-bench: store-loaded weights diverged from generated weights".into());
+    }
+
+    println!(
+        "\n  cold start: store {:.2} MiB written in {pack_write_ms:.1} ms, opened in \
+         {open_ms:.2} ms ({}), register stored {register_stored_ms:.1} ms vs generated \
+         {register_generated_ms:.1} ms, first request {first_request_ms:.1} ms",
+        summary.bytes as f64 / (1024.0 * 1024.0),
+        if stored.mapped { "mapped" } else { "heap fallback" }
+    );
+
+    // ── Scaling sweep: the same closed burst through 1..=N replicas.
+    println!("\n  replicas   wall (ms)   req/s   speedup   p50 (ms)   p99 (ms)   stolen");
+    let mut rows: Vec<String> = Vec::new();
+    let mut base_rps = 0.0f64;
+    let mut gate_speedup = 0.0f64;
+    for n in 1..=replicas_max {
+        let fleet = Fleet::start(FleetConfig {
+            replicas: n,
+            serve: serve.clone(),
+            steal_threshold: 1,
+        });
+        fleet
+            .register_model_with_weights(cfg.clone(), &stored.weights, Some(&stored.packs))
+            .map_err(|e| e.to_string())?;
+        // Pre-build every bucket's plan on every replica, then run one
+        // settling wave, so the timed burst measures steady-state
+        // service rather than plan compilation.
+        fleet.warm(&cfg.name).map_err(|e| e.to_string())?;
+        let warm: Vec<_> = (0..(2 * n))
+            .map(|i| fleet.submit(&cfg.name, prompt(i)))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        for t in warm {
+            t.wait().map_err(|e| e.to_string())?;
+        }
+
+        let t = Instant::now();
+        let tickets: Vec<_> = (0..requests)
+            .map(|i| fleet.submit(&cfg.name, prompt(i)))
+            .collect::<Result<_, _>>()
+            .map_err(|e| e.to_string())?;
+        for ticket in tickets {
+            ticket.wait().map_err(|e| e.to_string())?;
+        }
+        let wall = t.elapsed().as_secs_f64();
+        let stats = fleet.stats();
+        fleet.shutdown();
+        if stats.merged.outstanding() != 0 {
+            return Err(format!(
+                "fleet-bench: {n}-replica leg left {} requests unanswered",
+                stats.merged.outstanding()
+            ));
+        }
+
+        let rps = requests as f64 / wall;
+        if n == 1 {
+            base_rps = rps;
+        }
+        let speedup = rps / base_rps;
+        if n == replicas_max.min(4) {
+            gate_speedup = speedup;
+        }
+        println!(
+            "  {n:>8} {:>11.1} {:>7.1} {:>8.2}x {:>10.2} {:>10.2} {:>8}",
+            wall * 1e3,
+            rps,
+            speedup,
+            stats.merged.p50_ms,
+            stats.merged.p99_ms,
+            stats.stolen
+        );
+        rows.push(format!(
+            "    {{\"replicas\": {n}, \"requests\": {requests}, \"wall_ms\": {:.1}, \
+             \"throughput_rps\": {:.1}, \"speedup\": {:.3}, \"p50_ms\": {:.3}, \
+             \"p99_ms\": {:.3}, \"stolen\": {}}}",
+            wall * 1e3,
+            rps,
+            speedup,
+            stats.merged.p50_ms,
+            stats.merged.p99_ms,
+            stats.stolen
+        ));
+    }
+
+    // ── Scaling floor: with device time emulated, 4 replicas must buy
+    // well over half their nominal capacity.
+    if replicas_max >= 4 && gate_speedup < 2.5 {
+        return Err(format!(
+            "fleet-bench: 4 replicas reached only {gate_speedup:.2}x a single replica \
+             (floor 2.5x)"
+        ));
+    }
+
+    // ── Chaos leg: kill the routed replica with its queue full; every
+    // admitted ticket must still answer via re-routing.
+    let chaos_replicas = replicas_max.clamp(2, 3);
+    let chaos_requests = 24usize;
+    let fleet = Fleet::start(FleetConfig {
+        replicas: chaos_replicas,
+        serve: ServeConfig { service_floor: Duration::from_millis(5), ..serve.clone() },
+        steal_threshold: usize::MAX,
+    });
+    fleet
+        .register_model_with_weights(cfg.clone(), &stored.weights, Some(&stored.packs))
+        .map_err(|e| e.to_string())?;
+    let home = fleet.route_of(&cfg.name).map_err(|e| e.to_string())?;
+    let tickets: Vec<_> = (0..chaos_requests)
+        .map(|i| fleet.submit(&cfg.name, prompt(i)))
+        .collect::<Result<_, _>>()
+        .map_err(|e| e.to_string())?;
+    fleet.crash(home);
+    let mut lost = 0usize;
+    for ticket in tickets {
+        if ticket.wait().is_err() {
+            lost += 1;
+        }
+    }
+    let chaos = fleet.stats();
+    fleet.shutdown();
+    if lost != 0 || chaos.merged.outstanding() != 0 {
+        return Err(format!(
+            "fleet-bench: chaos leg lost {lost} tickets ({} unanswered)",
+            chaos.merged.outstanding()
+        ));
+    }
+    println!(
+        "\n  chaos: crashed replica {home}/{chaos_replicas} with {} queued tickets drained, \
+         {} re-routed, 0 lost",
+        chaos.merged.crashed, chaos.rerouted
+    );
+    println!(
+        "\nscaling floor: {} replicas at {gate_speedup:.2}x ≥ 2.5x, chaos 0 lost — OK",
+        replicas_max.min(4)
+    );
+    let _ = std::fs::remove_file(&store_path);
+
+    if !quick {
+        let path = concat!(env!("CARGO_MANIFEST_DIR"), "/results/BENCH_fleet.json");
+        let out = format!(
+            "{{\n  \"bench\": \"fleet\",\n  \"workload\": {{\"requests\": {requests}, \
+             \"service_floor_ms\": {floor_ms}, \"max_batch\": {}, \"seed\": {}}},\n  \
+             \"model\": {{\"name\": \"{}\", \"layers\": {}, \"hidden\": {}, \
+             \"experts\": {}, \"vocab\": {}}},\n  \
+             \"cold_start\": {{\"store_bytes\": {}, \"store_tensors\": {}, \
+             \"store_packs\": {}, \"deduped\": {}, \"pack_write_ms\": {pack_write_ms:.2}, \
+             \"open_ms\": {open_ms:.3}, \"mapped\": {}, \
+             \"register_stored_ms\": {register_stored_ms:.2}, \
+             \"register_generated_ms\": {register_generated_ms:.2}, \
+             \"first_request_ms\": {first_request_ms:.2}}},\n  \
+             \"scaling\": [\n{}\n  ],\n  \
+             \"chaos\": {{\"replicas\": {chaos_replicas}, \"requests\": {chaos_requests}, \
+             \"crashed\": {}, \"rerouted\": {}, \"lost\": {lost}}}\n}}\n",
+            serve.max_batch,
+            serve.seed,
+            cfg.name,
+            cfg.layers,
+            cfg.hidden,
+            cfg.experts(),
+            cfg.vocab,
+            summary.bytes,
+            summary.tensors,
+            summary.packs,
+            summary.deduped,
+            stored.mapped,
+            rows.join(",\n"),
+            chaos.merged.crashed,
+            chaos.rerouted,
+        );
+        std::fs::write(path, out).map_err(|e| format!("write {path}: {e}"))?;
+        println!("wrote {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
     match parse_args() {
         Ok((cmd, opts)) => {
@@ -1008,6 +1400,8 @@ fn main() -> ExitCode {
                 "chaos-bench" => cmd_chaos_bench(&opts),
                 "placement-bench" => cmd_placement_bench(&opts),
                 "decode-bench" => cmd_decode_bench(&opts),
+                "pack-model" => cmd_pack_model(&opts),
+                "fleet-bench" => cmd_fleet_bench(&opts),
                 "help" | "--help" | "-h" => {
                     print!("{USAGE}");
                     Ok(())

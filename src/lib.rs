@@ -16,6 +16,10 @@
 //!   micro-batching, backpressure)
 //! * [`decode`] — autoregressive decode serving (KV cache, continuous
 //!   batching, token streaming)
+//! * [`store`] — mmap-friendly on-disk model format (zero-copy weight
+//!   loading, prepacked GEMM panels)
+//! * [`fleet`] — multi-replica serving front-end (consistent routing,
+//!   work stealing, crash fail-over)
 //! * [`tensor`] — dense tensor math
 
 pub use lancet_baselines as baselines;
@@ -26,6 +30,8 @@ pub use lancet_exec as exec;
 pub use lancet_ir as ir;
 pub use lancet_models as models;
 pub use lancet_moe as moe;
+pub use lancet_fleet as fleet;
 pub use lancet_serve as serve;
 pub use lancet_sim as sim;
+pub use lancet_store as store;
 pub use lancet_tensor as tensor;
