@@ -145,6 +145,7 @@ pub fn hyperparams(quick: bool) -> Vec<Record> {
             backward: BackwardOptions::default(),
             prefetch_lookahead: 1,
             placement: None,
+            tile: None,
         };
         let lancet = Lancet::new(spec.clone(), gpus, options);
         let fwd = build_forward(&cfg).expect("build").graph;
@@ -196,6 +197,7 @@ pub fn allreduce_interference(quick: bool) -> Vec<Record> {
                 backward: backward.clone(),
                 prefetch_lookahead: 1,
                 placement: None,
+                tile: None,
             };
             let lancet = Lancet::new(spec.clone(), gpus, options);
             let fwd = build_forward(&cfg).expect("build").graph;

@@ -54,6 +54,7 @@ pub use lancet::{
 pub use prefetch::{prefetch_allgathers, PrefetchReport};
 pub use recompute::{recompute_segments, RecomputeReport};
 pub use partition::{
-    apply_partitions, infer_axes, partition_pass, partition_pass_with, AxisSolution, PartAxis,
-    PartitionMemo, PartitionOptions, PartitionReport, PartitionSpec,
+    apply_partitions, apply_tile_schedule, infer_axes, partition_pass, partition_pass_with,
+    AxisSolution, PartAxis, PartitionMemo, PartitionOptions, PartitionReport, PartitionSpec,
+    TileReport, TileSchedule,
 };

@@ -1,0 +1,517 @@
+//! Tile-granular compute–communication overlap (the Comet direction,
+//! arXiv:2502.19811).
+//!
+//! The partition pass pipelines at whole-partition granularity: chunks of
+//! the *batch* (or capacity) flow through dispatch → all-to-all → experts
+//! → all-to-all → gather, and overlap happens *between* chunk stages. The
+//! tile scheduler goes one level deeper: inside a single uniform
+//! all-to-all → expert-FFN → all-to-all region it splits the transfer and
+//! the expert GEMMs into `K` tiles along the **capacity axis** (dim 1 of
+//! the `(E, C, M)` expert buffer) and emits the per-stream interleaved
+//! order
+//!
+//! ```text
+//! comm    | a2a₀ a2a₁ … a2aₖ   back₀      back₁      …
+//! compute |      ffn₀ ──────── ffn₁ ───── ffn₂ …
+//! ```
+//!
+//! so tile `k`'s exchange hides behind tile `k−1`'s expert compute — the
+//! communication is hidden *inside* the operator, not between operators.
+//!
+//! **Bit-exactness.** Capacity-axis slicing commutes with every op the
+//! scheduler tiles: the uniform all-to-all exchanges whole `(c·m)` row
+//! blocks keyed by the expert axis only, `ExpertsLayout`/`Inv` pairs
+//! cancel per tile, `BatchedMatMul` is row-wise with a fixed K-order
+//! accumulation, and element-wise ops are trivially row-wise. The final
+//! `Concat` along the capacity axis reassembles the exact rows of the
+//! untiled buffer, so a tiled plan's executed forward is bit-identical to
+//! the partition-level plan's — the contract `tests/overlap.rs` and the
+//! `tile_props` property suite enforce over the model zoo.
+//!
+//! **What is not tiled.** Irregular (`AllToAllIrr`) pipelines carry
+//! per-expert counts tensors whose row payloads are data-dependent;
+//! slicing them would need count-splitting arithmetic that no IR op
+//! expresses, so irregular segments are left at partition granularity and
+//! reported in [`TileReport::skipped`]. Segments whose capacity extent
+//! cannot host at least two tiles of [`TileSchedule::min_rows`] rows are
+//! skipped the same way.
+
+use lancet_ir::{Graph, Op, Result, Role, TensorId, TensorKind};
+use std::collections::{HashMap, HashSet};
+
+/// Tile-granular overlap schedule: how many tiles to split each uniform
+/// all-to-all → expert-FFN → all-to-all segment into.
+///
+/// Selected via [`LancetOptions::tile`](crate::LancetOptions::tile);
+/// `None` (the default) keeps partition-level scheduling and produces
+/// today's plans byte-for-byte. `tiles <= 1` is the identity.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TileSchedule {
+    /// Number of tiles `K` each segment's capacity axis is split into.
+    /// Per-segment the count is clamped to the capacity extent (and to
+    /// `capacity / min_rows`), so any value is safe.
+    pub tiles: usize,
+    /// Minimum rows per tile: segments where `capacity / min_rows < 2`
+    /// are left untiled (tiny exchanges are latency-bound and tiling
+    /// them only multiplies per-message latency).
+    pub min_rows: usize,
+}
+
+impl TileSchedule {
+    /// A schedule splitting segments into `tiles` tiles (no row floor).
+    pub fn new(tiles: usize) -> Self {
+        TileSchedule { tiles, min_rows: 1 }
+    }
+
+    /// Sets the minimum rows per tile (builder style).
+    pub fn with_min_rows(mut self, rows: usize) -> Self {
+        self.min_rows = rows.max(1);
+        self
+    }
+
+    /// Reads the schedule from the environment: `LANCET_TILE_COUNT`
+    /// enables tiling when set to an integer ≥ 2, `LANCET_TILE_MIN_ROWS`
+    /// (default 1) sets the per-tile row floor. Returns `None` — keep
+    /// partition-level scheduling — when the count is unset, unparsable,
+    /// or ≤ 1. See docs/CONFIG.md.
+    pub fn from_env() -> Option<Self> {
+        let tiles: usize = std::env::var("LANCET_TILE_COUNT").ok()?.trim().parse().ok()?;
+        if tiles <= 1 {
+            return None;
+        }
+        let min_rows = std::env::var("LANCET_TILE_MIN_ROWS")
+            .ok()
+            .and_then(|v| v.trim().parse().ok())
+            .unwrap_or(1usize);
+        Some(TileSchedule { tiles, min_rows: min_rows.max(1) })
+    }
+}
+
+/// What [`apply_tile_schedule`] did to a graph.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct TileReport {
+    /// Uniform all-to-all → expert → all-to-all segments tiled.
+    pub segments: usize,
+    /// All-to-all instructions left at partition granularity (irregular
+    /// exchanges, non-expert regions, capacity extents too small).
+    pub skipped: usize,
+    /// The requested tile count `K`.
+    pub tiles: usize,
+    /// Net instructions added by the rewrite (slices, per-tile ops,
+    /// concats, minus the replaced originals).
+    pub ops_added: usize,
+}
+
+/// A detected tileable segment in the source graph.
+struct Segment {
+    /// Position of the entry (dispatch-direction) uniform all-to-all.
+    entry: usize,
+    /// Positions of the expert-region instructions, in program order.
+    members: Vec<usize>,
+    /// Position of the exit (combine-direction) uniform all-to-all.
+    exit: usize,
+    /// Capacity extent `C` of the entry buffer.
+    cap: usize,
+    /// Effective tile count for this segment (clamped to `C / min_rows`).
+    tiles: usize,
+}
+
+/// Even-ish split of `extent` rows into `parts` tiles (earlier tiles take
+/// the remainder), as (start, len) pairs — the same split rule the
+/// partition codegen uses for chunk bounds.
+fn tile_bounds(extent: usize, parts: usize) -> Vec<(usize, usize)> {
+    let base = extent / parts;
+    let rem = extent % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < rem);
+        out.push((start, len));
+        start += len;
+    }
+    out
+}
+
+/// Grows a tileable region from the uniform all-to-all at `entry`:
+/// follows dataflow through capacity-row-wise expert ops until a uniform
+/// all-to-all consumes a depth-0 region tensor, then checks the region is
+/// dataflow-closed (no region tensor escapes to a non-member).
+///
+/// `depth` tracks `ExpertsLayout` nesting: slicing happened on the raw
+/// `(E, C, M)` buffer (depth 0), layout ops fold the device axis into the
+/// row axis (depth 1), and only row-wise ops are admitted at any depth —
+/// which is what makes per-tile execution bit-identical.
+fn grow_segment(src: &Graph, entry: usize, users: &HashMap<TensorId, Vec<usize>>) -> Option<(Vec<usize>, usize)> {
+    let instrs = src.instrs();
+    let entry_out = instrs[entry].outputs[0];
+    let cap = src.tensor(instrs[entry].inputs[0]).shape.dim(1);
+    let mut depth: HashMap<TensorId, usize> = HashMap::from([(entry_out, 0usize)]);
+    let mut members: Vec<usize> = Vec::new();
+    for (q, instr) in instrs.iter().enumerate().skip(entry + 1) {
+        let in_depth = |t: &TensorId| depth.get(t).copied();
+        if !instr.inputs.iter().any(|t| depth.contains_key(t)) {
+            continue; // outside the region (e.g. another chunk's stage)
+        }
+        // Candidate exit: a uniform all-to-all consuming the raw buffer.
+        if matches!(instr.op, Op::AllToAll)
+            && instr.inputs.len() == 1
+            && in_depth(&instr.inputs[0]) == Some(0)
+        {
+            if src.tensor(instr.inputs[0]).shape.dim(1) != cap {
+                return None;
+            }
+            // Closure check: every region tensor's users are members (or
+            // this exit) — nothing mid-segment escapes the rewrite.
+            let member_set: HashSet<usize> = members.iter().copied().chain([q]).collect();
+            for t in depth.keys() {
+                if let Some(ps) = users.get(t) {
+                    if ps.iter().any(|p| !member_set.contains(p)) {
+                        return None;
+                    }
+                }
+            }
+            return Some((members, q));
+        }
+        // Otherwise the instruction must be a row-wise expert op with a
+        // single output; anything else pins the segment at partition
+        // granularity.
+        if instr.outputs.len() != 1 {
+            return None;
+        }
+        let d0 = in_depth(&instr.inputs[0]);
+        let out_depth = match &instr.op {
+            Op::ExpertsLayout { .. } => d0.map(|d| d + 1),
+            Op::ExpertsLayoutInv { .. } => match d0 {
+                Some(d) if d >= 1 => Some(d - 1),
+                _ => None,
+            },
+            // Weight operand (and bias) must come from outside the region.
+            Op::BatchedMatMul { .. } | Op::BiasAdd => {
+                if instr.inputs.len() == 2 && !depth.contains_key(&instr.inputs[1]) {
+                    d0
+                } else {
+                    None
+                }
+            }
+            Op::Gelu | Op::Silu | Op::Relu | Op::Dropout { .. } | Op::Scale { .. } => d0,
+            Op::Add | Op::Mul => match (d0, instr.inputs.get(1).and_then(in_depth)) {
+                (Some(a), Some(b)) if a == b => Some(a),
+                _ => None,
+            },
+            _ => None,
+        };
+        match out_depth {
+            Some(d) => {
+                depth.insert(instr.outputs[0], d);
+                members.push(q);
+            }
+            None => return None,
+        }
+    }
+    None // ran off the end without a closing all-to-all
+}
+
+/// Finds every tileable segment under `sched`, returning the segments and
+/// the count of all-to-all instructions left untiled.
+fn find_segments(src: &Graph, sched: &TileSchedule) -> (Vec<Segment>, usize) {
+    let users = src.user_positions();
+    let mut claimed: HashSet<usize> = HashSet::new();
+    let mut segments: Vec<Segment> = Vec::new();
+    for (pos, instr) in src.instrs().iter().enumerate() {
+        if claimed.contains(&pos) || !matches!(instr.op, Op::AllToAll) || instr.inputs.len() != 1 {
+            continue;
+        }
+        let shape = &src.tensor(instr.inputs[0]).shape;
+        if shape.dims().len() != 3 {
+            continue;
+        }
+        let cap = shape.dim(1);
+        let tiles = sched.tiles.min(cap / sched.min_rows.max(1));
+        if tiles < 2 {
+            continue;
+        }
+        if let Some((members, exit)) = grow_segment(src, pos, &users) {
+            claimed.insert(pos);
+            claimed.extend(members.iter().copied());
+            claimed.insert(exit);
+            segments.push(Segment { entry: pos, members, exit, cap, tiles });
+        }
+    }
+    let a2a_total = src
+        .instrs()
+        .iter()
+        .filter(|i| matches!(i.op, Op::AllToAll | Op::AllToAllIrr))
+        .count();
+    let skipped = a2a_total - 2 * segments.len();
+    (segments, skipped)
+}
+
+/// Rewrites `src` with tile-granular overlap: every uniform all-to-all →
+/// expert-FFN → all-to-all segment is split into `sched.tiles` capacity
+/// tiles with the interleaved per-stream order described in the module
+/// docs. Tensor ids are reassigned; look tensors up by name in the
+/// result.
+///
+/// `tiles <= 1` (and graphs without tileable segments) return the source
+/// graph unchanged — the exact partition-level schedule, op for op.
+///
+/// # Errors
+///
+/// Propagates shape-inference/validation failures from graph rebuild;
+/// structurally this cannot fail on a valid source graph.
+pub fn apply_tile_schedule(src: &Graph, sched: &TileSchedule) -> Result<(Graph, TileReport)> {
+    if sched.tiles <= 1 {
+        return Ok((src.clone(), TileReport { tiles: sched.tiles.max(1), ..TileReport::default() }));
+    }
+    let (segments, skipped) = find_segments(src, sched);
+    if segments.is_empty() {
+        return Ok((src.clone(), TileReport { tiles: sched.tiles, skipped, ..TileReport::default() }));
+    }
+
+    // Membership: position → (segment index, part within it).
+    #[derive(Clone, Copy)]
+    enum Part {
+        Entry(usize),
+        Middle(usize),
+        Exit(usize),
+    }
+    let mut part: HashMap<usize, Part> = HashMap::new();
+    for (s, seg) in segments.iter().enumerate() {
+        part.insert(seg.entry, Part::Entry(s));
+        for &m in &seg.members {
+            part.insert(m, Part::Middle(s));
+        }
+        part.insert(seg.exit, Part::Exit(s));
+    }
+
+    let mut dst = Graph::new();
+    let mut remap: HashMap<TensorId, TensorId> = HashMap::new();
+    for t in src.tensors() {
+        if matches!(t.kind, TensorKind::Input | TensorKind::Weight) {
+            let id = dst.add_tensor(t.name.clone(), t.shape.clone(), t.kind);
+            remap.insert(t.id, id);
+        }
+    }
+    // Per-segment (source tensor, tile) → rewritten tile tensor.
+    let mut tile_maps: Vec<HashMap<(TensorId, usize), TensorId>> =
+        vec![HashMap::new(); segments.len()];
+    // Member positions deferred until the segment's exit, where they are
+    // re-emitted tile-major (tile k's full chain, then its back-transfer)
+    // so the two streams interleave as in the module-docs diagram.
+    let mut deferred: Vec<Vec<usize>> = vec![Vec::new(); segments.len()];
+
+    for (pos, instr) in src.instrs().iter().enumerate() {
+        match part.get(&pos).copied() {
+            None => {
+                let inputs: Vec<TensorId> = instr.inputs.iter().map(|t| remap[t]).collect();
+                let outs = dst.emit_multi(instr.op.clone(), &inputs, instr.role)?;
+                for (&o, n) in instr.outputs.iter().zip(outs) {
+                    remap.insert(o, n);
+                }
+            }
+            Some(Part::Entry(s)) => {
+                let seg = &segments[s];
+                let xin = remap[&instr.inputs[0]];
+                let bounds = tile_bounds(seg.cap, seg.tiles);
+                // All K entry exchanges issue back to back on the comm
+                // stream; each transfers only its tile's rows.
+                let slices: Vec<TensorId> = bounds
+                    .iter()
+                    .map(|&(start, len)| {
+                        dst.emit(
+                            Op::Slice { axis: 1, start, end: start + len },
+                            &[xin],
+                            Role::Forward,
+                        )
+                    })
+                    .collect::<Result<_>>()?;
+                for (k, &sl) in slices.iter().enumerate() {
+                    let t = dst.emit(Op::AllToAll, &[sl], instr.role)?;
+                    tile_maps[s].insert((instr.outputs[0], k), t);
+                }
+            }
+            Some(Part::Middle(s)) => deferred[s].push(pos),
+            Some(Part::Exit(s)) => {
+                let seg = &segments[s];
+                let mut tiles_out = Vec::with_capacity(seg.tiles);
+                for k in 0..seg.tiles {
+                    for &m in &deferred[s] {
+                        let mi = &src.instrs()[m];
+                        let ins: Vec<TensorId> = mi
+                            .inputs
+                            .iter()
+                            .map(|t| tile_maps[s].get(&(*t, k)).copied().unwrap_or_else(|| remap[t]))
+                            .collect();
+                        let outs = dst.emit_multi(mi.op.clone(), &ins, mi.role)?;
+                        tile_maps[s].insert((mi.outputs[0], k), outs[0]);
+                    }
+                    // Tile k's combine-direction exchange issues as soon
+                    // as its chain finishes, overlapping tile k+1's
+                    // compute.
+                    let buf = tile_maps[s][&(instr.inputs[0], k)];
+                    let back = dst.emit(Op::AllToAll, &[buf], instr.role)?;
+                    tiles_out.push(back);
+                }
+                let whole = dst.emit(Op::Concat { axis: 1 }, &tiles_out, Role::Forward)?;
+                remap.insert(instr.outputs[0], whole);
+            }
+        }
+    }
+    dst.validate()?;
+    let ops_added = dst.instrs().len() - src.instrs().len();
+    Ok((
+        dst,
+        TileReport { segments: segments.len(), skipped, tiles: sched.tiles, ops_added },
+    ))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use lancet_ir::{GateKind, Role};
+
+    /// The canonical uniform MoE layer: dispatch → a2a → experts → a2a →
+    /// gather, with a trailing op consuming the gather.
+    fn uniform_moe(batch: usize, cap: usize) -> Graph {
+        let mut g = Graph::new();
+        let x = g.input("x", vec![batch, 8, 16]);
+        let wg = g.weight("gate.w", vec![16, 4]);
+        let w1 = g.weight("expert.w1", vec![2, 16, 32]);
+        let w2 = g.weight("expert.w2", vec![2, 32, 16]);
+        let gate = g
+            .emit_multi(Op::Gate { kind: GateKind::Switch, experts: 4, capacity: cap }, &[x, wg], Role::Forward)
+            .unwrap();
+        let buf = g
+            .emit(Op::MoeDispatch { experts: 4, capacity: cap }, &[x, gate[0], gate[1]], Role::Forward)
+            .unwrap();
+        let t = g.emit(Op::AllToAll, &[buf], Role::Comm).unwrap();
+        let loc = g.emit(Op::ExpertsLayout { gpus: 2 }, &[t], Role::Forward).unwrap();
+        let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).unwrap();
+        let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+        let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+        let back = g.emit(Op::ExpertsLayoutInv { gpus: 2 }, &[h], Role::Forward).unwrap();
+        let back = g.emit(Op::AllToAll, &[back], Role::Comm).unwrap();
+        let y = g
+            .emit(
+                Op::MoeGather { experts: 4, capacity: cap, batch, seq: 8 },
+                &[back, gate[0], gate[1]],
+                Role::Forward,
+            )
+            .unwrap();
+        let _ = g.emit(Op::Gelu, &[y], Role::Forward).unwrap();
+        g
+    }
+
+    #[test]
+    fn tiles_one_is_identity() {
+        let g = uniform_moe(4, 16);
+        let (out, report) = apply_tile_schedule(&g, &TileSchedule::new(1)).unwrap();
+        assert_eq!(lancet_ir::to_text(&out), lancet_ir::to_text(&g));
+        assert_eq!(report.segments, 0);
+        assert_eq!(report.ops_added, 0);
+    }
+
+    #[test]
+    fn uniform_segment_tiles_into_k_exchanges() {
+        let g = uniform_moe(4, 16);
+        for k in [2usize, 4, 8] {
+            let (out, report) = apply_tile_schedule(&g, &TileSchedule::new(k)).unwrap();
+            assert!(out.validate().is_ok());
+            assert_eq!(report.segments, 1, "k={k}");
+            assert_eq!(report.skipped, 0, "k={k}");
+            let count = |pred: &dyn Fn(&Op) -> bool| out.instrs().iter().filter(|i| pred(&i.op)).count();
+            // 2 uniform a2as become 2k tile exchanges.
+            assert_eq!(count(&|o| matches!(o, Op::AllToAll)), 2 * k, "k={k}");
+            assert_eq!(count(&|o| matches!(o, Op::Slice { axis: 1, .. })), k, "k={k}");
+            assert_eq!(count(&|o| matches!(o, Op::Concat { axis: 1 })), 1, "k={k}");
+            assert_eq!(count(&|o| matches!(o, Op::BatchedMatMul { .. })), 2 * k, "k={k}");
+        }
+    }
+
+    #[test]
+    fn interleaved_stream_order() {
+        // The emitted order must pipeline: all K entry exchanges adjacent,
+        // then tile 0's chain and its back-transfer *before* tile 1's
+        // chain — tile k's combine overlaps tile k+1's compute.
+        let g = uniform_moe(4, 16);
+        let (out, _) = apply_tile_schedule(&g, &TileSchedule::new(2)).unwrap();
+        let a2a: Vec<usize> = out
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.op, Op::AllToAll))
+            .map(|(p, _)| p)
+            .collect();
+        assert_eq!(a2a.len(), 4);
+        assert_eq!(a2a[1], a2a[0] + 1, "entry exchanges issue back to back");
+        let bmm: Vec<usize> = out
+            .instrs()
+            .iter()
+            .enumerate()
+            .filter(|(_, i)| matches!(i.op, Op::BatchedMatMul { .. }))
+            .map(|(p, _)| p)
+            .collect();
+        // back-transfer of tile 0 sits between tile 0's and tile 1's GEMMs.
+        assert!(bmm[1] < a2a[2] && a2a[2] < bmm[2], "a2a {a2a:?} bmm {bmm:?}");
+    }
+
+    #[test]
+    fn tile_count_clamps_to_capacity() {
+        let g = uniform_moe(4, 4); // capacity 4 < requested 8 tiles
+        let (out, report) = apply_tile_schedule(&g, &TileSchedule::new(8)).unwrap();
+        assert_eq!(report.segments, 1);
+        let n_a2a = out.instrs().iter().filter(|i| matches!(i.op, Op::AllToAll)).count();
+        assert_eq!(n_a2a, 8, "clamped to 4 tiles × 2 directions");
+    }
+
+    #[test]
+    fn min_rows_floor_skips_small_segments() {
+        let g = uniform_moe(4, 4);
+        let (out, report) =
+            apply_tile_schedule(&g, &TileSchedule::new(4).with_min_rows(3)).unwrap();
+        assert_eq!(report.segments, 0);
+        assert_eq!(report.skipped, 2, "both uniform a2as stay untiled");
+        assert_eq!(lancet_ir::to_text(&out), lancet_ir::to_text(&g));
+    }
+
+    #[test]
+    fn irregular_pipeline_left_untouched() {
+        // An irregular (counts-passing) pipeline has no uniform a2as; the
+        // schedule must pass it through unchanged and report the skips.
+        let mut g = Graph::new();
+        let x = g.input("x", vec![4, 8, 16]);
+        let wg = g.weight("gate.w", vec![16, 4]);
+        let cap0 = g.emit(Op::Zeros { shape: vec![4] }, &[], Role::Forward).unwrap();
+        let gate = g
+            .emit_multi(
+                Op::GateChunk { kind: GateKind::Switch, experts: 4, capacity: 16, parts: 1 },
+                &[x, wg, cap0],
+                Role::Forward,
+            )
+            .unwrap();
+        let d = g
+            .emit_multi(Op::MoeDispatchIrr { experts: 4, capacity: 16, parts: 1 }, &[x, gate[0], gate[1]], Role::Forward)
+            .unwrap();
+        let _ = g.emit_multi(Op::AllToAllIrr, &[d[0], d[1]], Role::Comm).unwrap();
+        let (out, report) = apply_tile_schedule(&g, &TileSchedule::new(4)).unwrap();
+        assert_eq!(report.segments, 0);
+        assert_eq!(report.skipped, 1);
+        assert_eq!(lancet_ir::to_text(&out), lancet_ir::to_text(&g));
+    }
+
+    #[test]
+    fn env_round_trip() {
+        // Serialized env access: no parallel test mutates these vars.
+        std::env::remove_var("LANCET_TILE_COUNT");
+        assert!(TileSchedule::from_env().is_none());
+        std::env::set_var("LANCET_TILE_COUNT", "4");
+        std::env::set_var("LANCET_TILE_MIN_ROWS", "2");
+        let s = TileSchedule::from_env().expect("enabled");
+        assert_eq!(s.tiles, 4);
+        assert_eq!(s.min_rows, 2);
+        std::env::set_var("LANCET_TILE_COUNT", "1");
+        assert!(TileSchedule::from_env().is_none(), "K ≤ 1 keeps partition-level");
+        std::env::remove_var("LANCET_TILE_COUNT");
+        std::env::remove_var("LANCET_TILE_MIN_ROWS");
+    }
+}

@@ -1,0 +1,151 @@
+//! Property-based conformance for the tile scheduler: for arbitrary MoE
+//! shapes, capacities and tile counts, `apply_tile_schedule` produces a
+//! valid graph whose executed forward is bit-identical to the untiled
+//! one; `tiles ≤ 1` is the exact identity. Case count honors
+//! `LANCET_PROPTEST_CASES` like the other property suites.
+
+use lancet_core::{apply_tile_schedule, TileSchedule};
+use lancet_exec::{Bindings, Executor};
+use lancet_ir::{GateKind, Graph, Op, Role, TensorId};
+use lancet_tensor::TensorRng;
+use proptest::prelude::*;
+
+/// The canonical uniform MoE segment: dispatch all-to-all, expert layout
+/// and GEMM chain, combine all-to-all — the shape the partition pass
+/// leaves behind and the tile scheduler splits.
+fn moe_forward(
+    batch: usize,
+    seq: usize,
+    hidden: usize,
+    gpus: usize,
+    cap: usize,
+) -> (Graph, TensorId) {
+    let experts = 2 * gpus;
+    let mut g = Graph::new();
+    let x = g.input("x", vec![batch, seq, hidden]);
+    let wg = g.weight("gate.w", vec![hidden, experts]);
+    let w1 = g.weight("expert.w1", vec![2, hidden, 2 * hidden]);
+    let w2 = g.weight("expert.w2", vec![2, 2 * hidden, hidden]);
+    let pre = g.emit(Op::Gelu, &[x], Role::Forward).unwrap();
+    let gate = g
+        .emit_multi(Op::Gate { kind: GateKind::Switch, experts, capacity: cap }, &[pre, wg], Role::Forward)
+        .unwrap();
+    let buf = g
+        .emit(Op::MoeDispatch { experts, capacity: cap }, &[pre, gate[0], gate[1]], Role::Forward)
+        .unwrap();
+    let t = g.emit(Op::AllToAll, &[buf], Role::Comm).unwrap();
+    let loc = g.emit(Op::ExpertsLayout { gpus }, &[t], Role::Forward).unwrap();
+    let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[loc, w1], Role::Forward).unwrap();
+    let h = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+    let h = g.emit(Op::BatchedMatMul { transpose_b: false }, &[h, w2], Role::Forward).unwrap();
+    let back = g.emit(Op::ExpertsLayoutInv { gpus }, &[h], Role::Forward).unwrap();
+    let back = g.emit(Op::AllToAll, &[back], Role::Comm).unwrap();
+    let y = g
+        .emit(Op::MoeGather { experts, capacity: cap, batch, seq }, &[back, gate[0], gate[1]], Role::Forward)
+        .unwrap();
+    let out = g.emit(Op::Gelu, &[y], Role::Forward).unwrap();
+    (g, out)
+}
+
+/// Binds weights and inputs by *name*, not tensor id — the tile rewrite
+/// renumbers ids, so id-keyed seeding would bind different values to the
+/// two graphs and make bit-identity vacuously false.
+fn run_forward(g: &Graph, out: TensorId, gpus: usize, seed: u64) -> Vec<Vec<u32>> {
+    let mut b = Bindings::new(gpus);
+    for t in g.tensors() {
+        match t.kind {
+            lancet_ir::TensorKind::Weight => {
+                if t.name.contains("expert") {
+                    for d in 0..gpus {
+                        let mut rng = TensorRng::seed(1000 + d as u64);
+                        b.set(d, t.id, rng.normal(t.shape.clone(), 0.3));
+                    }
+                } else {
+                    let mut rng = TensorRng::seed(2000);
+                    b.set_all(t.id, rng.uniform(t.shape.clone(), -1.0, 1.0));
+                }
+            }
+            lancet_ir::TensorKind::Input => {
+                for d in 0..gpus {
+                    let mut rng = TensorRng::seed(seed ^ (d as u64 + 7));
+                    b.set(d, t.id, rng.uniform(t.shape.clone(), -1.0, 1.0));
+                }
+            }
+            _ => {}
+        }
+    }
+    let res = Executor::new(g, gpus).unwrap().run(b).unwrap();
+    (0..gpus)
+        .map(|d| res.get(d, out).unwrap().data().iter().map(|v| v.to_bits()).collect())
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::env_cases(12))]
+
+    /// For any shape, capacity and tile count, the tiled graph validates
+    /// and its executed forward is bit-identical to the untiled graph's.
+    #[test]
+    fn tiled_forward_is_bit_identical(
+        batch in 2usize..6,
+        seq in 1usize..4,
+        hidden_quarters in 1usize..3,
+        cap in 2usize..9,
+        tiles in 2usize..9,
+        seed in any::<u64>(),
+    ) {
+        let gpus = 2;
+        let hidden = hidden_quarters * 4;
+        let (g, out) = moe_forward(batch, seq, hidden, gpus, cap);
+        let (tg, report) = apply_tile_schedule(&g, &TileSchedule::new(tiles)).unwrap();
+        prop_assert!(tg.validate().is_ok());
+        prop_assert_eq!(report.segments, 1, "the MoE segment must tile");
+        let t_out = tg.instrs().last().unwrap().outputs[0];
+        let reference = run_forward(&g, out, gpus, seed);
+        let got = run_forward(&tg, t_out, gpus, seed);
+        prop_assert_eq!(reference, got);
+    }
+
+    /// `tiles ≤ 1` is the exact identity: same printed program, zero
+    /// segments, zero added ops.
+    #[test]
+    fn tiles_at_most_one_is_identity(
+        batch in 2usize..6,
+        cap in 2usize..9,
+        tiles in 0usize..2,
+    ) {
+        let (g, _) = moe_forward(batch, 2, 8, 2, cap);
+        let (tg, report) = apply_tile_schedule(&g, &TileSchedule::new(tiles)).unwrap();
+        prop_assert_eq!(lancet_ir::to_text(&g), lancet_ir::to_text(&tg));
+        prop_assert_eq!(report.segments, 0);
+        prop_assert_eq!(report.ops_added, 0);
+    }
+
+    /// Structural accounting: the rewrite adds exactly `ops_added`
+    /// instructions, the effective tile count never exceeds the capacity,
+    /// and per-stream op multiplicity matches the schedule — K slices,
+    /// 2K all-to-alls (K out, K back), K copies of each member, and one
+    /// concat per segment.
+    #[test]
+    fn tile_rewrite_op_accounting(
+        cap in 2usize..9,
+        tiles in 2usize..9,
+    ) {
+        let (g, _) = moe_forward(4, 2, 8, 2, cap);
+        let (tg, report) = apply_tile_schedule(&g, &TileSchedule::new(tiles)).unwrap();
+        let k = report.tiles.min(cap).max(1);
+        prop_assert_eq!(tg.instrs().len(), g.instrs().len() + report.ops_added);
+        prop_assert!(k <= cap);
+        let count = |g: &Graph, pred: &dyn Fn(&Op) -> bool| {
+            g.instrs().iter().filter(|i| pred(&i.op)).count()
+        };
+        let slices = count(&tg, &|o| matches!(o, Op::Slice { .. }));
+        let concats = count(&tg, &|o| matches!(o, Op::Concat { .. }));
+        let a2a = count(&tg, &|o| matches!(o, Op::AllToAll));
+        let bmm = count(&tg, &|o| matches!(o, Op::BatchedMatMul { .. }));
+        prop_assert_eq!(slices, k);
+        prop_assert_eq!(concats, 1);
+        prop_assert_eq!(a2a, 2 * k);
+        prop_assert_eq!(bmm, 2 * k, "each of the 2 member GEMMs is replayed per tile");
+    }
+}

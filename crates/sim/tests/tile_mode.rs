@@ -1,0 +1,199 @@
+//! Conformance for the simulator's tile-interleave mode: tile events are
+//! real (per-tile sub-events with dependency edges, visible in the Gantt
+//! chart and Chrome trace), deterministic under seeded fault plans, and
+//! the mode composes with placement-aware charging without perturbing the
+//! `placement = None` baseline. `tiles = 1` is exactly the stock
+//! whole-operator simulation.
+
+use lancet_cost::{ClusterSpec, CommModel, ComputeModel, ExpertTraffic, PlacementPlan};
+use lancet_ir::{Graph, Op, Role};
+use lancet_sim::{
+    render_gantt, to_chrome_trace, FaultPlan, SimConfig, SimReport, Simulator, Stream,
+};
+
+const GPUS: usize = 16;
+const EXPERTS: usize = 4;
+const CAP: usize = 64;
+const MODEL: usize = 256;
+
+fn simulator(cfg: SimConfig) -> Simulator {
+    let spec = ClusterSpec::v100(GPUS.div_ceil(8));
+    Simulator::new(ComputeModel::new(spec.device.clone()), CommModel::new(spec), cfg)
+}
+
+/// The shape the tile scheduler emits at partition level, miniaturized:
+/// dispatch all-to-all → per-expert GEMM chain → combine all-to-all, on
+/// an `(experts, capacity, model)` buffer.
+fn expert_pipeline() -> Graph {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![EXPERTS, CAP, MODEL]);
+    let w1 = g.weight("w1", vec![EXPERTS, MODEL, MODEL]);
+    let w2 = g.weight("w2", vec![EXPERTS, MODEL, MODEL]);
+    let d = g.emit(Op::AllToAll, &[x], Role::Comm).unwrap();
+    let h = g
+        .emit(Op::BatchedMatMul { transpose_b: false }, &[d, w1], Role::Forward)
+        .unwrap();
+    let a = g.emit(Op::Gelu, &[h], Role::Forward).unwrap();
+    let o = g
+        .emit(Op::BatchedMatMul { transpose_b: false }, &[a, w2], Role::Forward)
+        .unwrap();
+    let _back = g.emit(Op::AllToAll, &[o], Role::Comm).unwrap();
+    g
+}
+
+fn run(tiles: usize) -> SimReport {
+    simulator(SimConfig::new(GPUS).with_tiles(tiles)).simulate(&expert_pipeline())
+}
+
+/// `tiles = 1` is the stock simulator: identical report, chart, trace —
+/// the mode costs nothing when off.
+#[test]
+fn tiles_one_is_the_stock_simulation() {
+    let stock = simulator(SimConfig::new(GPUS)).simulate(&expert_pipeline());
+    let one = run(1);
+    assert_eq!(stock, one);
+    assert!(one.timeline.iter().all(|e| e.tile.is_none()));
+}
+
+/// Tile mode splits each uniform all-to-all and the expert ops it feeds
+/// into per-tile sub-events sharing the instruction's position, with
+/// per-tile dependency edges: tile 0's GEMM starts before the dispatch's
+/// last tile lands, which is the overlap the mode models.
+#[test]
+fn tile_events_carry_indices_and_overlap() {
+    for tiles in [2usize, 4, 8] {
+        let r = run(tiles);
+        // Every a2a and every expert op contributes `tiles` sub-events.
+        for pos in 0..expert_pipeline().instrs().len() {
+            let evs: Vec<_> = r.timeline.iter().filter(|e| e.position == pos).collect();
+            assert_eq!(evs.len(), tiles, "position {pos} at tiles={tiles}");
+            let idx: Vec<_> = evs.iter().map(|e| e.tile.unwrap()).collect();
+            assert_eq!(idx, (0..tiles).collect::<Vec<_>>());
+        }
+        // Per-tile dependency edges, not a whole-buffer barrier: the first
+        // GEMM tile starts strictly before the dispatch finishes.
+        let dispatch_end = r
+            .timeline
+            .iter()
+            .filter(|e| e.position == 0)
+            .map(|e| e.end)
+            .fold(0.0f64, f64::max);
+        let first_gemm = r
+            .timeline
+            .iter()
+            .find(|e| e.position == 1 && e.tile == Some(0))
+            .expect("tiled GEMM event");
+        assert!(
+            first_gemm.start < dispatch_end,
+            "tiles={tiles}: GEMM tile 0 starts at {} after full dispatch {}",
+            first_gemm.start,
+            dispatch_end
+        );
+        // Both streams carry tile events.
+        assert!(r.timeline.iter().any(|e| e.stream == Stream::Comm && e.tile.is_some()));
+        assert!(r.timeline.iter().any(|e| e.stream == Stream::Compute && e.tile.is_some()));
+    }
+}
+
+/// Tile indices surface in both export formats: parity striping in the
+/// Gantt chart and a `"tile"` arg on every sub-event in the Chrome trace.
+#[test]
+fn tile_events_visible_in_exports() {
+    let r = run(4);
+    let chart = render_gantt(&r, 72);
+    assert!(chart.contains('+'), "odd compute tiles must stripe the chart:\n{chart}");
+    assert!(chart.contains('-'), "odd comm tiles must stripe the chart:\n{chart}");
+    let json = to_chrome_trace(&r);
+    let tiled = r.timeline.iter().filter(|e| e.tile.is_some()).count();
+    assert_eq!(json.matches("\"tile\": ").count(), tiled);
+    assert!(json.contains("\"tile\": 3"));
+}
+
+/// Same seed + fault plan in tile mode ⇒ bit-identical report, Gantt
+/// chart, and Chrome trace — per-tile fault factors included.
+#[test]
+fn tile_mode_fault_replay_is_bit_identical() {
+    let g = expert_pipeline();
+    let horizon = run(4).iteration_time * 2.0;
+    for seed in [1u64, 0xC4A05, 0xdead_beef] {
+        let plan = FaultPlan::generate(seed, GPUS, horizon);
+        let cfg = || SimConfig::new(GPUS).with_tiles(4).with_fault_plan(plan.clone());
+        let a = simulator(cfg()).simulate(&g);
+        let b = simulator(cfg()).simulate(&g);
+        assert_eq!(a, b, "seed {seed}: tile-mode replay must be bit-identical");
+        assert_eq!(render_gantt(&a, 72), render_gantt(&b, 72));
+        assert_eq!(to_chrome_trace(&a), to_chrome_trace(&b));
+    }
+}
+
+/// Faults only lengthen tile-mode iterations, never shorten them.
+#[test]
+fn tile_mode_faults_never_speed_up() {
+    let g = expert_pipeline();
+    let healthy = run(4);
+    for seed in 0..16u64 {
+        let plan = FaultPlan::generate(seed, GPUS, healthy.iteration_time);
+        let faulted =
+            simulator(SimConfig::new(GPUS).with_tiles(4).with_fault_plan(plan)).simulate(&g);
+        assert!(
+            faulted.iteration_time >= healthy.iteration_time - 1e-12,
+            "seed {seed}: {} < {}",
+            faulted.iteration_time,
+            healthy.iteration_time
+        );
+    }
+}
+
+/// Tile mode composes with placement-aware charging: a uniform plan over
+/// balanced traffic charges exactly what the `placement = None` tile-mode
+/// baseline charges, so installing a plan never perturbs the healthy
+/// default. Per-tile events still carry their indices.
+#[test]
+fn uniform_placement_composes_with_tiles() {
+    let g = expert_pipeline();
+    let baseline = run(4);
+    let mut traffic = ExpertTraffic::new(2, GPUS, 2048);
+    for l in 0..2 {
+        for e in 0..GPUS {
+            traffic.record_load(l, e, 64);
+        }
+    }
+    for i in 0..GPUS {
+        for j in 0..GPUS {
+            traffic.record_transition(0, i, j, 4);
+        }
+    }
+    let placed = simulator(
+        SimConfig::new(GPUS)
+            .with_tiles(4)
+            .with_placement(PlacementPlan::uniform(2, GPUS, GPUS), traffic),
+    )
+    .simulate(&g);
+    assert!(
+        (placed.iteration_time - baseline.iteration_time).abs() < 1e-12,
+        "uniform placement must not perturb tile mode: {} vs {}",
+        placed.iteration_time,
+        baseline.iteration_time
+    );
+    assert_eq!(placed.timeline.len(), baseline.timeline.len());
+    assert!(placed.timeline.iter().any(|e| e.tile.is_some()));
+}
+
+/// Capacity too small to split: tile mode degrades per-instruction to
+/// whole-operator charging instead of emitting degenerate slivers.
+#[test]
+fn narrow_buffers_fall_back_to_whole_operator() {
+    let mut g = Graph::new();
+    let x = g.input("x", vec![EXPERTS, 2, MODEL]);
+    let t = g.emit(Op::AllToAll, &[x], Role::Comm).unwrap();
+    let w = g.weight("w", vec![EXPERTS, MODEL, MODEL]);
+    let _ = g
+        .emit(Op::BatchedMatMul { transpose_b: false }, &[t, w], Role::Forward)
+        .unwrap();
+    let r = simulator(SimConfig::new(GPUS).with_tiles(8)).simulate(&g);
+    // dim(1) = 2 < 8 tiles: the a2a is not split, so nothing downstream
+    // tiles either.
+    assert!(r.timeline.iter().all(|e| e.tile.is_none()));
+    let stock = simulator(SimConfig::new(GPUS)).simulate(&g);
+    assert_eq!(r, stock);
+}

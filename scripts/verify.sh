@@ -84,6 +84,29 @@ echo "==> lancet fleet-bench --quick"
 # replica with a full queue) must lose zero admitted tickets.
 ./target/release/lancet fleet-bench --quick
 
+echo "==> overlap conformance (tile-granular schedules are bit-identical)"
+# The differential suite: every zoo model executed under the tile
+# scheduler must produce bit-identical forward outputs at every tile
+# count, tiles=1 must reproduce the partition-level program op for op,
+# and the golden hash of the default plan must not move.
+cargo test -q --release --test overlap
+cargo test -q --release --test end_to_end default_plan_bytes_are_golden
+
+echo "==> lancet overlap-bench --quick"
+# Tile-granular overlap floor: tiles=1 must equal the partition-level
+# schedule exactly, and at least one tile count on one zoo model must
+# strictly beat partition level in simulated step time.
+./target/release/lancet overlap-bench --quick
+
+echo "==> committed BENCH_overlap.json records the tile-level win"
+# The committed sweep must carry a strict tile-level win; a stale or
+# regressed artifact fails here. Regenerate with: lancet overlap-bench
+awk '
+    /"best_speedup"/ { found = 1; v = $2 + 0
+        if (v < 1.002) { printf "error: best_speedup %.4f < 1.002 floor\n", v; exit 1 } }
+    END { if (!found) { print "error: BENCH_overlap.json lacks best_speedup"; exit 1 } }
+' results/BENCH_overlap.json
+
 echo "==> results/BENCH_*.json are documented"
 # Every committed benchmark artifact must be referenced from
 # EXPERIMENTS.md so readers can find the regeneration instructions.

@@ -94,3 +94,45 @@ fn exposed_communication_reduction_is_substantial() {
         reduction * 100.0
     );
 }
+
+/// FNV-1a 64 over the printed program — stable across processes and
+/// platforms, unlike `DefaultHasher`.
+fn fnv1a(text: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in text.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+#[test]
+fn default_plan_bytes_are_golden() {
+    use lancet_repro::core::{Lancet, LancetOptions};
+    use lancet_repro::cost::ClusterSpec;
+    use lancet_repro::models::build_forward;
+
+    let cfg = benchmark_cfg(GateKind::Switch);
+    let lancet = Lancet::new(
+        ClusterSpec::v100(2),
+        cfg.gpus,
+        LancetOptions { tile: None, ..Default::default() },
+    );
+    let fwd = build_forward(&cfg).unwrap().graph;
+    let out = lancet.optimize(fwd).unwrap();
+    let hash = fnv1a(&lancet_repro::ir::to_text(&out.graph));
+    // The partition-level training plan for the benchmark config, byte
+    // for byte. This is the compatibility surface the tile scheduler (and
+    // every future pass) must not move by default: serving plan caches
+    // and decode snapshots key on stable tensor ids. If a change to the
+    // optimizer is *intentional*, re-run this test with `--nocapture`,
+    // confirm the printed hash is identical across two separate runs, and
+    // update the constant together with a CHANGELOG note.
+    println!("GOLDEN {hash:#018x}");
+    assert_eq!(
+        hash, 0x8dcae55ff5ce38d2,
+        "the default partition-level plan changed: either an optimizer \
+         pass regressed, or a deliberate change needs this golden hash \
+         (and dependent plan caches) re-baselined"
+    );
+}
